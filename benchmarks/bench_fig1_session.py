@@ -1,0 +1,68 @@
+"""E3 — Figure 1's narrative as a measured end-to-end session.
+
+Lou's loop: detect -> remove outliers from the worst group -> realize that
+deleted too much -> undo -> impute instead -> inspect another dimension.
+The benchmark measures the whole interactive episode and asserts its
+semantic outcomes (undo restores the row count; imputation loses no rows).
+"""
+
+import pytest
+
+from repro.core.types import ERROR_OUTLIER
+from repro.ui import BuckarooApp, events
+
+from benchmarks.conftest import make_session
+
+
+def _lou_session(app: BuckarooApp) -> dict:
+    session = app.session
+    rows_initial = session.backend.row_count()
+    worst = session.anomaly_summary().groups[0].key
+
+    suggestions = app.handle(
+        events.RequestSuggestions(worst, error_code=ERROR_OUTLIER)
+    )
+    deletion_rank = next(
+        s.rank for s in suggestions if s.plan.wrangler_code == "delete_rows"
+    )
+    removal = app.handle(events.ApplyRepair(deletion_rank))
+    rows_after_removal = session.backend.row_count()
+
+    app.handle(events.Undo())
+    rows_after_undo = session.backend.row_count()
+
+    suggestions = app.handle(
+        events.RequestSuggestions(worst, error_code=ERROR_OUTLIER)
+    )
+    impute_rank = next(
+        s.rank for s in suggestions if s.plan.wrangler_code.startswith("impute")
+    )
+    app.handle(events.PreviewRepair(impute_rank))
+    imputation = app.handle(events.ApplyRepair(impute_rank))
+
+    # "now to look at some other dimensions of this data"
+    other_pair = session.pairs()[-1]
+    app.chart_text(*other_pair)
+
+    return {
+        "rows_initial": rows_initial,
+        "rows_after_removal": rows_after_removal,
+        "rows_after_undo": rows_after_undo,
+        "rows_final": session.backend.row_count(),
+        "resolved_by_imputation": imputation.resolved,
+        "removed": removal.rows_affected,
+    }
+
+
+@pytest.mark.parametrize("backend", ["sql", "frame"])
+def test_figure1_interactive_narrative(benchmark, backend):
+    def setup():
+        session = make_session("stackoverflow", backend)
+        return (BuckarooApp(session),), {}
+
+    outcome = benchmark.pedantic(_lou_session, setup=setup, rounds=1, iterations=1)
+    assert outcome["removed"] > 0
+    assert outcome["rows_after_removal"] < outcome["rows_initial"]
+    assert outcome["rows_after_undo"] == outcome["rows_initial"]
+    assert outcome["rows_final"] == outcome["rows_initial"]  # imputation keeps rows
+    assert outcome["resolved_by_imputation"] > 0

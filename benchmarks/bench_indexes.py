@@ -1,0 +1,101 @@
+"""A4 — ablation: indexed vs. sequential-scan lookups in minidb (§2).
+
+"Buckaroo also creates Postgres indexes for all the attribute combinations
+in the charts for efficient data lookups."  This benchmark measures the
+three query shapes the system issues constantly — group membership
+(equality), viewport fetch (range), and point delete (rowid) — with and
+without indexes.
+"""
+
+import pytest
+
+from repro.bench import print_generic
+from repro.minidb import Database
+
+N_ROWS = 20_000
+N_CATEGORIES = 40
+
+_RESULTS: dict = {}
+
+
+def _make_db(indexed: bool) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE t (cat TEXT, val REAL)")
+    db.insert_rows(
+        "t",
+        [(f"c{i % N_CATEGORIES}", float(i % 9973)) for i in range(N_ROWS)],
+    )
+    if indexed:
+        db.execute("CREATE INDEX idx_cat ON t (cat) USING hash")
+        db.execute("CREATE INDEX idx_val ON t (val)")
+    return db
+
+
+@pytest.fixture(scope="module")
+def indexed_db():
+    return _make_db(indexed=True)
+
+
+@pytest.fixture(scope="module")
+def seq_db():
+    return _make_db(indexed=False)
+
+
+def _record(name: str, mode: str, benchmark) -> None:
+    _RESULTS[(name, mode)] = benchmark.stats.stats.mean
+    queries = ("group_equality", "value_range", "count_aggregate")
+    if all((q, m) in _RESULTS for q in queries for m in ("indexed", "seq")):
+        rows = []
+        for query in queries:
+            indexed = _RESULTS[(query, "indexed")]
+            seq = _RESULTS[(query, "seq")]
+            rows.append([
+                query, f"{indexed * 1000:.2f} ms", f"{seq * 1000:.2f} ms",
+                f"{seq / indexed:.0f}x",
+            ])
+        print_generic(
+            f"A4 — indexed vs sequential lookups ({N_ROWS} rows)",
+            ["Query", "Indexed", "SeqScan", "Speedup"], rows,
+        )
+
+
+@pytest.mark.parametrize("mode", ["indexed", "seq"])
+def test_group_membership_lookup(benchmark, mode, indexed_db, seq_db):
+    db = indexed_db if mode == "indexed" else seq_db
+    result = benchmark(
+        lambda: db.execute("SELECT rowid FROM t WHERE cat = ?", ("c7",))
+    )
+    assert len(result) == N_ROWS // N_CATEGORIES
+    _record("group_equality", mode, benchmark)
+
+
+@pytest.mark.parametrize("mode", ["indexed", "seq"])
+def test_value_range_lookup(benchmark, mode, indexed_db, seq_db):
+    db = indexed_db if mode == "indexed" else seq_db
+    result = benchmark(
+        lambda: db.execute(
+            "SELECT rowid FROM t WHERE val BETWEEN ? AND ?", (100.0, 140.0)
+        )
+    )
+    assert len(result) > 0
+    _record("value_range", mode, benchmark)
+
+
+@pytest.mark.parametrize("mode", ["indexed", "seq"])
+def test_group_count_aggregate(benchmark, mode, indexed_db, seq_db):
+    db = indexed_db if mode == "indexed" else seq_db
+    count = benchmark(
+        lambda: db.execute(
+            "SELECT COUNT(*) FROM t WHERE cat = ?", ("c3",)
+        ).scalar()
+    )
+    assert count == N_ROWS // N_CATEGORIES
+    _record("count_aggregate", mode, benchmark)
+
+
+def test_plans_confirm_access_paths(indexed_db, seq_db):
+    assert "IndexEqScan" in indexed_db.explain(
+        "SELECT rowid FROM t WHERE cat = 'c7'")
+    assert "IndexRangeScan" in indexed_db.explain(
+        "SELECT rowid FROM t WHERE val > 10")
+    assert "SeqScan" in seq_db.explain("SELECT rowid FROM t WHERE cat = 'c7'")

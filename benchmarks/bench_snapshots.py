@@ -1,0 +1,83 @@
+"""A3 — ablation: differential snapshots vs. full copies (§6.3).
+
+"We are developing an efficient storage layer based on differential
+snapshots, avoiding the overhead of storing full copies after each repair."
+This benchmark runs the interactive workload under both storage policies
+and compares bytes stored and time spent snapshotting.
+
+Shape to reproduce: differential storage is orders of magnitude smaller for
+point repairs, with the gap growing with dataset size.
+"""
+
+import pytest
+
+from repro._util import Stopwatch
+from repro.bench import REMOVAL, print_generic, run_workload
+from repro.bench.workload import candidate_rows, removal_plan
+from repro.snapshots import FullCopyStore
+
+from benchmarks.conftest import make_session
+
+N_OPS = 15
+
+_RESULTS: dict = {}
+
+
+def _differential(session) -> tuple[int, float]:
+    with Stopwatch() as sw:
+        run_workload(session, REMOVAL, n_ops=N_OPS, seed=9)
+    return session.snapshot_store.total_bytes(), sw.elapsed
+
+
+def _full_copy(session) -> tuple[int, float]:
+    store = FullCopyStore()
+    rows = candidate_rows(session, N_OPS, seed=9)
+    with Stopwatch() as sw:
+        for row_id in rows:
+            session.apply(removal_plan(row_id))
+            snapshot = {
+                rid: session.backend.row(rid)
+                for rid in session.backend.all_row_ids()
+            }
+            store.record_state(snapshot)
+    return store.total_bytes(), sw.elapsed
+
+
+@pytest.mark.parametrize("policy", ["differential", "full_copy"])
+def test_snapshot_storage_policy(benchmark, policy):
+    def setup():
+        return (make_session("stackoverflow", "sql"),), {}
+
+    runner = _differential if policy == "differential" else _full_copy
+    stored_bytes, seconds = benchmark.pedantic(
+        runner, setup=setup, rounds=1, iterations=1,
+    )
+    _RESULTS[policy] = (stored_bytes, seconds)
+    if len(_RESULTS) == 2:
+        diff_bytes, diff_seconds = _RESULTS["differential"]
+        full_bytes, full_seconds = _RESULTS["full_copy"]
+        print_generic(
+            f"A3 — snapshot storage for {N_OPS} repairs",
+            ["Policy", "Bytes stored", "Snapshot seconds"],
+            [
+                ["differential", diff_bytes, f"{diff_seconds:.3f}"],
+                ["full copies", full_bytes, f"{full_seconds:.3f}"],
+                ["ratio", f"{full_bytes / max(diff_bytes, 1):.0f}x", "-"],
+            ],
+        )
+        assert diff_bytes * 50 < full_bytes, (
+            "differential snapshots must be far smaller than full copies"
+        )
+
+
+def test_snapshot_compaction(benchmark):
+    """Compaction merges the undo-horizon prefix without losing state."""
+    session = make_session("stackoverflow", "sql")
+    run_workload(session, REMOVAL, n_ops=10, seed=9)
+    store = session.snapshot_store
+    before_bytes = store.total_bytes()
+    cumulative_before = store.cumulative().row_ids()
+
+    removed = benchmark(lambda: store.compact(keep_last=2))
+    assert store.cumulative().row_ids() == cumulative_before
+    assert store.total_bytes() <= before_bytes

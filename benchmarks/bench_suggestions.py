@@ -1,0 +1,43 @@
+"""E5 — Figure 3's loop: select a group, rank suggestions, build previews.
+
+Measures the latency of the repair-kit sidebar (speculative scoring of
+every applicable wrangler) and of a single live chart preview, for the most
+anomalous group of each dataset.
+"""
+
+import pytest
+
+from repro.bench import print_generic
+
+from benchmarks.conftest import DATASET_LABELS, make_session
+
+_ROWS: list = []
+
+
+@pytest.mark.parametrize("dataset", list(DATASET_LABELS))
+def test_suggestion_ranking_latency(benchmark, dataset):
+    """Ranked, speculative-scored suggestions for the worst group."""
+    session = make_session(dataset, "sql")
+    worst = session.anomaly_summary().groups[0].key
+
+    suggestions = benchmark(lambda: session.suggest(worst))
+    assert suggestions
+    assert suggestions[0].score >= suggestions[-1].score
+
+
+@pytest.mark.parametrize("dataset", list(DATASET_LABELS))
+def test_preview_latency(benchmark, dataset):
+    """One before/after chart preview (Figure 3 B)."""
+    session = make_session(dataset, "sql")
+    worst = session.anomaly_summary().groups[0].key
+    suggestion = session.suggest(worst, limit=1, score_plans=False)[0]
+
+    preview = benchmark(lambda: session.preview(suggestion))
+    assert preview.before.categories
+    assert preview.after.categories
+    _ROWS.append([DATASET_LABELS[dataset], len(preview.before.categories)])
+    if len(_ROWS) == len(DATASET_LABELS):
+        print_generic(
+            "Figure 3 previews — categories rendered per preview",
+            ["Dataset", "Categories"], _ROWS,
+        )

@@ -1,0 +1,78 @@
+"""E1 — Table 1: runtime of wrangling operations, SQL vs frame backend.
+
+Paper (MacBook M4, full-size datasets, 50 front-end wrangling operations):
+
+    Dataset        Postgres(removal) Postgres(impute) Pandas(removal) Pandas(impute)
+    StackOverflow  0.18 sec          0.16 sec         1.69 sec        1.27 sec
+    Adult Income   0.15 sec          0.13 sec         1.40 sec        1.17 sec
+    Chicago Crime  0.71 sec          0.68 sec         5.87 sec        5.29 sec
+
+Shape to reproduce: the SQL backend beats the frame backend on every
+dataset and both op types.  Each measured run is one full 50-op workload
+(mutation + localized re-detection + incremental re-plot per op).
+"""
+
+import pytest
+
+from repro.bench import IMPUTE, REMOVAL, print_table1, run_workload
+
+from benchmarks.conftest import DATASET_LABELS, make_session
+
+N_OPS = 50
+
+_RESULTS: dict = {}
+
+
+def _run(dataset: str, backend: str, op_kind: str, benchmark) -> None:
+    def setup():
+        session = make_session(dataset, backend)
+        return (session,), {}
+
+    def workload(session):
+        return run_workload(session, op_kind, n_ops=N_OPS, seed=17)
+
+    result = benchmark.pedantic(workload, setup=setup, rounds=1, iterations=1)
+    _RESULTS[(dataset, backend, op_kind)] = result.total_seconds
+    _maybe_print()
+
+
+def _maybe_print() -> None:
+    datasets = list(DATASET_LABELS)
+    cells_needed = [
+        (d, b, o) for d in datasets for b in ("sql", "frame")
+        for o in (REMOVAL, IMPUTE)
+    ]
+    if not all(cell in _RESULTS for cell in cells_needed):
+        return
+    rows = [
+        {
+            "dataset": DATASET_LABELS[d],
+            "sql_removal": _RESULTS[(d, "sql", REMOVAL)],
+            "sql_impute": _RESULTS[(d, "sql", IMPUTE)],
+            "frame_removal": _RESULTS[(d, "frame", REMOVAL)],
+            "frame_impute": _RESULTS[(d, "frame", IMPUTE)],
+        }
+        for d in datasets
+    ]
+    print_table1(rows)
+    for row in rows:
+        assert row["sql_removal"] < row["frame_removal"], (
+            f"{row['dataset']}: SQL removal must beat frame removal"
+        )
+        assert row["sql_impute"] < row["frame_impute"], (
+            f"{row['dataset']}: SQL impute must beat frame impute"
+        )
+
+
+@pytest.mark.parametrize("dataset", list(DATASET_LABELS))
+@pytest.mark.parametrize("backend", ["sql", "frame"])
+def test_table1_removal(benchmark, dataset, backend):
+    """50 single-row removals through the full interactive path."""
+    _run(dataset, backend, REMOVAL, benchmark)
+
+
+@pytest.mark.parametrize("dataset", list(DATASET_LABELS))
+@pytest.mark.parametrize("backend", ["sql", "frame"])
+def test_table1_impute(benchmark, dataset, backend):
+    """50 replace-by-column-average imputations through the full path."""
+    _run(dataset, backend, IMPUTE, benchmark)

@@ -1,0 +1,64 @@
+"""The client/server split: driving Buckaroo through the JSON protocol.
+
+Everything the browser frontend would do — open the summary, select a group,
+fetch ranked suggestions, apply one, undo — expressed as JSON request/response
+round-trips against the in-process server (§2, Fig 2).
+
+Run:  python examples/frontend_backend_protocol.py
+"""
+
+import json
+
+from repro import BuckarooSession, load_dataset
+from repro.ui import BuckarooApp, BuckarooServer
+from repro.ui.protocol import encode_group_key
+
+frame, _truth = load_dataset("stackoverflow", scale=0.01)
+session = BuckarooSession.from_frame(frame, backend="sql")
+app = BuckarooApp(session)  # auto-generates groups and detects
+server = BuckarooServer(app)
+
+
+def call(message: dict) -> dict:
+    """One frontend->backend round trip."""
+    request = json.dumps(message)
+    response = json.loads(server.handle_request(request))
+    status = "ok" if response["ok"] else f"ERROR: {response['error']['message']}"
+    print(f">>> {message['type']}  ->  {status}")
+    return response
+
+
+# the frontend opens the anomaly summary panel
+summary = call({"type": "summary", "limit": 3})
+for line in summary["payload"]:
+    print(f"    {line}")
+
+# the user clicks the worst group's mark in the chart matrix
+worst = session.anomaly_summary().groups[0].key
+call({"type": "select_group", "key": encode_group_key(worst)})
+
+# the repair kit sidebar loads ranked suggestions
+suggestions = call({
+    "type": "request_suggestions", "key": encode_group_key(worst), "limit": 3,
+})
+for entry in suggestions["payload"]:
+    print(f"    #{entry['rank']} {entry['wrangler']}: score {entry['score']:+.1f}")
+
+# apply the top suggestion; the response carries latency + affected charts
+applied = call({"type": "apply_repair", "rank": 1})
+payload = applied["payload"]
+print(f"    {payload['rows_affected']} rows changed, "
+      f"{len(payload['affected_groups'])} groups re-detected, "
+      f"backend {payload['backend_seconds'] * 1000:.1f} ms + "
+      f"replot {payload['replot_seconds'] * 1000:.1f} ms")
+
+# second thoughts
+call({"type": "undo"})
+
+# malformed requests come back as structured errors, never exceptions
+call({"type": "apply_repair", "rank": 99})
+
+# finally, download the script
+script = call({"type": "export_script", "target": "python"})
+print(f"\nexported script: {len(script['payload'].splitlines())} lines")
+print(f"requests served: {server.requests_served}")

@@ -1,0 +1,47 @@
+"""Quickstart: detect, repair, undo, and export — in ten lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BuckarooSession, load_dataset
+
+# 1. load a (synthetic) StackOverflow survey with injected dirty data
+frame, ground_truth = load_dataset("stackoverflow", scale=0.02)
+print(f"loaded {frame.n_rows} rows x {frame.n_cols} cols "
+      f"({ground_truth.total()} injected errors)")
+
+# 2. upload into a session backed by the embedded SQL engine
+session = BuckarooSession.from_frame(frame, backend="sql")
+session.generate_groups(
+    cat_cols=["country", "ed_level", "remote_work"],
+    num_cols=["converted_comp_yearly", "years_code"],
+)
+
+# 3. detect anomalies in every group
+summary = session.detect()
+print(f"\nfound {summary.total} anomalies across {len(session.groups())} groups")
+for error_type in summary.error_types:
+    print(f"  {error_type.label}: {error_type.count}")
+
+# 4. inspect the most anomalous group and its ranked repair suggestions
+worst = summary.groups[0]
+print(f"\nworst group: {worst.key.describe()} ({worst.count} anomalies)")
+suggestions = session.suggest(worst.key, limit=3)
+for suggestion in suggestions:
+    print(f"  {suggestion.rank}. {suggestion.label}"
+          f"  [resolves {suggestion.resolved},"
+          f" side effects {suggestion.introduced}]")
+
+# 5. preview, apply, and (because we can) undo + redo
+preview = session.preview(suggestions[0])
+print(f"\npreview: {preview.describe()}")
+result = session.apply(suggestions[0])
+print(f"applied in {result.total_seconds * 1000:.1f} ms "
+      f"({len(result.affected_groups)} groups re-checked)")
+session.undo()
+session.redo()
+
+# 6. export the pipeline as an executable Python script
+script = session.export_script("python")
+print("\n--- exported script " + "-" * 40)
+print(script)

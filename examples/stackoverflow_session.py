@@ -1,0 +1,69 @@
+"""Figure 1's narrative, replayed against the real system.
+
+Lou explores income anomalies in the StackOverflow data:
+
+1. "This data has a lot of issues!  I'll start by removing the outliers
+   because they seem to be driving a lot of the oddities."
+2. "Hmm, it looks like removing outliers removes too many points, I'll undo
+   and use imputation instead."
+3. "That's closer to what I wanted!  Now to look at some other dimensions
+   of this data."
+
+Run:  python examples/stackoverflow_session.py
+"""
+
+from repro import BuckarooSession, load_dataset
+from repro.charts import render_text
+from repro.core.types import ERROR_OUTLIER
+from repro.ui import BuckarooApp, events
+
+frame, _truth = load_dataset("stackoverflow", scale=0.02)
+session = BuckarooSession.from_frame(frame, backend="sql")
+session.generate_groups(
+    cat_cols=["country", "ed_level"],
+    num_cols=["converted_comp_yearly", "years_code"],
+)
+session.detect()
+app = BuckarooApp(session)
+
+print(app.summary_text(group_limit=5))
+print()
+print(app.chart_text("country", "converted_comp_yearly"))
+
+# -- step 1: remove the outliers from the worst group ------------------------
+worst = session.anomaly_summary().groups[0].key
+rows_before = session.backend.row_count()
+suggestions = app.handle(
+    events.RequestSuggestions(worst, error_code=ERROR_OUTLIER)
+)
+deletion_rank = next(
+    s.rank for s in suggestions if s.plan.wrangler_code == "delete_rows"
+)
+result = app.handle(events.ApplyRepair(deletion_rank))
+print(f"\n[1] removed outliers: {result.rows_affected} rows gone "
+      f"({rows_before} -> {session.backend.row_count()})")
+
+# -- step 2: that deleted too much; undo and impute instead -------------------
+app.handle(events.Undo())
+print(f"[2] undo: back to {session.backend.row_count()} rows")
+
+suggestions = app.handle(
+    events.RequestSuggestions(worst, error_code=ERROR_OUTLIER)
+)
+impute_rank = next(
+    s.rank for s in suggestions if s.plan.wrangler_code.startswith("impute")
+)
+preview = app.handle(events.PreviewRepair(impute_rank))
+print(f"    preview: {preview.describe()}")
+result = app.handle(events.ApplyRepair(impute_rank))
+print(f"    imputed: {result.resolved} anomalies resolved, "
+      f"{session.backend.row_count()} rows intact")
+
+# -- step 3: look at another dimension of the data ----------------------------
+print()
+print(app.chart_text("ed_level", "converted_comp_yearly"))
+print()
+print(app.summary_text(group_limit=3))
+
+print("\nfull pipeline so far:")
+print(app.handle(events.ExportScript()))

@@ -1,0 +1,74 @@
+"""Predictive interaction: demonstrate a repair, let Buckaroo generalize it.
+
+Buckaroo descends from Wrangler's predictive-interaction paradigm (§5.2).
+Here the user fixes *one* dirty cell by hand — typing ``12000`` over a
+``"12k"`` type mismatch — and the system infers which wrangler generalizes
+the demonstration to every similar error in the group, then writes an HTML
+session report.
+
+Run:  python examples/transform_inference.py
+"""
+
+from pathlib import Path
+
+from repro import BuckarooSession, load_dataset
+from repro.core.inference import DELETE_ROW, CellEdit, TransformInference
+from repro.core.types import ERROR_TYPE_MISMATCH
+from repro.ui.report import html_report
+
+frame, _truth = load_dataset("stackoverflow", scale=0.02)
+session = BuckarooSession.from_frame(frame, backend="sql")
+session.generate_groups(
+    cat_cols=["country", "ed_level"],
+    num_cols=["converted_comp_yearly", "years_code"],
+)
+session.detect()
+
+# find one type-mismatch cell in the income column to demonstrate on
+mismatch = next(
+    a for a in session.anomalies()
+    if a.error_code == ERROR_TYPE_MISMATCH
+    and a.column == "converted_comp_yearly"
+)
+raw = session.backend.values(mismatch.column, [mismatch.row_id])[0]
+print(f"user edits row {mismatch.row_id}: {raw!r} -> typed value")
+
+# the demonstration: the user types the parsed number over the dirty text
+from repro.frame.parsing import coerce_to_number
+
+typed = coerce_to_number(raw)
+inference = TransformInference(session)
+candidates = inference.infer(
+    [CellEdit(mismatch.row_id, mismatch.column, typed)],
+    group_key=mismatch.group,
+)
+
+print("\ninferred generalizations:")
+for result in candidates[:4]:
+    flag = "consistent" if result.consistent else "inconsistent"
+    print(f"  #{result.suggestion.rank} {result.plan.wrangler_code:<16} "
+          f"[{flag}, generalizes to {result.generality} rows]")
+
+best = candidates[0]
+assert best.consistent
+applied = session.apply(best.suggestion)
+print(f"\napplied {best.plan.wrangler_code!r}: resolved {applied.resolved} "
+      f"anomalies from one demonstrated edit")
+
+# a deletion demonstration works the same way
+outlier = next(
+    (a for a in session.anomalies() if a.error_code == "outlier"), None,
+)
+if outlier is not None:
+    candidates = inference.infer(
+        [CellEdit(outlier.row_id, outlier.column, DELETE_ROW)],
+        group_key=outlier.group,
+    )
+    best = next(r for r in candidates if r.consistent)
+    print(f"deletion demo generalizes to: {best.plan.description}")
+
+# export the session as a self-contained HTML report
+report_path = Path("buckaroo_report.html")
+report_path.write_text(html_report(session, title="Inference session"))
+print(f"\nwrote {report_path} ({report_path.stat().st_size} bytes)")
+report_path.unlink()  # keep the example side-effect free

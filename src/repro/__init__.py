@@ -1,0 +1,62 @@
+"""Buckaroo — scalable visual data wrangling via direct manipulation.
+
+A complete from-scratch reproduction of the CIDR 2026 paper (Rezig et al.),
+including every substrate: an embedded SQL engine (:mod:`repro.minidb`), a
+columnar dataframe library (:mod:`repro.frame`), the wrangling core
+(:mod:`repro.core`), anomaly-centric sampling (:mod:`repro.sampling`),
+multi-layer pan/zoom navigation (:mod:`repro.zoom`), headless charts and UI
+(:mod:`repro.charts`, :mod:`repro.ui`), differential snapshots
+(:mod:`repro.snapshots`), script generation (:mod:`repro.codegen`), and the
+paper's datasets (:mod:`repro.datasets`).
+
+Quickstart::
+
+    from repro import BuckarooSession, load_dataset
+
+    frame, truth = load_dataset("stackoverflow", scale=0.01)
+    session = BuckarooSession.from_frame(frame, backend="sql")
+    session.generate_groups()
+    summary = session.detect()
+    worst = summary.groups[0].key
+    best_fix = session.suggest(worst)[0]
+    session.apply(best_fix)
+    print(session.export_script())
+"""
+
+from repro.config import BuckarooConfig
+from repro.core.session import BuckarooSession
+from repro.core.types import (
+    Anomaly,
+    ApplyResult,
+    ErrorType,
+    Group,
+    GroupKey,
+    RepairPlan,
+    RepairSuggestion,
+)
+from repro.datasets import load_dataset
+from repro.errors import ReproError
+from repro.frame import Column, DataFrame, read_csv, write_csv
+from repro.minidb import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Anomaly",
+    "ApplyResult",
+    "BuckarooConfig",
+    "BuckarooSession",
+    "Column",
+    "DataFrame",
+    "Database",
+    "ErrorType",
+    "Group",
+    "GroupKey",
+    "RepairPlan",
+    "RepairSuggestion",
+    "ReproError",
+    "load_dataset",
+    "read_csv",
+    "write_csv",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""Small shared helpers (internal)."""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, Sequence
+
+
+def chunked(items: Sequence, size: int) -> Iterator[Sequence]:
+    """Yield successive slices of ``items`` with at most ``size`` elements.
+
+    >>> list(chunked([1, 2, 3, 4, 5], 2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if size < 1:
+        raise ValueError("chunk size must be at least 1")
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a plain-text table with aligned columns.
+
+    Used by the benchmark harness to print paper-style result tables.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in str_rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock time in seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     pass
+    >>> sw.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,23 @@
+"""``repro.backends`` — the two storage backends Table 1 compares.
+
+:class:`SQLBackend` runs detectors as SQL with indexed, localized access
+(the Postgres path); :class:`FrameBackend` recomputes over whole columns
+(the Pandas path).  Both implement the same :class:`Backend` protocol, so a
+:class:`~repro.core.session.BuckarooSession` is backend-agnostic.
+"""
+
+from repro.backends.base import Backend
+from repro.backends.frame_backend import FrameBackend
+from repro.backends.sql_backend import SQLBackend
+
+
+def make_backend(frame, kind: str = "sql") -> Backend:
+    """Build a backend of ``kind`` ('sql' or 'frame') from a DataFrame."""
+    if kind == "sql":
+        return SQLBackend.from_frame(frame)
+    if kind == "frame":
+        return FrameBackend.from_frame(frame)
+    raise ValueError(f"unknown backend kind {kind!r}; expected 'sql' or 'frame'")
+
+
+__all__ = ["Backend", "FrameBackend", "SQLBackend", "make_backend"]

@@ -1,0 +1,312 @@
+"""The backend cache (§3.2): incrementally maintained group statistics.
+
+"Following previous architectures, Buckaroo maintains a backend cache.
+When a data group is modified, only the affected rows in the backend cache
+are updated."  This module implements that cache for the SQL backend:
+
+* per numeric chart attribute — count/sum/sum-of-squares (hence mean and
+  std) globally and per category of every categorical chart attribute;
+* the set of rows with NULL in each numeric attribute (missing values);
+* the set of rows with text in each numeric attribute (type mismatches).
+
+Every table mutation updates the cache in O(changed cells); detector and
+re-plot queries that would otherwise scan a group become O(1) or
+O(answer).  The frame backend deliberately has no such cache — it
+recomputes from the full column, which is the cost asymmetry Table 1
+measures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.types import Stats
+from repro.minidb.hash_index import normalize_key
+from repro.minidb.storage import Table
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class _Moments:
+    """Incrementally maintained count/sum/sum-of-squares."""
+
+    __slots__ = ("n", "total", "sumsq")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.sumsq = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        self.sumsq += value * value
+
+    def remove(self, value: float) -> None:
+        self.n -= 1
+        self.total -= value
+        self.sumsq -= value * value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.n if self.n else None
+
+    @property
+    def std(self) -> float | None:
+        if not self.n:
+            return None
+        variance = max(self.sumsq / self.n - (self.total / self.n) ** 2, 0.0)
+        return math.sqrt(variance)
+
+
+class _NumericCache:
+    """All cached state for one tracked numeric column."""
+
+    __slots__ = ("position", "missing", "text", "global_moments",
+                 "per_cat", "min", "max", "range_dirty")
+
+    def __init__(self, position: int):
+        self.position = position
+        self.missing: set[int] = set()
+        self.text: set[int] = set()
+        self.global_moments = _Moments()
+        self.per_cat: dict[str, dict] = {}   # cat_col -> {category: _Moments}
+        self.min: float | None = None
+        self.max: float | None = None
+        self.range_dirty = False
+
+
+class GroupStatsCache:
+    """Incremental statistics over the chart attributes of one table."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._numeric: dict[str, _NumericCache] = {}
+        self._cat_positions: dict[str, int] = {}
+        table.observers.append(self._on_change)
+
+    # -- registration ------------------------------------------------------------
+
+    def track(self, cat_cols: list[str], num_cols: list[str]) -> None:
+        """Start (or extend) tracking; builds the cache in one table scan."""
+        new_cats = [c for c in cat_cols if c not in self._cat_positions]
+        new_nums = [c for c in num_cols if c not in self._numeric]
+        for cat in new_cats:
+            self._cat_positions[cat] = self.table.schema.position(cat)
+        for num in new_nums:
+            self._numeric[num] = _NumericCache(self.table.schema.position(num))
+        # existing numeric caches need buckets for newly tracked categories
+        rebuild_cats = new_cats if self._numeric else []
+        if not new_nums and not rebuild_cats:
+            return
+        for num, cache in self._numeric.items():
+            targets = (
+                list(self._cat_positions) if num in new_nums else rebuild_cats
+            )
+            for cat in targets:
+                cache.per_cat.setdefault(cat, {})
+        for rowid, row in self.table.scan():
+            for num, cache in self._numeric.items():
+                fresh_nums = num in new_nums
+                value = row[cache.position]
+                if fresh_nums:
+                    self._add_value(cache, rowid, row, value,
+                                    cats=list(self._cat_positions))
+                else:
+                    # only fill the new categorical buckets
+                    if _is_numeric(value):
+                        self._add_to_buckets(cache, row, float(value),
+                                             cats=rebuild_cats)
+
+    def tracks_numeric(self, num_col: str) -> bool:
+        return num_col in self._numeric
+
+    def tracks_pair(self, num_col: str, cat_col: str | None) -> bool:
+        if num_col not in self._numeric:
+            return False
+        return cat_col is None or cat_col in self._cat_positions
+
+    # -- queries -------------------------------------------------------------------
+
+    def stats(self, num_col: str, cat_col: str | None = None,
+              category=None) -> Stats:
+        """Cached statistics (min/max only available at global scope)."""
+        cache = self._numeric[num_col]
+        if cat_col is None:
+            moments = cache.global_moments
+            low, high = self._range_of(num_col, cache)
+            return Stats(moments.n, moments.mean, moments.std, low, high)
+        bucket = cache.per_cat[cat_col].get(self._cat_key(category))
+        if bucket is None or not bucket.n:
+            return Stats(0, None, None, None, None)
+        return Stats(bucket.n, bucket.mean, bucket.std, None, None)
+
+    def missing_rows(self, num_col: str) -> set[int]:
+        """Rows whose tracked column is NULL (live view — do not mutate)."""
+        return self._numeric[num_col].missing
+
+    def text_rows(self, num_col: str) -> set[int]:
+        """Rows whose tracked column holds text (type mismatches)."""
+        return self._numeric[num_col].text
+
+    def _range_of(self, num_col: str, cache: _NumericCache):
+        if not cache.global_moments.n:
+            return None, None
+        if cache.range_dirty:
+            cache.min, cache.max = self._recompute_range(num_col, cache)
+            cache.range_dirty = False
+        return cache.min, cache.max
+
+    def _recompute_range(self, num_col: str, cache: _NumericCache):
+        for index in self.table.indexes_on(num_col):
+            if index.kind == "btree":
+                return index.numeric_min(), index.numeric_max()
+        low = high = None
+        for row in self.table.rows.values():
+            value = row[cache.position]
+            if _is_numeric(value):
+                value = float(value)
+                low = value if low is None else min(low, value)
+                high = value if high is None else max(high, value)
+        return low, high
+
+    # -- maintenance -------------------------------------------------------------
+
+    def _cat_key(self, category):
+        return normalize_key(category) if category is not None else None
+
+    def _on_change(self, event: tuple) -> None:
+        kind = event[0]
+        if kind == "insert":
+            _, _, rowid, values = event
+            for cache in self._numeric.values():
+                self._add_value(cache, rowid, values, values[cache.position],
+                                cats=list(self._cat_positions))
+        elif kind == "delete":
+            _, _, rowid, values = event
+            for cache in self._numeric.values():
+                self._remove_value(cache, rowid, values, values[cache.position],
+                                   cats=list(self._cat_positions))
+        else:  # update
+            _, _, rowid, old, new = event
+            self._on_update(rowid, old, new)
+
+    def _on_update(self, rowid: int, old: dict, new: dict) -> None:
+        row = self.table.rows[rowid]  # post-update state
+
+        def cat_value_before(cat: str):
+            position = self._cat_positions[cat]
+            return old[position] if position in old else row[position]
+
+        changed_positions = set(new)
+        # numeric columns whose value changed
+        for num, cache in self._numeric.items():
+            if cache.position not in changed_positions:
+                continue
+            old_value = old[cache.position]
+            new_value = new[cache.position]
+            old_cats = {cat: cat_value_before(cat) for cat in self._cat_positions}
+            self._remove_with_cats(cache, rowid, old_value, old_cats)
+            new_cats = {
+                cat: row[self._cat_positions[cat]] for cat in self._cat_positions
+            }
+            self._add_with_cats(cache, rowid, new_value, new_cats)
+        # categorical columns whose value changed move every *unchanged*
+        # numeric value between buckets
+        for cat, position in self._cat_positions.items():
+            if position not in changed_positions:
+                continue
+            old_category = self._cat_key(old[position])
+            new_category = self._cat_key(new[position])
+            if old_category == new_category:
+                continue
+            for num, cache in self._numeric.items():
+                if cache.position in changed_positions:
+                    continue  # already rebucketed above
+                value = row[cache.position]
+                if not _is_numeric(value):
+                    continue
+                value = float(value)
+                buckets = cache.per_cat[cat]
+                source = buckets.get(old_category)
+                if source is not None:
+                    source.remove(value)
+                buckets.setdefault(new_category, _Moments()).add(value)
+
+    def _add_value(self, cache: _NumericCache, rowid: int, row, value,
+                   cats: list[str]) -> None:
+        if value is None:
+            cache.missing.add(rowid)
+            return
+        if not _is_numeric(value):
+            cache.text.add(rowid)
+            return
+        value = float(value)
+        cache.global_moments.add(value)
+        if cache.min is None or value < cache.min:
+            cache.min = value
+        if cache.max is None or value > cache.max:
+            cache.max = value
+        self._add_to_buckets(cache, row, value, cats)
+
+    def _add_to_buckets(self, cache: _NumericCache, row, value: float,
+                        cats: list[str]) -> None:
+        for cat in cats:
+            category = self._cat_key(row[self._cat_positions[cat]])
+            cache.per_cat[cat].setdefault(category, _Moments()).add(value)
+
+    def _remove_value(self, cache: _NumericCache, rowid: int, row, value,
+                      cats: list[str]) -> None:
+        if value is None:
+            cache.missing.discard(rowid)
+            return
+        if not _is_numeric(value):
+            cache.text.discard(rowid)
+            return
+        value = float(value)
+        cache.global_moments.remove(value)
+        if value == cache.min or value == cache.max:
+            cache.range_dirty = True
+        for cat in cats:
+            category = self._cat_key(row[self._cat_positions[cat]])
+            bucket = cache.per_cat[cat].get(category)
+            if bucket is not None:
+                bucket.remove(value)
+
+    def _add_with_cats(self, cache: _NumericCache, rowid: int, value,
+                       cat_values: dict) -> None:
+        if value is None:
+            cache.missing.add(rowid)
+            return
+        if not _is_numeric(value):
+            cache.text.add(rowid)
+            return
+        value = float(value)
+        cache.global_moments.add(value)
+        if cache.min is None or value < cache.min:
+            cache.min = value
+        if cache.max is None or value > cache.max:
+            cache.max = value
+        for cat, raw in cat_values.items():
+            category = self._cat_key(raw)
+            cache.per_cat[cat].setdefault(category, _Moments()).add(value)
+
+    def _remove_with_cats(self, cache: _NumericCache, rowid: int, value,
+                          cat_values: dict) -> None:
+        if value is None:
+            cache.missing.discard(rowid)
+            return
+        if not _is_numeric(value):
+            cache.text.discard(rowid)
+            return
+        value = float(value)
+        cache.global_moments.remove(value)
+        if value == cache.min or value == cache.max:
+            cache.range_dirty = True
+        for cat, raw in cat_values.items():
+            category = self._cat_key(raw)
+            bucket = cache.per_cat[cat].get(category)
+            if bucket is not None:
+                bucket.remove(value)

@@ -1,0 +1,31 @@
+"""``repro.bench`` — the evaluation harness (§6.2).
+
+Workload generation (50 front-end wrangling operations), timing summaries,
+and paper-style table printers used by the ``benchmarks/`` suite.
+"""
+
+from repro.bench.report import print_generic, print_hopara, print_table1
+from repro.bench.timing import TimingSummary
+from repro.bench.workload import (
+    IMPUTE,
+    REMOVAL,
+    WorkloadResult,
+    candidate_rows,
+    impute_plan,
+    removal_plan,
+    run_workload,
+)
+
+__all__ = [
+    "IMPUTE",
+    "REMOVAL",
+    "TimingSummary",
+    "WorkloadResult",
+    "candidate_rows",
+    "impute_plan",
+    "print_generic",
+    "print_hopara",
+    "print_table1",
+    "removal_plan",
+    "run_workload",
+]

@@ -1,0 +1,62 @@
+"""Paper-style result tables.
+
+Prints the same rows the paper reports so EXPERIMENTS.md can place measured
+numbers next to published ones.
+"""
+
+from __future__ import annotations
+
+from repro._util import format_table
+
+
+def print_table1(rows: list[dict]) -> str:
+    """Render Table 1: dataset x backend x op runtimes (seconds).
+
+    ``rows`` entries: {dataset, sql_removal, sql_impute, frame_removal,
+    frame_impute} — seconds per whole 50-op workload, matching the paper's
+    unit.
+    """
+    header = [
+        "Dataset", "SQL (removal)", "SQL (impute)",
+        "Frame (removal)", "Frame (impute)",
+    ]
+    body = [
+        [
+            row["dataset"],
+            f"{row['sql_removal']:.2f} sec",
+            f"{row['sql_impute']:.2f} sec",
+            f"{row['frame_removal']:.2f} sec",
+            f"{row['frame_impute']:.2f} sec",
+        ]
+        for row in rows
+    ]
+    table = format_table(header, body)
+    print("\nTable 1 — runtime of 50 wrangling operations (backend + replot)")
+    print(table)
+    return table
+
+
+def print_hopara(rows: list[dict]) -> str:
+    """Render the §6.2 Hopara evaluation rows (mean removal latency)."""
+    header = ["Dataset", "Interactions", "Mean latency", "P95 latency"]
+    body = [
+        [
+            row["dataset"],
+            str(row["n"]),
+            f"{row['mean_ms']:.2f} ms",
+            f"{row['p95_ms']:.2f} ms",
+        ]
+        for row in rows
+    ]
+    table = format_table(header, body)
+    print("\nHopara evaluation — drill-down row removal latency")
+    print(table)
+    return table
+
+
+def print_generic(title: str, headers: list[str], body: list[list]) -> str:
+    """Render any ablation table."""
+    table = format_table(headers, body)
+    print(f"\n{title}")
+    print(table)
+    return table

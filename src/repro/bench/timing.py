@@ -1,0 +1,41 @@
+"""Timing summaries for benchmark reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Mean / median / p95 / total over a list of second-counts."""
+
+    n: int
+    mean: float
+    median: float
+    p95: float
+    total: float
+
+    @classmethod
+    def of(cls, seconds: list[float]) -> "TimingSummary":
+        if not seconds:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        array = np.asarray(seconds, dtype=np.float64)
+        return cls(
+            n=len(seconds),
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            p95=float(np.percentile(array, 95)),
+            total=float(array.sum()),
+        )
+
+    def as_ms(self) -> dict:
+        """The summary in milliseconds (for paper-style reporting)."""
+        return {
+            "n": self.n,
+            "mean_ms": self.mean * 1000,
+            "median_ms": self.median * 1000,
+            "p95_ms": self.p95 * 1000,
+            "total_ms": self.total * 1000,
+        }

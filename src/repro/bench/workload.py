@@ -1,0 +1,118 @@
+"""The §6.2 workload: 50 front-end wrangling operations.
+
+"Each experiment simulates a workload of 50 front-end wrangling operations,
+measuring backend processing time and frontend re-plotting latency."  Two
+operation types match the paper's Table 1 columns:
+
+* **removal** — "remove a data point": delete one (preferably anomalous) row;
+* **impute** — "replace value by average of column": write the column mean
+  into one cell.
+
+Each operation flows through the full session apply path — mutation,
+localized re-detection, chart re-plot — exactly what an interactive click
+costs end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.session import BuckarooSession
+from repro.core.types import (
+    OP_DELETE_ROWS,
+    OP_SET_CELLS,
+    ApplyResult,
+    PlanOp,
+    RepairPlan,
+)
+
+REMOVAL = "removal"
+IMPUTE = "impute"
+
+
+@dataclass
+class WorkloadResult:
+    """Timings from one workload run."""
+
+    op_kind: str
+    backend_seconds: list = field(default_factory=list)
+    replot_seconds: list = field(default_factory=list)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.backend_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.backend_seconds) + sum(self.replot_seconds)
+
+    @property
+    def mean_backend(self) -> float:
+        return float(np.mean(self.backend_seconds)) if self.backend_seconds else 0.0
+
+    @property
+    def mean_replot(self) -> float:
+        return float(np.mean(self.replot_seconds)) if self.replot_seconds else 0.0
+
+    @property
+    def mean_total(self) -> float:
+        return self.mean_backend + self.mean_replot
+
+
+def candidate_rows(session: BuckarooSession, n_ops: int, seed: int) -> list[int]:
+    """Rows to operate on: anomalous rows first, random rows as filler."""
+    rng = np.random.default_rng(seed)
+    anomalous = sorted(session.engine.index.rows_with_errors())
+    rng.shuffle(anomalous)
+    chosen = anomalous[:n_ops]
+    if len(chosen) < n_ops:
+        pool = [r for r in session.backend.all_row_ids() if r not in set(chosen)]
+        extra = rng.choice(len(pool), size=n_ops - len(chosen), replace=False)
+        chosen.extend(pool[i] for i in extra)
+    return chosen[:n_ops]
+
+
+def removal_plan(row_id: int) -> RepairPlan:
+    """A single-row removal (the paper's 'remove a data point')."""
+    return RepairPlan(
+        wrangler_code="workload_removal",
+        group_key=None,
+        error_code=None,
+        ops=[PlanOp(OP_DELETE_ROWS, (row_id,))],
+        description=f"workload: remove row {row_id}",
+    )
+
+
+def impute_plan(session: BuckarooSession, column: str, row_id: int) -> RepairPlan:
+    """A single-cell imputation with the current column average."""
+    mean = session.backend.numeric_stats(column).mean
+    value = round(mean, 6) if mean is not None else 0.0
+    return RepairPlan(
+        wrangler_code="workload_impute",
+        group_key=None,
+        error_code=None,
+        ops=[PlanOp(OP_SET_CELLS, (row_id,), column=column, value=value)],
+        description=f"workload: impute {column} of row {row_id}",
+    )
+
+
+def run_workload(session: BuckarooSession, op_kind: str, n_ops: int = 50,
+                 seed: int = 7, column: str | None = None) -> WorkloadResult:
+    """Apply ``n_ops`` operations of one kind, collecting per-op timings."""
+    if op_kind not in (REMOVAL, IMPUTE):
+        raise ValueError(f"unknown workload op kind {op_kind!r}")
+    if column is None:
+        column = session.group_manager.numerical_attributes[0]
+    rows = candidate_rows(session, n_ops, seed)
+    result = WorkloadResult(op_kind=op_kind)
+    for row_id in rows:
+        if op_kind == REMOVAL:
+            plan = removal_plan(row_id)
+        else:
+            plan = impute_plan(session, column, row_id)
+        applied: ApplyResult = session.apply(plan)
+        result.backend_seconds.append(applied.backend_seconds)
+        result.replot_seconds.append(applied.replot_seconds)
+    return result

@@ -1,0 +1,33 @@
+"""``repro.charts`` — headless interactive charts (§2.2, Figure 1).
+
+The four paper chart types (heatmap, histogram, scatter, line), the chart
+matrix, anomaly colour overlays, the click-to-select model, and text/SVG
+renderers.  Charts are *active substrates*: marks resolve back to groups so
+selections drive repairs.
+"""
+
+from repro.charts.base import (
+    CHART_KINDS,
+    HEATMAP,
+    HISTOGRAM,
+    LINE,
+    SCATTER,
+    ChartModel,
+    Mark,
+)
+from repro.charts.heatmap import HeatmapChart
+from repro.charts.histogram import HistogramChart
+from repro.charts.line import LineChart
+from repro.charts.matrix import ChartMatrix
+from repro.charts.overlays import LegendEntry, build_legend, severity_alpha
+from repro.charts.render_svg import render_svg
+from repro.charts.render_text import render_legend, render_text
+from repro.charts.scatter import ScatterChart
+from repro.charts.selection import SelectionModel
+
+__all__ = [
+    "CHART_KINDS", "ChartMatrix", "ChartModel", "HEATMAP", "HISTOGRAM",
+    "HeatmapChart", "HistogramChart", "LINE", "LegendEntry", "LineChart",
+    "Mark", "SCATTER", "ScatterChart", "SelectionModel", "build_legend",
+    "render_legend", "render_svg", "render_text", "severity_alpha",
+]

@@ -1,0 +1,75 @@
+"""Headless chart model.
+
+Buckaroo "supports 4 chart types: heatmaps, line charts, scatterplots, and
+histograms" (Figure 1) and treats them as *active substrates*: marks carry
+their group identity and anomaly colour so clicking a mark selects a group
+for repair.  This module defines the mark/chart abstractions; rendering to
+text or SVG lives in :mod:`repro.charts.render_text` / ``render_svg``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.types import NO_ANOMALY_COLOR, GroupKey
+
+HEATMAP = "heatmap"
+HISTOGRAM = "histogram"
+SCATTER = "scatter"
+LINE = "line"
+
+CHART_KINDS = (HEATMAP, HISTOGRAM, SCATTER, LINE)
+
+
+@dataclass
+class Mark:
+    """One clickable visual element.
+
+    ``group`` links the mark back to the data group it renders — the
+    bidirectional coupling that lets a visual selection trigger a repair.
+    """
+
+    x: object
+    y: object
+    color: str = NO_ANOMALY_COLOR
+    group: Optional[GroupKey] = None
+    size: float = 1.0
+    label: str = ""
+    anomaly_count: int = 0
+
+    @property
+    def is_anomalous(self) -> bool:
+        return self.anomaly_count > 0
+
+
+@dataclass
+class ChartModel(ABC):
+    """A chart: a kind, axis bindings, and its current marks."""
+
+    kind: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    marks: list = field(default_factory=list)
+    title: str = ""
+
+    @abstractmethod
+    def refresh(self) -> None:
+        """Recompute marks from the session's current state."""
+
+    def mark_at(self, index: int) -> Mark:
+        """The mark at ``index`` (click target resolution)."""
+        return self.marks[index]
+
+    def groups_shown(self) -> list[GroupKey]:
+        """Groups with at least one mark, in mark order."""
+        seen: dict = {}
+        for mark in self.marks:
+            if mark.group is not None and mark.group not in seen:
+                seen[mark.group] = None
+        return list(seen)
+
+    def anomalous_marks(self) -> list[Mark]:
+        """Marks carrying at least one anomaly."""
+        return [mark for mark in self.marks if mark.is_anomalous]

@@ -1,0 +1,56 @@
+"""Heatmap chart: the chart-matrix cell type (Figure 1 B).
+
+One mark per group of the bound (categorical, numerical) pair, colour-coded
+by the group's dominant anomaly type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.charts.base import HEATMAP, ChartModel, Mark
+from repro.core.ranking import dominant_error_color
+
+
+@dataclass
+class HeatmapChart(ChartModel):
+    """Category x mean-value heatmap for one chart pair."""
+
+    session: object = None
+    categorical: str = ""
+    numerical: str = ""
+
+    def __post_init__(self):
+        self.kind = HEATMAP
+        self.x_label = self.categorical
+        self.y_label = self.numerical
+        self.title = f"{self.numerical} by {self.categorical}"
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Rebuild marks from the session's series and error index."""
+        session = self.session
+        series = session.series(self.categorical, self.numerical)
+        index = session.engine.index
+        registry = session.detectors
+        marks = []
+        for position, category in enumerate(series.categories):
+            keys = [
+                key for key in session.group_manager.keys_for_pair(
+                    self.categorical, self.numerical)
+                if key.category == category
+            ]
+            key = keys[0] if keys else None
+            anomaly_count = len(index.anomalies(key)) if key else 0
+            color = dominant_error_color(index, registry, key) if key else "#c7c7c7"
+            marks.append(Mark(
+                x=category,
+                y=series.means[position],
+                color=color,
+                group=key,
+                size=float(series.counts[position]),
+                label=f"{category}: n={series.counts[position]}, "
+                      f"errors={anomaly_count}",
+                anomaly_count=anomaly_count,
+            ))
+        self.marks = marks

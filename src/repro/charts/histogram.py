@@ -1,0 +1,45 @@
+"""Histogram chart with anomaly overlay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charts.base import HISTOGRAM, ChartModel, Mark
+from repro.sampling.aggregation import histogram
+
+
+@dataclass
+class HistogramChart(ChartModel):
+    """Distribution of one numeric column; bins with errors are tinted."""
+
+    session: object = None
+    numerical: str = ""
+    bins: int = 20
+
+    def __post_init__(self):
+        self.kind = HISTOGRAM
+        self.x_label = self.numerical
+        self.y_label = "count"
+        self.title = f"distribution of {self.numerical}"
+        self.refresh()
+
+    def refresh(self) -> None:
+        session = self.session
+        backend = session.backend
+        row_ids = backend.all_row_ids()
+        values = backend.values(self.numerical, row_ids)
+        error_rows = session.engine.index.rows_with_errors()
+        mask = [row_id in error_rows for row_id in row_ids]
+        binned = histogram(values, bins=self.bins, anomalous_mask=mask)
+        marks = []
+        for i in range(binned.n_bins):
+            anomaly_count = binned.anomaly_counts[i]
+            marks.append(Mark(
+                x=(binned.edges[i] + binned.edges[i + 1]) / 2,
+                y=binned.counts[i],
+                color="#d62728" if anomaly_count else "#c7c7c7",
+                size=float(binned.counts[i]),
+                label=f"[{binned.edges[i]:.4g}, {binned.edges[i + 1]:.4g})",
+                anomaly_count=anomaly_count,
+            ))
+        self.marks = marks

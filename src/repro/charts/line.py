@@ -1,0 +1,42 @@
+"""Line chart with min/max decimation for large series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charts.base import LINE, ChartModel, Mark
+from repro.frame.parsing import coerce_to_number
+from repro.sampling.aggregation import minmax_decimate
+
+
+@dataclass
+class LineChart(ChartModel):
+    """y over x, decimated to ``max_points`` without losing extremes."""
+
+    session: object = None
+    x_col: str = ""
+    y_col: str = ""
+    max_points: int = 200
+
+    def __post_init__(self):
+        self.kind = LINE
+        self.x_label = self.x_col
+        self.y_label = self.y_col
+        self.title = f"{self.y_col} over {self.x_col}"
+        self.refresh()
+
+    def refresh(self) -> None:
+        backend = self.session.backend
+        row_ids = backend.all_row_ids()
+        xs, ys = [], []
+        for raw_x, raw_y in zip(
+            backend.values(self.x_col, row_ids),
+            backend.values(self.y_col, row_ids),
+        ):
+            x = coerce_to_number(raw_x)
+            y = coerce_to_number(raw_y)
+            if x is not None and y is not None:
+                xs.append(x)
+                ys.append(y)
+        xs, ys = minmax_decimate(xs, ys, self.max_points)
+        self.marks = [Mark(x=x, y=y) for x, y in zip(xs, ys)]

@@ -1,0 +1,52 @@
+"""The chart matrix (§2.2).
+
+"Buckaroo generates a chart matrix where data groups are represented in a
+heat map" — one heatmap per (categorical, numerical) pair, kept in sync
+with the session: applying a repair refreshes exactly the charts whose
+pairs were affected.
+"""
+
+from __future__ import annotations
+
+from repro.charts.heatmap import HeatmapChart
+
+
+class ChartMatrix:
+    """All pair charts for a session, refreshed incrementally."""
+
+    def __init__(self, session):
+        self.session = session
+        self.charts: dict[tuple[str, str], HeatmapChart] = {}
+        self.refreshes = 0
+        for cat, num in session.pairs():
+            self.charts[(cat, num)] = HeatmapChart(
+                session=session, categorical=cat, numerical=num,
+            )
+        session.add_view_listener(self._on_replot)
+
+    def __len__(self) -> int:
+        return len(self.charts)
+
+    def chart(self, cat: str, num: str) -> HeatmapChart:
+        """The chart for one pair (raises KeyError when absent)."""
+        return self.charts[(cat, num)]
+
+    def pairs(self) -> list[tuple[str, str]]:
+        """All pairs shown in the matrix."""
+        return list(self.charts)
+
+    def most_anomalous(self, limit: int = 5) -> list[HeatmapChart]:
+        """Charts ordered by total anomalies shown (worst first)."""
+        ordered = sorted(
+            self.charts.values(),
+            key=lambda c: -sum(m.anomaly_count for m in c.marks),
+        )
+        return ordered[:limit]
+
+    def _on_replot(self, pairs) -> None:
+        """Session callback: refresh only the affected charts."""
+        for pair in pairs:
+            chart = self.charts.get(tuple(pair))
+            if chart is not None:
+                chart.refresh()
+                self.refreshes += 1

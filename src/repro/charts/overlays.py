@@ -1,0 +1,35 @@
+"""Anomaly colour overlays and the chart legend (Figure 1's colour coding)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detectors import DetectorRegistry
+from repro.core.types import NO_ANOMALY_COLOR
+
+
+@dataclass(frozen=True)
+class LegendEntry:
+    """One legend swatch: an error class and its colour."""
+
+    code: str
+    label: str
+    color: str
+
+
+def build_legend(registry: DetectorRegistry) -> list[LegendEntry]:
+    """The legend for all registered error types plus the clean colour."""
+    entries = [
+        LegendEntry(d.code, d.error_type.label, d.error_type.color)
+        for d in registry.all()
+    ]
+    entries.append(LegendEntry("none", "No anomalies", NO_ANOMALY_COLOR))
+    return entries
+
+
+def severity_alpha(anomaly_count: int, group_size: int) -> float:
+    """Opacity encoding anomaly density within a mark (0.2 .. 1.0)."""
+    if group_size <= 0 or anomaly_count <= 0:
+        return 0.2
+    density = min(anomaly_count / group_size, 1.0)
+    return 0.2 + 0.8 * density

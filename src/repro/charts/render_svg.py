@@ -1,0 +1,71 @@
+"""SVG rendering of chart models (a minimal, dependency-free writer)."""
+
+from __future__ import annotations
+
+from repro.charts.base import ChartModel
+
+_WIDTH = 480
+_HEIGHT = 280
+_PAD = 40
+
+
+def render_svg(chart: ChartModel) -> str:
+    """Render a chart as an SVG document string.
+
+    Bars (heatmap/histogram marks) become rects scaled to the value range;
+    scatter/line marks become circles.  Mark colours carry the anomaly
+    colour coding.
+    """
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">',
+        f'<title>{_escape(chart.title)}</title>',
+        f'<text x="{_PAD}" y="20" font-size="13">{_escape(chart.title)}</text>',
+    ]
+    marks = chart.marks
+    if marks:
+        magnitudes = [_magnitude(m) for m in marks]
+        top = max((abs(v) for v in magnitudes), default=1.0) or 1.0
+        usable_w = _WIDTH - 2 * _PAD
+        usable_h = _HEIGHT - 2 * _PAD
+        slot = usable_w / len(marks)
+        if chart.kind in ("heatmap", "histogram"):
+            for i, (mark, value) in enumerate(zip(marks, magnitudes)):
+                bar_h = usable_h * abs(value) / top
+                x = _PAD + i * slot
+                y = _HEIGHT - _PAD - bar_h
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y:.1f}" width="{max(slot - 2, 1):.1f}" '
+                    f'height="{bar_h:.1f}" fill="{mark.color}">'
+                    f'<title>{_escape(mark.label)}</title></rect>'
+                )
+        else:
+            xs = [float(m.x) for m in marks]
+            ys = [float(m.y) for m in marks]
+            x_lo, x_hi = min(xs), max(xs)
+            y_lo, y_hi = min(ys), max(ys)
+            x_span = (x_hi - x_lo) or 1.0
+            y_span = (y_hi - y_lo) or 1.0
+            for mark, x, y in zip(marks, xs, ys):
+                px = _PAD + usable_w * (x - x_lo) / x_span
+                py = _HEIGHT - _PAD - usable_h * (y - y_lo) / y_span
+                radius = 4 if mark.is_anomalous else 2
+                parts.append(
+                    f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{radius}" '
+                    f'fill="{mark.color}"><title>{_escape(mark.label)}</title>'
+                    f'</circle>'
+                )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _magnitude(mark) -> float:
+    if isinstance(mark.y, (int, float)) and mark.y is not None:
+        return float(mark.y)
+    return float(mark.size)
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

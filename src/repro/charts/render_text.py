@@ -1,0 +1,51 @@
+"""ASCII rendering of chart models (for examples and terminal demos)."""
+
+from __future__ import annotations
+
+from repro.charts.base import HEATMAP, HISTOGRAM, ChartModel
+
+_BAR = "#"
+_ANOMALY_BAR = "!"
+
+
+def render_text(chart: ChartModel, width: int = 40) -> str:
+    """Render a chart as fixed-width text with anomaly markers.
+
+    Bars use ``#``; marks carrying anomalies use ``!`` so errors stay
+    visible even without colour.
+    """
+    lines = [f"{chart.title}  [{chart.kind}]"]
+    if not chart.marks:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    max_size = max((abs(_magnitude(m)) for m in chart.marks), default=1.0) or 1.0
+    for mark in chart.marks:
+        magnitude = _magnitude(mark)
+        bar_len = int(round(width * abs(magnitude) / max_size))
+        glyph = _ANOMALY_BAR if mark.is_anomalous else _BAR
+        bar = glyph * max(bar_len, 1 if magnitude else 0)
+        label = _label(mark, chart)
+        suffix = f"  ({mark.anomaly_count} errors)" if mark.is_anomalous else ""
+        lines.append(f"  {label:<22} {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def _magnitude(mark) -> float:
+    if isinstance(mark.y, (int, float)) and mark.y is not None:
+        return float(mark.y)
+    return float(mark.size)
+
+
+def _label(mark, chart: ChartModel) -> str:
+    if chart.kind in (HEATMAP,):
+        return str(mark.x)[:22]
+    if chart.kind == HISTOGRAM:
+        return mark.label[:22]
+    return f"{mark.x!r:.22}"
+
+
+def render_legend(entries) -> str:
+    """Render a legend (from :func:`repro.charts.overlays.build_legend`)."""
+    return "\n".join(
+        f"  {entry.color}  {entry.label} ({entry.code})" for entry in entries
+    )

@@ -1,0 +1,66 @@
+"""Scatterplot chart over an error-first sample.
+
+Plots two numeric columns; rows come from the error-first sampler so every
+anomalous row is drawn even under a tight render budget (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charts.base import SCATTER, ChartModel, Mark
+from repro.core.types import NO_ANOMALY_COLOR
+from repro.frame.parsing import coerce_to_number
+from repro.sampling.error_first import ErrorFirstSampler
+
+
+@dataclass
+class ScatterChart(ChartModel):
+    """x/y scatter with anomalous rows always included and coloured."""
+
+    session: object = None
+    x_col: str = ""
+    y_col: str = ""
+    budget: int = 500
+
+    def __post_init__(self):
+        self.kind = SCATTER
+        self.x_label = self.x_col
+        self.y_label = self.y_col
+        self.title = f"{self.y_col} vs {self.x_col}"
+        self.refresh()
+
+    def refresh(self) -> None:
+        session = self.session
+        backend = session.backend
+        index = session.engine.index
+        sampler = ErrorFirstSampler(
+            budget=self.budget,
+            context_per_group=session.config.context_sample_size,
+            seed=session.config.seed,
+        )
+        groups = [
+            session.group_manager.group(key)
+            for key in session.group_manager.keys()
+        ]
+        sample = sampler.sample_groups(groups, index) if groups else None
+        row_ids = sample.row_ids if sample else backend.all_row_ids()[:self.budget]
+        xs = backend.values(self.x_col, row_ids)
+        ys = backend.values(self.y_col, row_ids)
+        marks = []
+        for row_id, raw_x, raw_y in zip(row_ids, xs, ys):
+            x = coerce_to_number(raw_x)
+            y = coerce_to_number(raw_y)
+            if x is None or y is None:
+                continue
+            errors = index.row_errors(row_id)
+            color = NO_ANOMALY_COLOR
+            group = None
+            if errors:
+                code, group = next(iter(errors))
+                color = session.detectors.error_type(code).color
+            marks.append(Mark(
+                x=x, y=y, color=color, group=group,
+                label=f"row {row_id}", anomaly_count=len(errors),
+            ))
+        self.marks = marks

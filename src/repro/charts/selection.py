@@ -1,0 +1,52 @@
+"""Selection model: clicking marks signals repair intent (Figure 1).
+
+"Users click marks to signal intent to fix" — a selection resolves to the
+group key behind the mark, which the repair kit then builds suggestions for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.charts.base import ChartModel, Mark
+from repro.core.types import GroupKey
+from repro.errors import BuckarooError
+
+
+class SelectionModel:
+    """Tracks the selected group and notifies subscribers."""
+
+    def __init__(self) -> None:
+        self.selected: Optional[GroupKey] = None
+        self.selected_mark: Optional[Mark] = None
+        self._listeners: list[Callable] = []
+
+    def on_change(self, listener: Callable) -> None:
+        """Subscribe to selection changes (called with the new key/None)."""
+        self._listeners.append(listener)
+
+    def select_mark(self, chart: ChartModel, mark_index: int) -> GroupKey:
+        """Click a mark: selects the group it renders."""
+        mark = chart.mark_at(mark_index)
+        if mark.group is None:
+            raise BuckarooError("this mark is not linked to a data group")
+        self.selected = mark.group
+        self.selected_mark = mark
+        self._notify()
+        return mark.group
+
+    def select_group(self, key: GroupKey) -> None:
+        """Programmatic selection by group key."""
+        self.selected = key
+        self.selected_mark = None
+        self._notify()
+
+    def clear(self) -> None:
+        """Deselect."""
+        self.selected = None
+        self.selected_mark = None
+        self._notify()
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener(self.selected)

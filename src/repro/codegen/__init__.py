@@ -1,0 +1,40 @@
+"""``repro.codegen`` — wrangling script generation (§2.2).
+
+Targets: ``python`` (executable against :mod:`repro.codegen.runtime`),
+``pandas`` (idiomatic pandas, string only), and ``r`` (dplyr pipeline — the
+paper's stated future-work target).
+"""
+
+from __future__ import annotations
+
+from repro.codegen import runtime
+from repro.codegen.pandas_gen import generate_pandas
+from repro.codegen.python_gen import generate_python
+from repro.codegen.r_gen import generate_r
+from repro.errors import CodegenError
+
+TARGETS = ("python", "pandas", "r")
+
+
+def generate_script(records, target: str = "python") -> str:
+    """Compile an action log into a script for ``target``."""
+    if target == "python":
+        return generate_python(records)
+    if target == "pandas":
+        return generate_pandas(records)
+    if target == "r":
+        return generate_r(records)
+    raise CodegenError(
+        f"unknown codegen target {target!r}; expected one of {TARGETS}"
+    )
+
+
+__all__ = [
+    "CodegenError",
+    "TARGETS",
+    "generate_pandas",
+    "generate_python",
+    "generate_r",
+    "generate_script",
+    "runtime",
+]

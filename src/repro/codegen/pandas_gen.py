@@ -1,0 +1,110 @@
+"""Pandas-flavoured script emission.
+
+The paper's prototype exports Python for the pandas ecosystem; this emitter
+renders the same pipeline in idiomatic pandas.  The output is a plain string
+(pandas is not a dependency of this reproduction, so it is not executed by
+the test suite — the executable target is :mod:`repro.codegen.python_gen`).
+"""
+
+from __future__ import annotations
+
+from repro.core.history import ActionRecord
+from repro.core.types import (
+    ERROR_MISSING,
+    ERROR_OUTLIER,
+    ERROR_TYPE_MISMATCH,
+)
+
+HEADER = '''"""Wrangling pipeline exported from a Buckaroo session (pandas flavour)."""
+
+import pandas as pd
+
+
+def wrangle(df: "pd.DataFrame") -> "pd.DataFrame":
+'''
+
+
+def generate_pandas(records: list[ActionRecord]) -> str:
+    """Render the action log as pandas code (string only)."""
+    lines = [HEADER]
+    if not records:
+        lines.append("    # (no wrangling operations were applied)\n")
+    for record in records:
+        lines.append(f"    # step {record.seq}: {record.plan.description}\n")
+        for statement in _statements(record):
+            lines.append(f"    {statement}\n")
+    lines.append("    return df\n")
+    return "".join(lines)
+
+
+def _group_expr(record: ActionRecord) -> str:
+    key = record.plan.group_key
+    if key is None:
+        return "pd.Series(True, index=df.index)"
+    if key.category is None:
+        return f"df[{key.categorical!r}].isna()"
+    return f"(df[{key.categorical!r}] == {key.category!r})"
+
+
+def _condition_expr(record: ActionRecord, column: str) -> str:
+    code = record.plan.error_code
+    params = record.plan.params
+    numeric = f"pd.to_numeric(df[{column!r}], errors='coerce')"
+    if code == ERROR_MISSING:
+        return f"df[{column!r}].isna()"
+    if code == ERROR_TYPE_MISMATCH:
+        return f"({numeric}.isna() & df[{column!r}].notna())"
+    if code == ERROR_OUTLIER and "low" in params:
+        return (
+            f"(({numeric} < {params['low']!r}) | ({numeric} > {params['high']!r}))"
+        )
+    return "pd.Series(True, index=df.index)"
+
+
+def _statements(record: ActionRecord) -> list[str]:
+    plan = record.plan
+    params = plan.params
+    code = plan.wrangler_code
+    column = plan.group_key.numerical if plan.group_key else None
+    group = _group_expr(record)
+
+    if code == "delete_rows":
+        condition = _condition_expr(record, column)
+        return [f"df = df[~({group} & {condition})]"]
+    if code in ("impute_mean", "impute_median", "impute_mode"):
+        statistic = params.get("statistic", "mean")
+        condition = _condition_expr(record, column)
+        fn = {"mean": "mean", "median": "median", "mode": "mode"}[statistic]
+        source = (
+            f"df.loc[{group}, {column!r}]" if params.get("scope") == "group"
+            else f"df[{column!r}]"
+        )
+        fill = f"pd.to_numeric({source}, errors='coerce').{fn}()"
+        if statistic == "mode":
+            fill += ".iloc[0]"
+        return [f"df.loc[{group} & {condition}, {column!r}] = {fill}"]
+    if code == "impute_constant":
+        condition = _condition_expr(record, column)
+        return [
+            f"df.loc[{group} & {condition}, {column!r}] = {params.get('fill')!r}"
+        ]
+    if code == "convert_type":
+        return [
+            f"converted = pd.to_numeric(df.loc[{group}, {column!r}]"
+            f".astype(str).str.replace(',', '').str.replace("
+            f"r'[kK]$', 'e3', regex=True), errors='coerce')",
+            f"df.loc[{group}, {column!r}] = converted",
+        ]
+    if code == "clip_outliers":
+        return [
+            f"df.loc[{group}, {column!r}] = pd.to_numeric("
+            f"df.loc[{group}, {column!r}], errors='coerce')"
+            f".clip({params['low']!r}, {params['high']!r})"
+        ]
+    if code == "merge_small_group":
+        key = plan.group_key
+        return [
+            f"df.loc[df[{key.categorical!r}] == {key.category!r}, "
+            f"{key.categorical!r}] = {params.get('target_category', 'Other')!r}"
+        ]
+    return [f"# custom wrangler {code!r}: replay not supported in pandas flavour"]

@@ -1,0 +1,162 @@
+"""Python script generation (§2.2 'Script generation').
+
+"After users reach a satisfactory data state, Buckaroo compiles the full
+sequence of wrangling actions into a Python script.  This script preserves
+provenance, supports reproducibility, and allows users to integrate their
+visually authored cleaning pipeline into downstream analytical workflows."
+
+Generated scripts are *executable*: they call :mod:`repro.codegen.runtime`
+and re-derive target rows by condition (group filter + anomaly predicate),
+so they work on fresh exports of the data, not just the session's rowids.
+"""
+
+from __future__ import annotations
+
+from repro.core.history import ActionRecord
+from repro.core.types import (
+    ERROR_MISSING,
+    ERROR_OUTLIER,
+    ERROR_SMALL_GROUP,
+    ERROR_TYPE_MISMATCH,
+)
+from repro.errors import CodegenError
+
+_CONDITIONS = {
+    ERROR_MISSING: "missing",
+    ERROR_TYPE_MISMATCH: "type_mismatch",
+    ERROR_OUTLIER: "outlier",
+    ERROR_SMALL_GROUP: "all",
+}
+
+HEADER = '''"""Wrangling pipeline exported from a Buckaroo session.
+
+Re-run with:  python this_script.py <input.csv> <output.csv>
+"""
+
+from repro.codegen import runtime
+from repro.frame import read_csv, write_csv
+
+
+def wrangle(df):
+    """Apply the recorded wrangling operations in order."""
+'''
+
+FOOTER = '''    return df
+
+
+if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) != 3:
+        raise SystemExit("usage: python script.py <input.csv> <output.csv>")
+    frame = read_csv(sys.argv[1])
+    frame = wrangle(frame)
+    write_csv(frame, sys.argv[2])
+'''
+
+
+def generate_python(records: list[ActionRecord]) -> str:
+    """Render the action log as a standalone Python script."""
+    lines = [HEADER]
+    if not records:
+        lines.append("    # (no wrangling operations were applied)\n")
+    for record in records:
+        lines.append(f"    # step {record.seq}: {record.plan.description}\n")
+        lines.append("    " + _statement(record) + "\n")
+    lines.append(FOOTER)
+    return "".join(lines)
+
+
+def _where_of(record: ActionRecord) -> dict | None:
+    key = record.plan.group_key
+    if key is None:
+        return None
+    return {key.categorical: key.category}
+
+
+def _condition_of(record: ActionRecord) -> str:
+    code = record.plan.error_code
+    if code is None:
+        return "all"
+    return _CONDITIONS.get(code, "all")
+
+
+def _statement(record: ActionRecord) -> str:
+    plan = record.plan
+    params = plan.params
+    where = _where_of(record)
+    code = plan.wrangler_code
+
+    if code == "delete_rows":
+        args = [
+            f"column={plan.group_key.numerical!r}" if plan.group_key else "column=None",
+            f"condition={_condition_of(record)!r}",
+            f"where={where!r}",
+        ]
+        if "low" in params:
+            args.append(f"low={params['low']!r}, high={params['high']!r}")
+        return f"df = runtime.delete_rows(df, {', '.join(args)})"
+
+    if code in ("impute_mean", "impute_median", "impute_mode", "impute_constant"):
+        strategy = params.get("statistic", "constant")
+        args = [
+            f"column={plan.group_key.numerical!r}",
+            f"condition={_condition_of(record)!r}",
+            f"where={where!r}",
+            f"strategy={strategy!r}",
+        ]
+        if strategy == "constant":
+            args.append(f"fill={params.get('fill')!r}")
+        else:
+            args.append(f"scope={params.get('scope', 'group')!r}")
+        if "low" in params:
+            args.append(f"low={params['low']!r}, high={params['high']!r}")
+        return f"df = runtime.impute(df, {', '.join(args)})"
+
+    if code == "convert_type":
+        return (
+            f"df = runtime.convert_types(df, column={plan.group_key.numerical!r}, "
+            f"where={where!r}, on_fail={params.get('on_fail', 'null')!r})"
+        )
+
+    if code == "clip_outliers":
+        return (
+            f"df = runtime.clip_outliers(df, column={plan.group_key.numerical!r}, "
+            f"low={params['low']!r}, high={params['high']!r}, where={where!r})"
+        )
+
+    if code == "merge_small_group":
+        return (
+            f"df = runtime.relabel_category(df, column={plan.group_key.categorical!r}, "
+            f"category={plan.group_key.category!r}, "
+            f"target_category={params.get('target_category', 'Other')!r})"
+        )
+
+    # custom wranglers cannot be regenerated mechanically; emit a stub that
+    # reproduces the recorded effect as literal cell writes
+    return _literal_replay(record)
+
+
+def _literal_replay(record: ActionRecord) -> str:
+    """Fallback: replay the recorded delta as explicit group-scoped writes."""
+    plan = record.plan
+    where = _where_of(record)
+    statements = []
+    for op in plan.ops:
+        if op.kind == "delete_rows":
+            statements.append(
+                f"df = runtime.delete_rows(df, column="
+                f"{(plan.group_key.numerical if plan.group_key else None)!r}, "
+                f"condition='all', where={where!r})"
+            )
+        else:
+            value = op.value if op.values is None else list(op.values)
+            statements.append(
+                f"df = runtime.set_cells(df, column={op.column!r}, "
+                f"where={where!r}, value={value!r})"
+            )
+    if not statements:
+        raise CodegenError(
+            f"cannot generate code for custom wrangler {plan.wrangler_code!r}"
+        )
+    return "\n    ".join(statements)

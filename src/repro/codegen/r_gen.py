@@ -1,0 +1,116 @@
+"""R script emission — the paper's stated next target language.
+
+"Currently, Buckaroo only generates Python scripts, but we intend to
+support other target languages such as R" (§2).  This emitter implements
+that future-work item with dplyr-style pipelines.  Output is a string; R is
+not executed by the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.core.history import ActionRecord
+from repro.core.types import ERROR_MISSING, ERROR_OUTLIER, ERROR_TYPE_MISMATCH
+
+HEADER = """# Wrangling pipeline exported from a Buckaroo session (R flavour).
+library(dplyr)
+
+wrangle <- function(df) {
+"""
+
+
+def generate_r(records: list[ActionRecord]) -> str:
+    """Render the action log as an R script (string only)."""
+    lines = [HEADER]
+    if not records:
+        lines.append("  # (no wrangling operations were applied)\n")
+    for record in records:
+        lines.append(f"  # step {record.seq}: {record.plan.description}\n")
+        for statement in _statements(record):
+            lines.append(f"  {statement}\n")
+    lines.append("  df\n}\n")
+    return "".join(lines)
+
+
+def _r_value(value) -> str:
+    if value is None:
+        return "NA"
+    if isinstance(value, str):
+        escaped = value.replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def _group_expr(record: ActionRecord) -> str:
+    key = record.plan.group_key
+    if key is None:
+        return "TRUE"
+    if key.category is None:
+        return f"is.na({key.categorical})"
+    return f"{key.categorical} == {_r_value(key.category)}"
+
+
+def _condition_expr(record: ActionRecord, column: str) -> str:
+    code = record.plan.error_code
+    params = record.plan.params
+    numeric = f"suppressWarnings(as.numeric({column}))"
+    if code == ERROR_MISSING:
+        return f"is.na({column})"
+    if code == ERROR_TYPE_MISMATCH:
+        return f"(is.na({numeric}) & !is.na({column}))"
+    if code == ERROR_OUTLIER and "low" in params:
+        return (
+            f"({numeric} < {_r_value(params['low'])} | "
+            f"{numeric} > {_r_value(params['high'])})"
+        )
+    return "TRUE"
+
+
+def _statements(record: ActionRecord) -> list[str]:
+    plan = record.plan
+    params = plan.params
+    code = plan.wrangler_code
+    column = plan.group_key.numerical if plan.group_key else "NULL"
+    group = _group_expr(record)
+
+    if code == "delete_rows":
+        condition = _condition_expr(record, column)
+        return [f"df <- df %>% filter(!(({group}) & ({condition})))"]
+    if code in ("impute_mean", "impute_median", "impute_mode", "impute_constant"):
+        condition = _condition_expr(record, column)
+        if code == "impute_constant":
+            fill = _r_value(params.get("fill"))
+        else:
+            fn = {"mean": "mean", "median": "median", "mode": "mode"}[
+                params.get("statistic", "mean")
+            ]
+            if fn == "mode":
+                fill = (
+                    f"as.numeric(names(sort(table({column}), decreasing=TRUE))[1])"
+                )
+            else:
+                fill = f"{fn}(suppressWarnings(as.numeric({column})), na.rm=TRUE)"
+        return [
+            f"df <- df %>% mutate({column} = ifelse(({group}) & ({condition}), "
+            f"{fill}, {column}))"
+        ]
+    if code == "convert_type":
+        return [
+            f"df <- df %>% mutate({column} = ifelse({group}, "
+            f"suppressWarnings(as.numeric(gsub('[$,]', '', "
+            f"gsub('[kK]$', 'e3', {column})))), {column}))"
+        ]
+    if code == "clip_outliers":
+        return [
+            f"df <- df %>% mutate({column} = ifelse({group}, "
+            f"pmin(pmax(suppressWarnings(as.numeric({column})), "
+            f"{_r_value(params['low'])}), {_r_value(params['high'])}), {column}))"
+        ]
+    if code == "merge_small_group":
+        key = plan.group_key
+        return [
+            f"df <- df %>% mutate({key.categorical} = ifelse("
+            f"{key.categorical} == {_r_value(key.category)}, "
+            f"{_r_value(params.get('target_category', 'Other'))}, "
+            f"{key.categorical}))"
+        ]
+    return [f"# custom wrangler {code}: replay not supported in R flavour"]

@@ -1,0 +1,161 @@
+"""Runtime support for generated wrangling scripts.
+
+Exported scripts (§2.2 'Script generation') are standalone: they import this
+module and re-derive their target rows *by condition*, not by hard-coded row
+ids, so they remain valid when re-run against fresh exports of the data.
+
+Each function takes and returns a :class:`repro.frame.DataFrame`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.frame import DataFrame
+from repro.frame.parsing import coerce_to_number
+
+
+def _group_mask(frame: DataFrame, where: Optional[dict]) -> np.ndarray:
+    """Boolean mask for rows matching the group filter ``{cat: value}``."""
+    mask = np.ones(frame.n_rows, dtype=bool)
+    if not where:
+        return mask
+    for column, expected in where.items():
+        col = frame[column]
+        if expected is None:
+            mask &= col.missing_mask
+        else:
+            local = np.zeros(frame.n_rows, dtype=bool)
+            for i, value in enumerate(col):
+                if value == expected:
+                    local[i] = True
+            mask &= local
+    return mask
+
+
+def _condition_mask(frame: DataFrame, column: str, condition: str,
+                    low: Optional[float] = None,
+                    high: Optional[float] = None) -> np.ndarray:
+    """Mask for the anomaly condition within ``column``."""
+    col = frame[column]
+    if condition == "missing":
+        return col.missing_mask
+    values, ok, mismatch = col.to_numeric()
+    if condition == "type_mismatch":
+        return mismatch
+    if condition == "outlier":
+        if low is None or high is None:
+            raise ValueError("outlier condition requires low/high bounds")
+        with np.errstate(invalid="ignore"):
+            return ok & ((values < low) | (values > high))
+    if condition == "all":
+        return np.ones(frame.n_rows, dtype=bool)
+    raise ValueError(f"unknown condition {condition!r}")
+
+
+def delete_rows(frame: DataFrame, column: str, condition: str,
+                where: Optional[dict] = None, low: Optional[float] = None,
+                high: Optional[float] = None) -> DataFrame:
+    """Delete rows matching ``condition`` on ``column`` within the group."""
+    doomed = _group_mask(frame, where) & _condition_mask(
+        frame, column, condition, low, high
+    )
+    return frame.filter(~doomed)
+
+
+def impute(frame: DataFrame, column: str, condition: str,
+           where: Optional[dict] = None, strategy: str = "mean",
+           scope: str = "group", fill=None, low: Optional[float] = None,
+           high: Optional[float] = None) -> DataFrame:
+    """Replace matching cells using a statistic or constant."""
+    group = _group_mask(frame, where)
+    target = group & _condition_mask(frame, column, condition, low, high)
+    positions = np.flatnonzero(target)
+    if not len(positions):
+        return frame
+    if strategy == "constant":
+        value = fill
+    else:
+        values, ok, _ = frame[column].to_numeric()
+        source = ok & ~target & (group if scope == "group" else True)
+        usable = values[source]
+        if not len(usable):
+            source = ok & ~target
+            usable = values[source]
+        if not len(usable):
+            raise ValueError(f"no numeric values to impute {column!r} from")
+        if strategy == "mean":
+            value = float(np.mean(usable))
+        elif strategy == "median":
+            value = float(np.median(usable))
+        elif strategy == "mode":
+            uniques, counts = np.unique(usable, return_counts=True)
+            value = float(uniques[np.argmax(counts)])
+        else:
+            raise ValueError(f"unknown imputation strategy {strategy!r}")
+        value = round(value, 6)
+    return frame.set_values(column, positions, value)
+
+
+def convert_types(frame: DataFrame, column: str,
+                  where: Optional[dict] = None,
+                  on_fail: str = "null") -> DataFrame:
+    """Leniently parse text values in a numeric column ('12k' -> 12000)."""
+    group = _group_mask(frame, where)
+    _, _, mismatch = frame[column].to_numeric()
+    target = group & mismatch
+    positions = []
+    new_values = []
+    delete_positions = []
+    col = frame[column]
+    for position in np.flatnonzero(target):
+        number = coerce_to_number(col[position])
+        if number is not None:
+            positions.append(int(position))
+            new_values.append(number)
+        elif on_fail == "null":
+            positions.append(int(position))
+            new_values.append(None)
+        elif on_fail == "delete":
+            delete_positions.append(int(position))
+    out = frame
+    if positions:
+        out = out.set_values(column, positions, new_values)
+    if delete_positions:
+        out = out.drop_rows(delete_positions)
+    return out
+
+
+def clip_outliers(frame: DataFrame, column: str, low: float, high: float,
+                  where: Optional[dict] = None) -> DataFrame:
+    """Clip numeric values in the group to ``[low, high]``."""
+    group = _group_mask(frame, where)
+    values, ok, _ = frame[column].to_numeric()
+    with np.errstate(invalid="ignore"):
+        target = group & ok & ((values < low) | (values > high))
+    positions = np.flatnonzero(target)
+    if not len(positions):
+        return frame
+    clipped = [float(min(max(values[p], low), high)) for p in positions]
+    return frame.set_values(column, positions, clipped)
+
+
+def relabel_category(frame: DataFrame, column: str, category,
+                     target_category: str = "Other") -> DataFrame:
+    """Merge one categorical value into a catch-all label."""
+    mask = _group_mask(frame, {column: category})
+    positions = np.flatnonzero(mask)
+    if not len(positions):
+        return frame
+    return frame.set_values(column, positions, target_category)
+
+
+def set_cells(frame: DataFrame, column: str, where: Optional[dict],
+              value) -> DataFrame:
+    """Write ``value`` into ``column`` for every row in the group."""
+    positions = np.flatnonzero(_group_mask(frame, where))
+    if not len(positions):
+        return frame
+    return frame.set_values(column, positions, value)

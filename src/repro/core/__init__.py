@@ -1,0 +1,78 @@
+"""``repro.core`` — Buckaroo's primary contribution.
+
+Group-level anomaly detection, interactive repair with ranked suggestions
+and previews, localized re-detection through the group overlap graph,
+undo/redo over differential snapshots, and script export.
+"""
+
+from repro.core.detectors import (
+    DetectionContext,
+    Detector,
+    DetectorRegistry,
+    FunctionDetector,
+    MissingValueDetector,
+    OutlierDetector,
+    SmallGroupDetector,
+    TypeMismatchDetector,
+)
+from repro.core.engine import DetectionEngine, ErrorIndex
+from repro.core.groups import GroupManager
+from repro.core.inference import (
+    DELETE_ROW,
+    CellEdit,
+    InferenceResult,
+    TransformInference,
+)
+from repro.core.history import ActionRecord, HistoryLog
+from repro.core.overlap import OverlapGraph
+from repro.core.preview import ChartSeries, PreviewResult, build_series
+from repro.core.ranking import rank_error_types, rank_groups
+from repro.core.session import AnomalySummary, BuckarooSession, SpeculationResult
+from repro.core.suggestions import SuggestionEngine
+from repro.core.types import (
+    BUILTIN_ERROR_CODES,
+    ERROR_MISSING,
+    ERROR_OUTLIER,
+    ERROR_SMALL_GROUP,
+    ERROR_TYPE_MISMATCH,
+    Anomaly,
+    ApplyResult,
+    ErrorType,
+    Group,
+    GroupKey,
+    PlanOp,
+    RepairPlan,
+    RepairSuggestion,
+    Stats,
+)
+from repro.core.wranglers import (
+    ClipOutliersWrangler,
+    ConvertTypeWrangler,
+    DeleteRowsWrangler,
+    FunctionWrangler,
+    ImputeConstantWrangler,
+    ImputeMeanWrangler,
+    ImputeMedianWrangler,
+    ImputeModeWrangler,
+    MergeSmallGroupsWrangler,
+    Wrangler,
+    WranglerRegistry,
+)
+
+__all__ = [
+    "Anomaly", "AnomalySummary", "ApplyResult", "ActionRecord",
+    "BUILTIN_ERROR_CODES", "BuckarooSession", "CellEdit", "ChartSeries",
+    "DELETE_ROW", "InferenceResult", "TransformInference",
+    "ClipOutliersWrangler", "ConvertTypeWrangler", "DeleteRowsWrangler",
+    "DetectionContext", "DetectionEngine", "Detector", "DetectorRegistry",
+    "ERROR_MISSING", "ERROR_OUTLIER", "ERROR_SMALL_GROUP",
+    "ERROR_TYPE_MISMATCH", "ErrorIndex", "ErrorType", "FunctionDetector",
+    "FunctionWrangler", "Group", "GroupKey", "GroupManager", "HistoryLog",
+    "ImputeConstantWrangler", "ImputeMeanWrangler", "ImputeMedianWrangler",
+    "ImputeModeWrangler", "MergeSmallGroupsWrangler", "MissingValueDetector",
+    "OutlierDetector", "OverlapGraph", "PlanOp", "PreviewResult",
+    "RepairPlan", "RepairSuggestion", "SmallGroupDetector",
+    "SpeculationResult", "Stats", "SuggestionEngine", "TypeMismatchDetector",
+    "Wrangler", "WranglerRegistry", "build_series", "rank_error_types",
+    "rank_groups",
+]

@@ -1,0 +1,162 @@
+"""Localized, incremental error detection (§3.3).
+
+The :class:`ErrorIndex` is the error-to-tuple mapping the storage layer
+maintains (Fig 2 ⑤); the :class:`DetectionEngine` scopes detector runs to
+groups, so after a repair only the groups named by the overlap graph are
+re-scanned — "avoiding unnecessary recomputation".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.config import BuckarooConfig
+from repro.backends.base import Backend
+from repro.core.detectors import DetectionContext, DetectorRegistry
+from repro.core.types import Anomaly, Group, GroupKey
+
+
+class ErrorIndex:
+    """Bidirectional anomaly index: by group and by row."""
+
+    def __init__(self) -> None:
+        self._by_group: dict[GroupKey, list[Anomaly]] = {}
+        self._by_row: dict[int, set[tuple[str, GroupKey]]] = {}
+
+    # -- writes ------------------------------------------------------------
+
+    def replace_group(self, key: GroupKey, anomalies: Sequence[Anomaly]) -> None:
+        """Swap in a fresh detection result for one group."""
+        self.drop_group(key)
+        if not anomalies:
+            return
+        self._by_group[key] = list(anomalies)
+        for anomaly in anomalies:
+            self._by_row.setdefault(anomaly.row_id, set()).add(
+                (anomaly.error_code, key)
+            )
+
+    def drop_group(self, key: GroupKey) -> None:
+        """Remove all anomalies recorded under ``key``."""
+        previous = self._by_group.pop(key, None)
+        if not previous:
+            return
+        for anomaly in previous:
+            entry = self._by_row.get(anomaly.row_id)
+            if entry is not None:
+                entry.discard((anomaly.error_code, key))
+                if not entry:
+                    del self._by_row[anomaly.row_id]
+
+    def drop_rows(self, row_ids: Iterable[int]) -> None:
+        """Remove anomalies attached to deleted rows."""
+        doomed = set(row_ids) & set(self._by_row)
+        if not doomed:
+            return
+        for key in list(self._by_group):
+            kept = [a for a in self._by_group[key] if a.row_id not in doomed]
+            if kept:
+                self._by_group[key] = kept
+            else:
+                del self._by_group[key]
+        for row_id in doomed:
+            del self._by_row[row_id]
+
+    def clear(self) -> None:
+        """Forget everything (used before a full re-detection)."""
+        self._by_group.clear()
+        self._by_row.clear()
+
+    # -- reads --------------------------------------------------------------
+
+    def anomalies(self, key: Optional[GroupKey] = None) -> list[Anomaly]:
+        """Anomalies of one group, or all anomalies."""
+        if key is not None:
+            return list(self._by_group.get(key, ()))
+        return [a for anomalies in self._by_group.values() for a in anomalies]
+
+    def group_anomalies_by_code(self, key: GroupKey) -> dict[str, list[Anomaly]]:
+        """One group's anomalies bucketed by error code."""
+        buckets: dict[str, list[Anomaly]] = {}
+        for anomaly in self._by_group.get(key, ()):
+            buckets.setdefault(anomaly.error_code, []).append(anomaly)
+        return buckets
+
+    def row_errors(self, row_id: int) -> set[tuple[str, GroupKey]]:
+        """``(error_code, group)`` pairs attached to one row."""
+        return set(self._by_row.get(row_id, ()))
+
+    def rows_with_errors(self) -> set[int]:
+        """All row ids that carry at least one anomaly."""
+        return set(self._by_row)
+
+    def counts_by_code(self) -> dict[str, int]:
+        """Total anomalies per error code."""
+        counts: dict[str, int] = {}
+        for anomalies in self._by_group.values():
+            for anomaly in anomalies:
+                counts[anomaly.error_code] = counts.get(anomaly.error_code, 0) + 1
+        return counts
+
+    def counts_by_group(self) -> dict[GroupKey, int]:
+        """Total anomalies per group."""
+        return {key: len(anomalies) for key, anomalies in self._by_group.items()}
+
+    def total(self) -> int:
+        """Total anomaly count."""
+        return sum(len(anomalies) for anomalies in self._by_group.values())
+
+    def groups_with_errors(self) -> list[GroupKey]:
+        """Keys of groups carrying at least one anomaly."""
+        return list(self._by_group)
+
+    # -- speculation support ----------------------------------------------------
+
+    def snapshot(self, keys: Sequence[GroupKey]) -> dict:
+        """Capture the entries of ``keys`` so a preview can restore them."""
+        return {key: list(self._by_group.get(key, ())) for key in keys}
+
+    def restore(self, snapshot: dict) -> None:
+        """Put back entries captured by :meth:`snapshot`."""
+        for key, anomalies in snapshot.items():
+            self.replace_group(key, anomalies)
+
+
+class DetectionEngine:
+    """Runs detectors over groups and maintains the error index."""
+
+    def __init__(self, backend: Backend, config: BuckarooConfig,
+                 registry: Optional[DetectorRegistry] = None):
+        self.backend = backend
+        self.config = config
+        self.registry = registry or DetectorRegistry()
+        self.ctx = DetectionContext(backend, config)
+        self.index = ErrorIndex()
+        self.detections_run = 0  # instrumentation for the A1 ablation
+
+    def detect_group(self, group: Group) -> list[Anomaly]:
+        """Run every registered detector on one group (no index update)."""
+        anomalies: list[Anomaly] = []
+        for detector in self.registry.all():
+            anomalies.extend(detector.detect(self.ctx, group))
+        self.detections_run += 1
+        return anomalies
+
+    def detect_groups(self, groups: Iterable[Group]) -> int:
+        """Detect and index each group; returns total anomalies found."""
+        total = 0
+        for group in groups:
+            found = self.detect_group(group)
+            self.index.replace_group(group.key, found)
+            total += len(found)
+        return total
+
+    def detect_all(self, groups: Iterable[Group]) -> int:
+        """Full pass: clear the index, then detect every group."""
+        self.index.clear()
+        self.ctx.invalidate_stats()
+        return self.detect_groups(groups)
+
+    def invalidate_stats(self, columns: Optional[list[str]] = None) -> None:
+        """Invalidate cached column statistics after data changes."""
+        self.ctx.invalidate_stats(columns)

@@ -1,0 +1,176 @@
+"""Group generation (§2.1).
+
+Buckaroo "generates groups by projecting numerical attributes onto
+categorical attributes".  The :class:`GroupManager` owns the set of (cat,
+num) chart pairs, materializes one :class:`~repro.core.types.Group` per
+category value per pair, and keeps memberships fresh as repairs mutate data.
+
+Row-id fetches are shared across the numerical attributes of one categorical
+attribute (the member rows of ``Country='Bhutan'`` are the same whether the
+chart shows Income or Age).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.backends.base import Backend
+from repro.config import BuckarooConfig
+from repro.core.types import Group, GroupKey
+from repro.errors import BuckarooError
+
+
+class GroupManager:
+    """Owns chart pairs and group membership."""
+
+    def __init__(self, backend: Backend, config: BuckarooConfig):
+        self.backend = backend
+        self.config = config
+        self.pairs: list[tuple[str, str]] = []
+        self.groups: dict[GroupKey, Group] = {}
+        self._cat_cols: list[str] = []
+        self._num_cols: list[str] = []
+
+    # -- generation -------------------------------------------------------------
+
+    def generate(self, cat_cols: Optional[Sequence[str]] = None,
+                 num_cols: Optional[Sequence[str]] = None) -> list[GroupKey]:
+        """(Re)build all groups; returns the group keys.
+
+        Users "can control this process by selecting the projection columns
+        and adjusting granularity" — pass explicit column lists to override
+        the automatic choice.
+        """
+        self._cat_cols = list(
+            cat_cols if cat_cols is not None
+            else self.backend.categorical_columns(self.config.max_categories)
+        )
+        self._num_cols = list(
+            num_cols if num_cols is not None else self.backend.numerical_columns()
+        )
+        for column in self._cat_cols:
+            self.backend.ensure_index(column)
+        for column in self._num_cols:
+            self.backend.ensure_index(column)
+        self.backend.register_chart_columns(self._cat_cols, self._num_cols)
+        self.pairs = [
+            (cat, num)
+            for cat in self._cat_cols
+            for num in self._num_cols
+            if cat != num
+        ]
+        self.groups = {}
+        for cat in self._cat_cols:
+            sizes = self.backend.group_sizes(cat)
+            nums = [num for num in self._num_cols if num != cat]
+            if not nums:
+                continue
+            for category in sizes:
+                member_rows = tuple(self.backend.group_row_ids(cat, category))
+                for num in nums:
+                    key = GroupKey(cat, category, num)
+                    self.groups[key] = Group(key, member_rows)
+        return list(self.groups)
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def categorical_attributes(self) -> list[str]:
+        """The grouping attributes in use."""
+        return list(self._cat_cols)
+
+    @property
+    def numerical_attributes(self) -> list[str]:
+        """The projected attributes in use."""
+        return list(self._num_cols)
+
+    def group(self, key: GroupKey) -> Group:
+        """The group for ``key`` (raises when unknown)."""
+        try:
+            return self.groups[key]
+        except KeyError:
+            raise BuckarooError(f"unknown group {key.describe()}") from None
+
+    def keys(self) -> list[GroupKey]:
+        """All current group keys."""
+        return list(self.groups)
+
+    def keys_for_pair(self, cat: str, num: str) -> list[GroupKey]:
+        """Group keys belonging to one chart pair."""
+        return [key for key in self.groups if key.categorical == cat and key.numerical == num]
+
+    def groups_of_rows(self, row_ids: Sequence[int]) -> set[GroupKey]:
+        """Every group key that any of ``row_ids`` belongs to.
+
+        A row belongs to exactly one group per (cat, num) pair — the group
+        keyed by its value of the categorical attribute (§2.1).
+        """
+        keys: set[GroupKey] = set()
+        if not row_ids:
+            return keys
+        live = [row_id for row_id in row_ids if self._is_live(row_id)]
+        for cat in self._cat_cols:
+            if not live:
+                break
+            categories = set(self.backend.values(cat, live))
+            for num in self._num_cols:
+                if num == cat:
+                    continue
+                for category in categories:
+                    key = GroupKey(cat, category, num)
+                    if key in self.groups:
+                        keys.add(key)
+        return keys
+
+    def _is_live(self, row_id: int) -> bool:
+        try:
+            self.backend.row(row_id)
+            return True
+        except BuckarooError:
+            return False
+
+    # -- maintenance --------------------------------------------------------------
+
+    def refresh(self, keys: Sequence[GroupKey]) -> list[GroupKey]:
+        """Recompute memberships for ``keys``; returns keys still alive.
+
+        Shares one membership fetch across all numerical attributes of each
+        (categorical, category) combination.  Empty groups are dropped.
+        """
+        by_category: dict[tuple[str, object], list[GroupKey]] = {}
+        for key in keys:
+            by_category.setdefault((key.categorical, key.category), []).append(key)
+        alive: list[GroupKey] = []
+        for (cat, category), sibling_keys in by_category.items():
+            member_rows = tuple(self.backend.group_row_ids(cat, category))
+            for key in sibling_keys:
+                if member_rows:
+                    self.groups[key] = Group(key, member_rows)
+                    alive.append(key)
+                else:
+                    self.groups.pop(key, None)
+        return alive
+
+    def discover_new_categories(self, cat_col: str) -> list[GroupKey]:
+        """Register groups for category values that appeared after a repair.
+
+        Repairing a categorical cell (e.g. merging small groups into
+        ``'Other'``) can create values no group exists for yet.
+        """
+        if cat_col not in self._cat_cols:
+            return []
+        known = {
+            key.category for key in self.groups if key.categorical == cat_col
+        }
+        new_keys: list[GroupKey] = []
+        for category in self.backend.group_sizes(cat_col):
+            if category in known:
+                continue
+            member_rows = tuple(self.backend.group_row_ids(cat_col, category))
+            for num in self._num_cols:
+                if num == cat_col:
+                    continue
+                key = GroupKey(cat_col, category, num)
+                self.groups[key] = Group(key, member_rows)
+                new_keys.append(key)
+        return new_keys

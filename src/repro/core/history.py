@@ -1,0 +1,85 @@
+"""Undo/redo action history (§2.2 'Iterative editing').
+
+"Every transformation—whether a value imputation, deletion, or type
+correction—is logged and reversible."  Each applied repair becomes an
+:class:`ActionRecord` holding its plan (for script generation) and its
+delta (for reversal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import GroupKey, RepairPlan
+from repro.errors import HistoryError
+from repro.snapshots.delta import DeltaSnapshot
+
+
+@dataclass
+class ActionRecord:
+    """One committed wrangling operation."""
+
+    seq: int
+    plan: RepairPlan
+    delta: DeltaSnapshot
+    affected_groups: list = field(default_factory=list)
+
+
+class HistoryLog:
+    """Undo/redo stacks over :class:`ActionRecord` entries.
+
+    The undo stack *is* the current pipeline: script generation walks it in
+    order.  Applying a new action clears the redo stack (standard branching
+    semantics).
+    """
+
+    def __init__(self) -> None:
+        self._undo: list[ActionRecord] = []
+        self._redo: list[ActionRecord] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._undo)
+
+    @property
+    def can_undo(self) -> bool:
+        return bool(self._undo)
+
+    @property
+    def can_redo(self) -> bool:
+        return bool(self._redo)
+
+    def next_seq(self) -> int:
+        """Sequence number for the next action."""
+        self._seq += 1
+        return self._seq
+
+    def record(self, record: ActionRecord) -> None:
+        """Commit an applied action (clears the redo branch)."""
+        self._undo.append(record)
+        self._redo.clear()
+
+    def pop_undo(self) -> ActionRecord:
+        """Move the latest action to the redo stack and return it."""
+        if not self._undo:
+            raise HistoryError("nothing to undo")
+        record = self._undo.pop()
+        self._redo.append(record)
+        return record
+
+    def pop_redo(self) -> ActionRecord:
+        """Move the latest undone action back and return it."""
+        if not self._redo:
+            raise HistoryError("nothing to redo")
+        record = self._redo.pop()
+        self._undo.append(record)
+        return record
+
+    def records(self) -> list[ActionRecord]:
+        """The currently applied actions, oldest first (for codegen)."""
+        return list(self._undo)
+
+    def clear(self) -> None:
+        """Forget all history (does not touch the data)."""
+        self._undo.clear()
+        self._redo.clear()

@@ -1,0 +1,83 @@
+"""Anomaly ranking (§2.2, §3.2).
+
+"The UI also displays ranked anomaly (based on their frequency in the data)
+summaries", and since "datasets may contain a large number of errors,
+Buckaroo prioritizes user attention by ranking data groups based on the
+number of anomalies they contain, surfacing the most erroneous groups
+first."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detectors import DetectorRegistry
+from repro.core.engine import ErrorIndex
+from repro.core.types import GroupKey
+
+
+@dataclass(frozen=True)
+class ErrorTypeSummary:
+    """One row of the anomaly summary panel."""
+
+    code: str
+    label: str
+    color: str
+    count: int
+    weighted: float
+
+
+@dataclass(frozen=True)
+class GroupRank:
+    """One row of the ranked group list."""
+
+    key: GroupKey
+    count: int
+    weighted: float
+    dominant_code: str
+
+
+def rank_error_types(index: ErrorIndex, registry: DetectorRegistry) -> list[ErrorTypeSummary]:
+    """Error classes by frequency (descending), with display metadata."""
+    summaries = []
+    for code, count in index.counts_by_code().items():
+        error_type = registry.error_type(code)
+        summaries.append(ErrorTypeSummary(
+            code=code, label=error_type.label, color=error_type.color,
+            count=count, weighted=count * error_type.severity,
+        ))
+    summaries.sort(key=lambda s: (-s.count, s.code))
+    return summaries
+
+
+def rank_groups(index: ErrorIndex, registry: DetectorRegistry,
+                limit: int | None = None) -> list[GroupRank]:
+    """Groups by anomaly count (descending) — the inspection order."""
+    ranks = []
+    for key in index.groups_with_errors():
+        buckets = index.group_anomalies_by_code(key)
+        count = sum(len(v) for v in buckets.values())
+        weighted = sum(
+            len(v) * registry.error_type(code).severity
+            for code, v in buckets.items()
+        )
+        dominant = max(buckets.items(), key=lambda kv: len(kv[1]))[0]
+        ranks.append(GroupRank(key, count, weighted, dominant))
+    ranks.sort(key=lambda r: (-r.weighted, -r.count, r.key))
+    return ranks[:limit] if limit is not None else ranks
+
+
+def dominant_error_color(index: ErrorIndex, registry: DetectorRegistry,
+                         key: GroupKey) -> str:
+    """The colour a chart mark for ``key`` should take.
+
+    Groups are "color-coded by their dominant anomaly type" (§2.2); clean
+    groups get the neutral colour.
+    """
+    from repro.core.types import NO_ANOMALY_COLOR
+
+    buckets = index.group_anomalies_by_code(key)
+    if not buckets:
+        return NO_ANOMALY_COLOR
+    dominant = max(buckets.items(), key=lambda kv: len(kv[1]))[0]
+    return registry.error_type(dominant).color

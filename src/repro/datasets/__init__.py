@@ -1,0 +1,50 @@
+"""``repro.datasets`` — seeded generators for the paper's three datasets.
+
+Each generator matches the published shape (rows x columns) and takes a
+``scale`` factor for fast tests.  ``dirty=True`` (default) injects the
+standard error profile and returns the ground truth alongside the frame.
+"""
+
+from repro.datasets.adult import make_adult_income
+from repro.datasets.chicago_crime import make_chicago_crime
+from repro.datasets.inject import ErrorInjector, GroundTruth
+from repro.datasets.stackoverflow import make_stackoverflow
+
+DATASETS = {
+    "stackoverflow": make_stackoverflow,
+    "adult_income": make_adult_income,
+    "chicago_crime": make_chicago_crime,
+}
+
+FULL_SHAPES = {
+    "stackoverflow": (38_091, 21),
+    "adult_income": (48_843, 15),
+    "chicago_crime": (249_542, 17),
+}
+
+
+def load_dataset(name: str, scale: float | None = None, seed: int | None = None,
+                 dirty: bool = True):
+    """Generate one of the paper's datasets by name."""
+    try:
+        maker = DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {sorted(DATASETS)}"
+        ) from None
+    kwargs = {"scale": scale, "dirty": dirty}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return maker(**kwargs)
+
+
+__all__ = [
+    "DATASETS",
+    "ErrorInjector",
+    "FULL_SHAPES",
+    "GroundTruth",
+    "load_dataset",
+    "make_adult_income",
+    "make_chicago_crime",
+    "make_stackoverflow",
+]

@@ -1,0 +1,171 @@
+"""Ground-truth-tracking error injection.
+
+Injects the paper's built-in error classes into a clean frame: missing
+values, outliers, and type mismatches ("12k"-style spellings).  The
+returned :class:`GroundTruth` records every corrupted cell, enabling the
+recall measurements of the sampling ablation (A2) — something the paper's
+real-world datasets cannot provide.
+
+Row identity note: both backends assign row ids ``1..n`` in load order, so
+ground-truth *positions* map to backend row ids as ``position + 1``
+(:meth:`GroundTruth.row_id`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.types import ERROR_MISSING, ERROR_OUTLIER, ERROR_TYPE_MISMATCH
+from repro.frame import DataFrame
+from repro.frame.parsing import coerce_to_number
+
+_MISMATCH_STYLES = ("suffix_k", "currency", "words")
+
+_NUMBER_WORDS = ("twelve", "fifty", "about a hundred", "unknown amount")
+
+
+@dataclass
+class GroundTruth:
+    """Every injected error: ``code -> {(position, column)}``."""
+
+    cells: dict = field(default_factory=dict)
+
+    def add(self, code: str, position: int, column: str) -> None:
+        self.cells.setdefault(code, set()).add((position, column))
+
+    def positions(self, code: str | None = None) -> set:
+        """Corrupted row positions (optionally for one error code)."""
+        if code is not None:
+            return {position for position, _ in self.cells.get(code, ())}
+        return {
+            position
+            for entries in self.cells.values()
+            for position, _ in entries
+        }
+
+    def row_ids(self, code: str | None = None) -> set:
+        """Corrupted rows as backend row ids (position + 1)."""
+        return {position + 1 for position in self.positions(code)}
+
+    def total(self) -> int:
+        """Total corrupted cells."""
+        return sum(len(entries) for entries in self.cells.values())
+
+    def merge(self, other: "GroundTruth") -> "GroundTruth":
+        """Union of two ground truths."""
+        merged = GroundTruth()
+        for source in (self, other):
+            for code, entries in source.cells.items():
+                merged.cells.setdefault(code, set()).update(entries)
+        return merged
+
+
+class ErrorInjector:
+    """Seeded injector producing (dirty frame, ground truth) pairs."""
+
+    def __init__(self, seed: int = 7):
+        self._rng = np.random.default_rng(seed)
+
+    def inject_missing(self, frame: DataFrame, columns: list[str],
+                       fraction: float) -> tuple[DataFrame, GroundTruth]:
+        """Blank a fraction of cells in each column."""
+        truth = GroundTruth()
+        for column in columns:
+            positions = self._sample_positions(frame.n_rows, fraction)
+            if not len(positions):
+                continue
+            frame = frame.set_values(column, positions, None)
+            for position in positions:
+                truth.add(ERROR_MISSING, int(position), column)
+        return frame, truth
+
+    def inject_outliers(self, frame: DataFrame, columns: list[str],
+                        fraction: float,
+                        magnitude: float = 8.0) -> tuple[DataFrame, GroundTruth]:
+        """Push a fraction of cells ``magnitude`` standard deviations out."""
+        truth = GroundTruth()
+        for column in columns:
+            col = frame[column]
+            values, ok, _ = col.to_numeric()
+            usable = values[ok]
+            if len(usable) < 2:
+                continue
+            mean = float(np.mean(usable))
+            std = float(np.std(usable)) or max(abs(mean), 1.0)
+            candidates = np.flatnonzero(ok)
+            positions = self._choose(candidates, fraction, frame.n_rows)
+            if not len(positions):
+                continue
+            signs = self._rng.choice([-1.0, 1.0], size=len(positions))
+            spread = self._rng.uniform(1.0, 2.0, size=len(positions))
+            new_values = [
+                round(mean + float(sign) * magnitude * float(s) * std, 2)
+                for sign, s in zip(signs, spread)
+            ]
+            frame = frame.set_values(column, positions, new_values)
+            for position in positions:
+                truth.add(ERROR_OUTLIER, int(position), column)
+        return frame, truth
+
+    def inject_type_mismatches(self, frame: DataFrame, columns: list[str],
+                               fraction: float) -> tuple[DataFrame, GroundTruth]:
+        """Replace numeric cells with dirty text spellings ('12k', '$5,000')."""
+        truth = GroundTruth()
+        for column in columns:
+            col = frame[column]
+            _, ok, _ = col.to_numeric()
+            candidates = np.flatnonzero(ok)
+            positions = self._choose(candidates, fraction, frame.n_rows)
+            if not len(positions):
+                continue
+            styles = self._rng.choice(len(_MISMATCH_STYLES), size=len(positions))
+            new_values = []
+            for position, style in zip(positions, styles):
+                number = coerce_to_number(col[int(position)]) or 0.0
+                new_values.append(self._spell(number, _MISMATCH_STYLES[style]))
+            frame = frame.set_values(column, positions, new_values)
+            for position in positions:
+                truth.add(ERROR_TYPE_MISMATCH, int(position), column)
+        return frame, truth
+
+    def inject_profile(self, frame: DataFrame, numeric_columns: list[str],
+                       missing: float = 0.01, outliers: float = 0.005,
+                       mismatches: float = 0.005) -> tuple[DataFrame, GroundTruth]:
+        """Apply the standard dirty-data profile used by the benchmarks."""
+        frame, truth_outliers = self.inject_outliers(frame, numeric_columns, outliers)
+        frame, truth_mismatch = self.inject_type_mismatches(
+            frame, numeric_columns, mismatches
+        )
+        frame, truth_missing = self.inject_missing(frame, numeric_columns, missing)
+        return frame, truth_outliers.merge(truth_mismatch).merge(truth_missing)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _sample_positions(self, n_rows: int, fraction: float) -> np.ndarray:
+        count = int(round(n_rows * fraction))
+        if count < 1 and fraction > 0 and n_rows:
+            count = 1
+        count = min(count, n_rows)
+        if not count:
+            return np.array([], dtype=np.int64)
+        return self._rng.choice(n_rows, size=count, replace=False)
+
+    def _choose(self, candidates: np.ndarray, fraction: float,
+                n_rows: int) -> np.ndarray:
+        count = int(round(n_rows * fraction))
+        if count < 1 and fraction > 0 and len(candidates):
+            count = 1
+        count = min(count, len(candidates))
+        if not count:
+            return np.array([], dtype=np.int64)
+        return self._rng.choice(candidates, size=count, replace=False)
+
+    def _spell(self, number: float, style: str) -> str:
+        if style == "suffix_k":
+            return f"{number / 1000:.0f}k" if abs(number) >= 1000 else f"{number:.0f}k"
+        if style == "currency":
+            return f"${number:,.0f}"
+        index = int(self._rng.integers(0, len(_NUMBER_WORDS)))
+        return _NUMBER_WORDS[index]

@@ -1,0 +1,111 @@
+"""Synthetic StackOverflow developer survey (38,091 rows x 21 columns).
+
+Matches the shape the paper reports for its StackOverflow dataset; the
+compensation column is the Figure 1 running example (income grouped by
+country and education).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.generators import (
+    integers,
+    lognormal,
+    normals,
+    pick,
+    rng_for,
+    scaled,
+    sequential_ids,
+)
+from repro.datasets.inject import ErrorInjector, GroundTruth
+from repro.frame import DataFrame
+
+N_ROWS = 38_091
+N_COLS = 21
+
+COUNTRIES = [
+    "United States", "India", "Germany", "United Kingdom", "Canada",
+    "France", "Brazil", "Poland", "Netherlands", "Australia", "Spain",
+    "Italy", "Sweden", "Bhutan", "Lesotho", "Nauru",
+]
+_COUNTRY_WEIGHTS = [
+    20, 14, 9, 8, 6, 5, 5, 4, 4, 3, 3, 3, 2, 0.5, 0.4, 0.1,
+]
+DEGREES = ["BS", "MS", "PhD", "Associate", "Self-taught", "Bootcamp"]
+_DEGREE_WEIGHTS = [38, 24, 7, 9, 17, 5]
+DEV_TYPES = [
+    "full-stack", "back-end", "front-end", "mobile", "data-science",
+    "devops", "embedded", "qa",
+]
+EMPLOYMENT = ["full-time", "part-time", "freelance", "student", "unemployed"]
+ORG_SIZES = ["1-9", "10-99", "100-999", "1000-9999", "10000+"]
+REMOTE = ["remote", "hybrid", "in-person"]
+VISIT_FREQ = ["daily", "weekly", "monthly", "rarely"]
+SURVEY_EASE = ["easy", "neutral", "difficult"]
+GENDERS = ["man", "woman", "non-binary", "undisclosed"]
+
+_INCOME_MEDIAN = {
+    "United States": 115_000, "India": 18_000, "Germany": 72_000,
+    "United Kingdom": 76_000, "Canada": 80_000, "France": 55_000,
+    "Brazil": 22_000, "Poland": 36_000, "Netherlands": 70_000,
+    "Australia": 85_000, "Spain": 42_000, "Italy": 40_000,
+    "Sweden": 62_000, "Bhutan": 9_000, "Lesotho": 7_000, "Nauru": 12_000,
+}
+
+NUMERIC_ERROR_COLUMNS = ["converted_comp_yearly", "years_code", "work_exp"]
+
+
+def make_stackoverflow(scale: float | None = None, seed: int = 7,
+                       dirty: bool = True,
+                       error_rate: float = 0.01) -> tuple[DataFrame, GroundTruth]:
+    """Generate the survey at ``scale`` (None = full 38,091 rows).
+
+    With ``dirty=True`` the standard error profile is injected into the
+    compensation/experience columns and the ground truth is returned.
+    """
+    n = scaled(N_ROWS, scale)
+    rng = rng_for(seed)
+    countries = pick(rng, COUNTRIES, n, _COUNTRY_WEIGHTS)
+    ages = integers(rng, n, 18, 65)
+    years_code = [max(0, age - 18 - int(rng.integers(0, 10))) for age in ages]
+    incomes = []
+    for country in countries:
+        median = _INCOME_MEDIAN[country]
+        incomes.append(float(rng.lognormal(mean=_log(median), sigma=0.45)))
+    data = {
+        "respondent": sequential_ids(n),
+        "country": countries,
+        "ed_level": pick(rng, DEGREES, n, _DEGREE_WEIGHTS),
+        "dev_type": pick(rng, DEV_TYPES, n),
+        "employment": pick(rng, EMPLOYMENT, n, [70, 8, 10, 8, 4]),
+        "remote_work": pick(rng, REMOTE, n, [38, 42, 20]),
+        "org_size": pick(rng, ORG_SIZES, n),
+        "age": ages,
+        "gender": pick(rng, GENDERS, n, [70, 22, 4, 4]),
+        "years_code": years_code,
+        "years_code_pro": [max(0, y - int(rng.integers(0, 6))) for y in years_code],
+        "converted_comp_yearly": [round(v, 2) for v in incomes],
+        "work_exp": [max(0, age - 22) for age in ages],
+        "languages_num": integers(rng, n, 1, 12),
+        "so_visit_freq": pick(rng, VISIT_FREQ, n, [45, 35, 15, 5]),
+        "so_account_age": integers(rng, n, 0, 15),
+        "job_sat": integers(rng, n, 0, 10),
+        "survey_length_min": normals(rng, n, 21.0, 6.0),
+        "survey_ease": pick(rng, SURVEY_EASE, n, [55, 35, 10]),
+        "team_size": integers(rng, n, 1, 40),
+        "uses_vcs": pick(rng, ["yes", "no"], n, [95, 5]),
+    }
+    frame = DataFrame.from_dict(data)
+    assert frame.n_cols == N_COLS
+    if not dirty:
+        return frame, GroundTruth()
+    injector = ErrorInjector(seed=seed + 1)
+    return injector.inject_profile(
+        frame, NUMERIC_ERROR_COLUMNS,
+        missing=error_rate, outliers=error_rate / 2, mismatches=error_rate / 2,
+    )
+
+
+def _log(value: float) -> float:
+    import math
+
+    return math.log(value)

@@ -1,0 +1,120 @@
+"""Exception hierarchy for the Buckaroo reproduction.
+
+Every package raises exceptions derived from :class:`ReproError`, so callers
+can catch one base class at the API boundary.  Subsystem bases (``FrameError``,
+``DatabaseError``, ``BuckarooError``, ...) allow narrower handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# repro.frame
+# ---------------------------------------------------------------------------
+
+
+class FrameError(ReproError):
+    """Base class for dataframe-layer errors."""
+
+
+class ColumnTypeError(FrameError):
+    """An operation was applied to a column of an unsupported dtype."""
+
+
+class LengthMismatchError(FrameError):
+    """Columns (or masks) with different lengths were combined."""
+
+
+class MissingColumnError(FrameError, KeyError):
+    """A referenced column does not exist in the frame."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = list(available or [])
+        detail = f"column {name!r} does not exist"
+        if self.available:
+            detail += f" (available: {', '.join(self.available)})"
+        super().__init__(detail)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return self.args[0]
+
+
+# ---------------------------------------------------------------------------
+# repro.minidb
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for the embedded SQL engine."""
+
+
+class SQLSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class CatalogError(DatabaseError):
+    """A table, column, or index reference could not be resolved."""
+
+
+class PlanningError(DatabaseError):
+    """The planner could not produce a plan for a parsed statement."""
+
+
+class ExecutionError(DatabaseError):
+    """A runtime failure while executing a plan (bad cast, bad function...)."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction state transition (nested BEGIN, stray COMMIT...)."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint violation (duplicate rowid, wrong arity insert...)."""
+
+
+# ---------------------------------------------------------------------------
+# repro.core and above
+# ---------------------------------------------------------------------------
+
+
+class BuckarooError(ReproError):
+    """Base class for wrangling-session errors."""
+
+
+class UnknownErrorCodeError(BuckarooError):
+    """An error code was used that no registered detector produces."""
+
+
+class DetectorError(BuckarooError):
+    """A detector failed or returned malformed output."""
+
+
+class WranglerError(BuckarooError):
+    """A wrangler failed, or was applied to an error type it cannot repair."""
+
+
+class HistoryError(BuckarooError):
+    """Undo/redo was requested in a state where it is impossible."""
+
+
+class SnapshotError(BuckarooError):
+    """Snapshot (de)serialization or application failed."""
+
+
+class NavigationError(ReproError):
+    """Pan/zoom layer errors (bad viewport, unknown layer...)."""
+
+
+class CodegenError(ReproError):
+    """Script generation failed (unknown action, unsupported target...)."""

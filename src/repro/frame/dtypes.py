@@ -1,0 +1,112 @@
+"""Column dtype system for :mod:`repro.frame`.
+
+The dataframe substrate supports five logical dtypes:
+
+``int64``
+    64-bit integers (numpy-backed, zeros under the missing mask).
+``float64``
+    64-bit floats (NaN under the missing mask).
+``bool``
+    booleans.
+``string``
+    text values, stored as Python ``str`` objects.
+``mixed``
+    heterogeneous values — the dtype real-world dirty columns land in,
+    e.g. an income column containing ``50000`` alongside ``"12k"``.
+    Buckaroo's type-mismatch detector (§3.1) targets these columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+INT64 = "int64"
+FLOAT64 = "float64"
+BOOL = "bool"
+STRING = "string"
+MIXED = "mixed"
+
+ALL_DTYPES = (INT64, FLOAT64, BOOL, STRING, MIXED)
+
+NUMERIC_DTYPES = (INT64, FLOAT64)
+
+_STORAGE = {
+    INT64: np.int64,
+    FLOAT64: np.float64,
+    BOOL: np.bool_,
+    STRING: object,
+    MIXED: object,
+}
+
+
+def is_numeric_dtype(dtype: str) -> bool:
+    """True for dtypes whose values are machine numbers (int64/float64)."""
+    return dtype in NUMERIC_DTYPES
+
+
+def storage_dtype(dtype: str):
+    """Return the numpy storage dtype backing a logical dtype."""
+    try:
+        return _STORAGE[dtype]
+    except KeyError:
+        raise ValueError(f"unknown dtype {dtype!r}; expected one of {ALL_DTYPES}") from None
+
+
+def validate_dtype(dtype: str) -> str:
+    """Return ``dtype`` if valid, raising ``ValueError`` otherwise."""
+    if dtype not in _STORAGE:
+        raise ValueError(f"unknown dtype {dtype!r}; expected one of {ALL_DTYPES}")
+    return dtype
+
+
+def infer_dtype(values: Iterable) -> str:
+    """Infer the narrowest logical dtype holding every non-missing value.
+
+    ``None`` (and float NaN) count as missing and do not influence the
+    result.  An all-missing column defaults to ``float64``.
+
+    >>> infer_dtype([1, 2, None])
+    'int64'
+    >>> infer_dtype([1, 2.5])
+    'float64'
+    >>> infer_dtype(["a", "b"])
+    'string'
+    >>> infer_dtype([1, "12k"])
+    'mixed'
+    """
+    saw_int = saw_float = saw_bool = saw_str = saw_other = False
+    saw_any = False
+    for value in values:
+        if value is None or _is_nan(value):
+            continue
+        saw_any = True
+        if isinstance(value, bool) or isinstance(value, np.bool_):
+            saw_bool = True
+        elif isinstance(value, (int, np.integer)):
+            saw_int = True
+        elif isinstance(value, (float, np.floating)):
+            saw_float = True
+        elif isinstance(value, str):
+            saw_str = True
+        else:
+            saw_other = True
+    if not saw_any:
+        return FLOAT64
+    if saw_other:
+        return MIXED
+    kinds = sum([saw_bool, saw_int or saw_float, saw_str])
+    if kinds > 1:
+        return MIXED
+    if saw_str:
+        return STRING
+    if saw_bool:
+        return BOOL
+    if saw_float:
+        return FLOAT64
+    return INT64
+
+
+def _is_nan(value) -> bool:
+    return isinstance(value, (float, np.floating)) and value != value

@@ -1,0 +1,97 @@
+"""Group-by aggregation over a :class:`~repro.frame.frame.DataFrame`.
+
+This provides the frame-backend implementation of the paper's group
+abstraction (§2.1): projecting a numerical attribute onto a categorical
+attribute yields one group per category value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import MissingColumnError
+
+_AGG_FUNCS: dict[str, Callable[[np.ndarray], float]] = {
+    "count": lambda v: float(len(v)),
+    "sum": lambda v: float(np.sum(v)) if len(v) else 0.0,
+    "mean": lambda v: float(np.mean(v)) if len(v) else float("nan"),
+    "median": lambda v: float(np.median(v)) if len(v) else float("nan"),
+    "min": lambda v: float(np.min(v)) if len(v) else float("nan"),
+    "max": lambda v: float(np.max(v)) if len(v) else float("nan"),
+    "std": lambda v: float(np.std(v)) if len(v) else float("nan"),
+}
+
+SUPPORTED_AGGS = tuple(_AGG_FUNCS)
+"""Aggregate function names accepted by :meth:`GroupBy.agg`."""
+
+
+class GroupBy:
+    """Lazily computed grouping of frame rows by a key column's values.
+
+    Missing key values form their own group under the key ``None`` — in
+    Buckaroo a missing *categorical* cell is itself an anomaly worth seeing.
+    """
+
+    def __init__(self, frame, key_column: str):
+        if key_column not in frame:
+            raise MissingColumnError(key_column, frame.column_names)
+        self._frame = frame
+        self.key_column = key_column
+        self._groups: dict | None = None
+
+    def groups(self) -> dict:
+        """Map each key value to an int64 array of row positions."""
+        if self._groups is None:
+            buckets: dict = {}
+            for position, value in enumerate(self._frame[self.key_column]):
+                buckets.setdefault(value, []).append(position)
+            self._groups = {
+                key: np.asarray(positions, dtype=np.int64)
+                for key, positions in buckets.items()
+            }
+        return self._groups
+
+    def size(self) -> dict:
+        """Map each key value to its group's row count."""
+        return {key: len(positions) for key, positions in self.groups().items()}
+
+    def keys(self) -> list:
+        """Group key values in first-seen order."""
+        return list(self.groups())
+
+    def agg(self, value_column: str, funcs: Sequence[str]):
+        """Aggregate ``value_column`` per group with the named functions.
+
+        Returns a new :class:`DataFrame` with the key column plus one column
+        per function (named ``<value_column>_<func>``).  Non-numeric and
+        missing values are skipped; ``count`` counts usable numeric values.
+        """
+        from repro.frame.frame import DataFrame
+
+        for func in funcs:
+            if func not in _AGG_FUNCS:
+                raise ValueError(
+                    f"unsupported aggregate {func!r}; expected one of {SUPPORTED_AGGS}"
+                )
+        column = self._frame[value_column]
+        values, ok, _ = column.to_numeric()
+        keys = []
+        out: dict[str, list] = {f"{value_column}_{f}": [] for f in funcs}
+        for key, positions in self.groups().items():
+            usable = values[positions][ok[positions]]
+            keys.append(key)
+            for func in funcs:
+                out[f"{value_column}_{func}"].append(_AGG_FUNCS[func](usable))
+        data: dict[str, list] = {self.key_column: keys}
+        data.update(out)
+        return DataFrame.from_dict(data)
+
+    def missing_counts(self, value_column: str) -> dict:
+        """Per-group count of missing cells in ``value_column``."""
+        mask = self._frame[value_column].missing_mask
+        return {
+            key: int(mask[positions].sum())
+            for key, positions in self.groups().items()
+        }

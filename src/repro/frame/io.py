@@ -1,0 +1,88 @@
+"""CSV input/output for :mod:`repro.frame`.
+
+A small, dependency-free loader with dtype inference: numeric-looking text
+becomes int64/float64, conventional missing tokens become missing cells, and
+columns mixing numbers with unparseable text land in the ``mixed`` dtype so
+Buckaroo's type-mismatch detector can find them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.frame.dtypes import FLOAT64, INT64
+from repro.frame.frame import DataFrame
+from repro.frame.parsing import is_missing_token, parse_number_strict
+
+
+def read_csv(source, dtypes_map: dict[str, str] | None = None) -> DataFrame:
+    """Load a CSV file (path, ``Path`` or file object) into a frame.
+
+    Values are inferred cell-by-cell: strict numeric literals become numbers,
+    missing tokens (``""``, ``"N/A"``...) become missing, everything else
+    stays text.  ``dtypes_map`` forces specific columns to a logical dtype.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="", encoding="utf-8") as handle:
+            return _read(handle, dtypes_map)
+    return _read(source, dtypes_map)
+
+
+def read_csv_text(text: str, dtypes_map: dict[str, str] | None = None) -> DataFrame:
+    """Load CSV from an in-memory string (convenience for tests/examples)."""
+    return _read(io.StringIO(text), dtypes_map)
+
+
+def _read(handle, dtypes_map: dict[str, str] | None) -> DataFrame:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV source is empty (no header row)") from None
+    columns: list[list] = [[] for _ in header]
+    for row in reader:
+        for i in range(len(header)):
+            raw = row[i] if i < len(row) else ""
+            columns[i].append(_parse_cell(raw))
+    data = {name: values for name, values in zip(header, columns)}
+    return DataFrame.from_dict(data, dtypes_map=dtypes_map)
+
+
+def _parse_cell(raw: str):
+    if is_missing_token(raw):
+        return None
+    number = parse_number_strict(raw)
+    if number is not None:
+        if number == int(number) and "e" not in raw.lower() and "." not in raw:
+            return int(number)
+        return number
+    return raw
+
+
+def write_csv(frame: DataFrame, target) -> None:
+    """Write a frame to a CSV file (path, ``Path`` or file object).
+
+    Missing cells are written as empty strings.
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "w", newline="", encoding="utf-8") as handle:
+            _write(frame, handle)
+        return
+    _write(frame, target)
+
+
+def write_csv_text(frame: DataFrame) -> str:
+    """Render a frame as a CSV string."""
+    buffer = io.StringIO()
+    _write(frame, buffer)
+    return buffer.getvalue()
+
+
+def _write(frame: DataFrame, handle) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(frame.column_names)
+    for row in frame.iter_rows():
+        writer.writerow(["" if value is None else value for value in row])

@@ -1,0 +1,111 @@
+"""Text-to-number parsing used by type-mismatch detection and repair.
+
+Two flavours:
+
+* :func:`parse_number_strict` accepts only plain numeric literals and is used
+  for dtype inference and CSV loading.
+* :func:`parse_number_lenient` additionally understands the messy spellings
+  Buckaroo's type-conversion wrangler must repair — the paper's running
+  example is ``"12k"`` in a salary column (§3.1), and real data adds currency
+  symbols, thousands separators and percent signs.
+"""
+
+from __future__ import annotations
+
+import re
+
+MISSING_TOKENS = frozenset(
+    {"", "na", "n/a", "null", "none", "nan", "missing", "?", "-", "unknown"}
+)
+"""Spellings treated as a missing value when loading text data."""
+
+_SUFFIX_MULTIPLIERS = {
+    "k": 1e3,
+    "m": 1e6,
+    "b": 1e9,
+}
+
+_CURRENCY = "$€£¥"
+
+_STRICT_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?$")
+
+
+def is_missing_token(text: str) -> bool:
+    """True when ``text`` is a conventional spelling of "no value"."""
+    return text.strip().lower() in MISSING_TOKENS
+
+
+def parse_number_strict(text: str) -> float | None:
+    """Parse a plain numeric literal, returning ``None`` when not a number.
+
+    >>> parse_number_strict("42")
+    42.0
+    >>> parse_number_strict("12k") is None
+    True
+    """
+    text = text.strip()
+    if not _STRICT_RE.match(text):
+        return None
+    return float(text)
+
+
+def parse_number_lenient(text: str) -> float | None:
+    """Parse messy numeric spellings; ``None`` when no number is recoverable.
+
+    Handles currency symbols, thousands separators, magnitude suffixes
+    (k/m/b, case-insensitive) and percent signs:
+
+    >>> parse_number_lenient("12k")
+    12000.0
+    >>> parse_number_lenient("$1,200.50")
+    1200.5
+    >>> parse_number_lenient("15%")
+    0.15
+    >>> parse_number_lenient("twelve") is None
+    True
+    """
+    text = text.strip()
+    if not text or is_missing_token(text):
+        return None
+    negative = False
+    if text.startswith("(") and text.endswith(")"):  # accounting negatives
+        negative = True
+        text = text[1:-1].strip()
+    text = text.lstrip(_CURRENCY).rstrip(_CURRENCY).strip()
+    percent = False
+    if text.endswith("%"):
+        percent = True
+        text = text[:-1].strip()
+    multiplier = 1.0
+    if text and text[-1].lower() in _SUFFIX_MULTIPLIERS:
+        multiplier = _SUFFIX_MULTIPLIERS[text[-1].lower()]
+        text = text[:-1].strip()
+    text = text.replace(",", "").replace("_", "")
+    parsed = parse_number_strict(text)
+    if parsed is None:
+        return None
+    value = parsed * multiplier
+    if percent:
+        value /= 100.0
+    if negative:
+        value = -value
+    return value
+
+
+def coerce_to_number(value) -> float | None:
+    """Best-effort conversion of an arbitrary cell value to ``float``.
+
+    Numbers pass through; strings go through the lenient parser; anything
+    else (including ``None``/NaN and booleans) yields ``None``.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and value != value:
+            return None
+        return float(value)
+    if isinstance(value, str):
+        return parse_number_lenient(value)
+    return None

@@ -1,0 +1,34 @@
+"""``repro.minidb`` — an embedded relational database engine.
+
+This package is the reproduction's substitute for PostgreSQL (DESIGN.md §1):
+a SQL engine with a tokenizer, recursive-descent parser, expression compiler,
+hash + B+tree indexes, an index-selecting planner, a volcano-style executor,
+transactions with rollback, and a write-ahead log.
+
+Buckaroo uses it through :class:`~repro.backends.sql_backend.SQLBackend`:
+built-in detectors run as SQL, group membership is an index lookup, and the
+zoom engine's viewport fetches are parameterized range queries.
+"""
+
+from repro.minidb.btree import BTree
+from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema, affinity_of
+from repro.minidb.database import Database
+from repro.minidb.hash_index import BTreeIndex, HashIndex
+from repro.minidb.parser import parse, parse_expression
+from repro.minidb.results import ResultSet
+from repro.minidb.wal import WriteAheadLog
+
+__all__ = [
+    "BTree",
+    "BTreeIndex",
+    "ColumnDef",
+    "Database",
+    "HashIndex",
+    "IndexDef",
+    "ResultSet",
+    "TableSchema",
+    "WriteAheadLog",
+    "affinity_of",
+    "parse",
+    "parse_expression",
+]

@@ -1,0 +1,247 @@
+"""A B+tree mapping sort keys to sets of rowids.
+
+This backs minidb's range-scannable indexes — the structure the paper's
+pan-and-zoom region queries (§4.2) and outlier threshold scans rely on.
+
+Design notes:
+
+* keys are the normalized tuples produced by
+  :func:`repro.minidb.expressions.sort_key`, so heterogeneous column values
+  (numbers mixed with text) order deterministically;
+* each key maps to a *set* of rowids (columns are not unique in general);
+* leaves form a singly linked list for in-order range scans;
+* deleting the last rowid of a key removes the key from its leaf without
+  rebalancing (lazy deletion).  Internal separators may then reference
+  absent keys, which never affects search correctness — separators only
+  guide descent.  :meth:`BTree.check_invariants` verifies the structural
+  invariants that *do* matter and is exercised by the property tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list = []
+        self.values: list[set] = []
+        self.next: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list = []
+        self.children: list = []
+
+
+class BTree:
+    """Order-``order`` B+tree with duplicate support via rowid sets."""
+
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise ValueError("order must be at least 4")
+        self.order = order
+        self.root: _Leaf | _Internal = _Leaf()
+        self._n_entries = 0  # number of (key, rowid) pairs
+
+    def __len__(self) -> int:
+        """Number of (key, rowid) pairs stored."""
+        return self._n_entries
+
+    @property
+    def n_keys(self) -> int:
+        """Number of distinct keys currently stored."""
+        return sum(1 for _ in self.iter_items())
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, key, rowid: int) -> None:
+        """Add ``rowid`` under ``key`` (idempotent per pair)."""
+        result = self._insert(self.root, key, rowid)
+        if result is not None:
+            separator, new_node = result
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self.root, new_node]
+            self.root = new_root
+
+    def remove(self, key, rowid: int) -> bool:
+        """Remove the pair; returns False when it was not present."""
+        node = self._find_leaf(key)
+        index = bisect_left(node.keys, key)
+        if index >= len(node.keys) or node.keys[index] != key:
+            return False
+        bucket = node.values[index]
+        if rowid not in bucket:
+            return False
+        bucket.discard(rowid)
+        self._n_entries -= 1
+        if not bucket:
+            del node.keys[index]
+            del node.values[index]
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def search(self, key) -> set:
+        """Rowids stored under exactly ``key`` (empty set when absent)."""
+        node = self._find_leaf(key)
+        index = bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return set(node.values[index])
+        return set()
+
+    def range_scan(self, low=None, high=None, include_low: bool = True,
+                   include_high: bool = True) -> Iterator[tuple]:
+        """Yield ``(key, rowids)`` for keys in the given (half-)open range.
+
+        ``None`` bounds mean unbounded on that side.
+        """
+        if low is None:
+            node: _Leaf | None = self._leftmost_leaf()
+            index = 0
+        else:
+            node = self._find_leaf(low)
+            index = bisect_left(node.keys, low) if include_low else bisect_right(node.keys, low)
+        while node is not None:
+            while index < len(node.keys):
+                key = node.keys[index]
+                if high is not None:
+                    if include_high:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                yield key, set(node.values[index])
+                index += 1
+            node = node.next
+            index = 0
+
+    def iter_items(self) -> Iterator[tuple]:
+        """All ``(key, rowids)`` pairs in key order."""
+        return self.range_scan()
+
+    def min_key(self):
+        """Smallest key, or None when empty."""
+        for key, _ in self.iter_items():
+            return key
+        return None
+
+    def max_key(self):
+        """Largest key, or None when empty."""
+        last = None
+        for key, _ in self.iter_items():
+            last = key
+        return last
+
+    # -- invariants (for tests) ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when a structural invariant is violated.
+
+        Checks: leaf keys globally sorted & distinct; internal node fanout
+        consistent; leaf chain covers exactly the reachable leaves; entry
+        count matches.
+        """
+        leaves_via_tree: list[_Leaf] = []
+        self._collect_leaves(self.root, leaves_via_tree)
+        leaves_via_chain = []
+        node = self._leftmost_leaf()
+        while node is not None:
+            leaves_via_chain.append(node)
+            node = node.next
+        assert leaves_via_tree == leaves_via_chain, "leaf chain diverges from tree"
+        all_keys = [key for leaf in leaves_via_tree for key in leaf.keys]
+        assert all_keys == sorted(all_keys), "leaf keys not sorted"
+        assert len(all_keys) == len(set(map(repr, all_keys))), "duplicate keys in leaves"
+        total = sum(
+            len(bucket) for leaf in leaves_via_tree for bucket in leaf.values
+        )
+        assert total == self._n_entries, "entry count mismatch"
+        self._check_node(self.root)
+
+    def _check_node(self, node) -> None:
+        if isinstance(node, _Leaf):
+            assert len(node.keys) == len(node.values)
+            for bucket in node.values:
+                assert bucket, "empty bucket left behind"
+            return
+        assert len(node.children) == len(node.keys) + 1, "bad internal fanout"
+        assert node.keys == sorted(node.keys), "internal keys not sorted"
+        for child in node.children:
+            self._check_node(child)
+
+    # -- internals -------------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Leaf:
+        node = self.root
+        while isinstance(node, _Internal):
+            index = bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self.root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    def _collect_leaves(self, node, out: list) -> None:
+        if isinstance(node, _Leaf):
+            out.append(node)
+            return
+        for child in node.children:
+            self._collect_leaves(child, out)
+
+    def _insert(self, node, key, rowid: int):
+        if isinstance(node, _Leaf):
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                if rowid in node.values[index]:
+                    return None
+                node.values[index].add(rowid)
+                self._n_entries += 1
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, {rowid})
+            self._n_entries += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        index = bisect_right(node.keys, key)
+        result = self._insert(node.children[index], key, rowid)
+        if result is None:
+            return None
+        separator, new_child = result
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, new_child)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Leaf):
+        mid = len(node.keys) // 2
+        sibling = _Leaf()
+        sibling.keys = node.keys[mid:]
+        sibling.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        sibling.next = node.next
+        node.next = sibling
+        return sibling.keys[0], sibling
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        sibling = _Internal()
+        sibling.keys = node.keys[mid + 1:]
+        sibling.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return separator, sibling

@@ -1,0 +1,221 @@
+"""The :class:`Database` facade — minidb's public entry point.
+
+Usage::
+
+    db = Database()
+    db.execute("CREATE TABLE people (name TEXT, age INT)")
+    db.execute("INSERT INTO people VALUES (?, ?)", ("ada", 36))
+    db.execute("CREATE INDEX idx_age ON people(age)")
+    rows = db.execute("SELECT name FROM people WHERE age > ?", (30,)).rows
+
+Statements are parsed once and cached by SQL text, so the hot path of the
+interactive workload (the same parameterized lookup per group) skips parsing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError, DatabaseError
+from repro.minidb import ast_nodes as ast
+from repro.minidb import executor
+from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema
+from repro.minidb.parser import parse
+from repro.minidb.results import ResultSet
+from repro.minidb.storage import Table
+from repro.minidb.transactions import TransactionManager
+from repro.minidb.wal import WriteAheadLog
+
+_STMT_CACHE_LIMIT = 512
+
+
+class Database:
+    """An in-process relational database with SQL, indexes and a WAL."""
+
+    def __init__(self, wal: WriteAheadLog | None = None):
+        self.tables: dict[str, Table] = {}
+        self.index_catalog: dict[str, IndexDef] = {}
+        self.wal = wal
+        self.txn = TransactionManager()
+        self._stmt_cache: dict[str, ast.Statement] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, sql: str, params: tuple | list = ()) -> ResultSet:
+        """Parse (with caching) and run one SQL statement."""
+        statement = self._parse_cached(sql)
+        return self._dispatch(statement, tuple(params), sql)
+
+    def executemany(self, sql: str, param_rows) -> int:
+        """Run one parameterized statement for each params tuple.
+
+        Returns the total rowcount.  Parsing happens once.
+        """
+        statement = self._parse_cached(sql)
+        total = 0
+        for params in param_rows:
+            result = self._dispatch(statement, tuple(params), sql)
+            total += max(result.rowcount, 0)
+        return total
+
+    def table(self, name: str) -> Table:
+        """The storage object for ``name`` (raises CatalogError when absent)."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"no table {name!r} (have: {', '.join(sorted(self.tables)) or 'none'})"
+            ) from None
+
+    def table_names(self) -> list[str]:
+        """Names of all tables."""
+        return sorted(self.tables)
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def index_names(self, table: str | None = None) -> list[str]:
+        """All index names, optionally restricted to one table."""
+        return sorted(
+            name for name, meta in self.index_catalog.items()
+            if table is None or meta.table == table
+        )
+
+    def insert_rows(self, table_name: str, rows) -> list[int]:
+        """Bulk-insert value tuples directly (fast path for data loading)."""
+        table = self.table(table_name)
+        return [table.insert(list(row)) for row in rows]
+
+    def explain(self, sql: str) -> str:
+        """The query plan for ``sql`` as newline-joined text."""
+        result = self.execute(f"EXPLAIN {sql}")
+        return "\n".join(row[0] for row in result.rows)
+
+    def checkpoint(self) -> int:
+        """Flush the WAL (no-op without one); returns records flushed."""
+        if self.wal is None:
+            return 0
+        return self.wal.checkpoint()
+
+    # -- internals -------------------------------------------------------------
+
+    def _parse_cached(self, sql: str) -> ast.Statement:
+        statement = self._stmt_cache.get(sql)
+        if statement is None:
+            statement = parse(sql)
+            if len(self._stmt_cache) >= _STMT_CACHE_LIMIT:
+                self._stmt_cache.clear()
+            self._stmt_cache[sql] = statement
+        return statement
+
+    def _dispatch(self, statement: ast.Statement, params: tuple, sql: str) -> ResultSet:
+        if isinstance(statement, ast.SelectStmt):
+            return executor.execute_select(self, statement, params)
+        if isinstance(statement, ast.InsertStmt):
+            return executor.execute_insert(self, statement, params)
+        if isinstance(statement, ast.UpdateStmt):
+            return executor.execute_update(self, statement, params)
+        if isinstance(statement, ast.DeleteStmt):
+            return executor.execute_delete(self, statement, params)
+        if isinstance(statement, ast.CreateTableStmt):
+            return self._create_table(statement, sql)
+        if isinstance(statement, ast.CreateIndexStmt):
+            return self._create_index(statement, sql)
+        if isinstance(statement, ast.DropTableStmt):
+            return self._drop_table(statement)
+        if isinstance(statement, ast.DropIndexStmt):
+            return self._drop_index(statement)
+        if isinstance(statement, ast.AlterAddColumnStmt):
+            return self._alter_add_column(statement, sql)
+        if isinstance(statement, ast.BeginStmt):
+            self.txn.begin()
+            return ResultSet([], [], rowcount=0)
+        if isinstance(statement, ast.CommitStmt):
+            events = self.txn.commit()
+            if self.wal is not None:
+                for event in events:
+                    self.wal.log_event(event)
+            return ResultSet([], [], rowcount=0)
+        if isinstance(statement, ast.RollbackStmt):
+            self.txn.rollback(self)
+            return ResultSet([], [], rowcount=0)
+        if isinstance(statement, ast.ExplainStmt):
+            return executor.explain(self, statement.statement)
+        raise DatabaseError(f"cannot execute {type(statement).__name__}")
+
+    def _on_change(self, event: tuple) -> None:
+        if self.txn.replaying:
+            return
+        if self.txn.in_transaction:
+            self.txn.active.record(event)
+            return
+        if self.wal is not None:
+            self.wal.log_event(event)
+
+    # -- DDL -----------------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTableStmt, sql: str) -> ResultSet:
+        if statement.name in self.tables:
+            if statement.if_not_exists:
+                return ResultSet([], [], rowcount=0)
+            raise CatalogError(f"table {statement.name!r} already exists")
+        schema = TableSchema(
+            statement.name,
+            [ColumnDef.make(c.name, c.type_name) for c in statement.columns],
+        )
+        table = Table(schema)
+        table.on_change = self._on_change
+        self.tables[statement.name] = table
+        if self.wal is not None and not self.txn.replaying:
+            self.wal.log_ddl(sql)
+        return ResultSet([], [], rowcount=0)
+
+    def _create_index(self, statement: ast.CreateIndexStmt, sql: str) -> ResultSet:
+        if statement.name in self.index_catalog:
+            if statement.if_not_exists:
+                return ResultSet([], [], rowcount=0)
+            raise CatalogError(f"index {statement.name!r} already exists")
+        if len(statement.columns) != 1:
+            raise CatalogError(
+                "minidb indexes cover exactly one column; create one index "
+                "per attribute (Buckaroo indexes each charted attribute separately)"
+            )
+        table = self.table(statement.table)
+        table.create_index(
+            statement.name, statement.columns[0],
+            kind=statement.kind, unique=statement.unique,
+        )
+        self.index_catalog[statement.name] = IndexDef(
+            statement.name, statement.table, statement.columns,
+            statement.kind, statement.unique,
+        )
+        if self.wal is not None and not self.txn.replaying:
+            self.wal.log_ddl(sql)
+        return ResultSet([], [], rowcount=0)
+
+    def _drop_table(self, statement: ast.DropTableStmt) -> ResultSet:
+        if statement.name not in self.tables:
+            if statement.if_exists:
+                return ResultSet([], [], rowcount=0)
+            raise CatalogError(f"no table {statement.name!r}")
+        del self.tables[statement.name]
+        for index_name in [
+            n for n, meta in self.index_catalog.items() if meta.table == statement.name
+        ]:
+            del self.index_catalog[index_name]
+        return ResultSet([], [], rowcount=0)
+
+    def _drop_index(self, statement: ast.DropIndexStmt) -> ResultSet:
+        meta = self.index_catalog.get(statement.name)
+        if meta is None:
+            if statement.if_exists:
+                return ResultSet([], [], rowcount=0)
+            raise CatalogError(f"no index {statement.name!r}")
+        self.table(meta.table).drop_index(statement.name)
+        del self.index_catalog[statement.name]
+        return ResultSet([], [], rowcount=0)
+
+    def _alter_add_column(self, statement: ast.AlterAddColumnStmt, sql: str) -> ResultSet:
+        table = self.table(statement.table)
+        table.add_column(ColumnDef.make(statement.column.name, statement.column.type_name))
+        if self.wal is not None and not self.txn.replaying:
+            self.wal.log_ddl(sql)
+        return ResultSet([], [], rowcount=0)

@@ -1,0 +1,690 @@
+"""Statement execution for minidb.
+
+Rows flow through the pipeline as Python lists laid out as
+``[rowid, col0, col1, ...]`` (for joins, the segments are concatenated).
+SELECT goes through: scan -> join -> filter -> aggregate/project -> distinct
+-> order -> limit.  UPDATE/DELETE plan their scans with the same planner, so
+indexed predicates touch only matching rows — the locality that makes the
+database backend fast in Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError, PlanningError
+from repro.minidb import ast_nodes as ast
+from repro.minidb.expressions import (
+    Resolver,
+    compile_expr,
+    find_aggregates,
+    sort_key,
+    truthy,
+)
+from repro.minidb.functions import make_aggregate
+from repro.minidb.hash_index import normalize_key
+from repro.minidb.planner import (
+    INDEX_EQ,
+    INDEX_IN,
+    INDEX_RANGE,
+    ROWID_EQ,
+    ROWID_IN,
+    ScanPlan,
+    plan_scan,
+)
+from repro.minidb.results import ResultSet
+from repro.minidb.storage import Table
+
+_EMPTY_ROW: tuple = ()
+
+
+def _value_fn(expr: ast.Expr):
+    """Compile an expression that must not reference any column."""
+    resolver = Resolver({})
+    return compile_expr(expr, resolver)
+
+
+def scan_rows(table: Table, plan: ScanPlan, params: tuple):
+    """Yield ``[rowid, *values]`` rows according to the chosen access path."""
+    if plan.kind == ROWID_EQ:
+        rowid = _value_fn(plan.eq_expr)(_EMPTY_ROW, params)
+        values = table.rows.get(rowid)
+        if values is not None:
+            yield [rowid, *values]
+        return
+    if plan.kind == ROWID_IN:
+        seen: set[int] = set()
+        for item in plan.in_exprs:
+            rowid = _value_fn(item)(_EMPTY_ROW, params)
+            if rowid in seen:
+                continue
+            seen.add(rowid)
+            values = table.rows.get(rowid)
+            if values is not None:
+                yield [rowid, *values]
+        return
+    if plan.kind == INDEX_EQ:
+        index = table.indexes[plan.index_name]
+        value = _value_fn(plan.eq_expr)(_EMPTY_ROW, params)
+        for rowid in index.lookup(value):
+            yield [rowid, *table.rows[rowid]]
+        return
+    if plan.kind == INDEX_IN:
+        index = table.indexes[plan.index_name]
+        seen: set[int] = set()
+        for item in plan.in_exprs:
+            value = _value_fn(item)(_EMPTY_ROW, params)
+            for rowid in index.lookup(value):
+                if rowid not in seen:
+                    seen.add(rowid)
+                    yield [rowid, *table.rows[rowid]]
+        return
+    if plan.kind == INDEX_RANGE:
+        index = table.indexes[plan.index_name]
+        low = _value_fn(plan.low_expr)(_EMPTY_ROW, params) if plan.low_expr is not None else None
+        high = _value_fn(plan.high_expr)(_EMPTY_ROW, params) if plan.high_expr is not None else None
+        for rowid in index.range(low, high, plan.include_low, plan.include_high):
+            yield [rowid, *table.rows[rowid]]
+        return
+    for rowid, values in table.scan():
+        yield [rowid, *values]
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+
+
+def execute_select(db, stmt: ast.SelectStmt, params: tuple) -> ResultSet:
+    """Run a SELECT and return a materialized :class:`ResultSet`."""
+    if stmt.table is None:
+        return _select_without_table(stmt, params)
+
+    base_table = db.table(stmt.table.name)
+    bindings: dict[str, dict[str, int]] = {}
+    bindings[stmt.table.binding] = _layout(base_table, 0)
+    offset = 1 + len(base_table.schema.columns)
+
+    join_tables: list[tuple[ast.Join, Table, int]] = []
+    for join in stmt.joins:
+        table = db.table(join.table.name)
+        bindings[join.table.binding] = _layout(table, offset)
+        join_tables.append((join, table, offset))
+        offset += 1 + len(table.schema.columns)
+    resolver = Resolver(bindings)
+
+    if stmt.joins:
+        rows = [[rowid, *values] for rowid, values in base_table.scan()]
+        for join, table, join_offset in join_tables:
+            rows = _execute_join(rows, join, table, join_offset, resolver, params)
+        if stmt.where is not None:
+            predicate = compile_expr(stmt.where, resolver)
+            rows = [row for row in rows if truthy(predicate(row, params))]
+    else:
+        plan = plan_scan(base_table, stmt.where)
+        rows = []
+        if plan.residual is not None:
+            predicate = compile_expr(plan.residual, resolver)
+            for row in scan_rows(base_table, plan, params):
+                if truthy(predicate(row, params)):
+                    rows.append(row)
+        else:
+            rows = list(scan_rows(base_table, plan, params))
+
+    items = _expand_stars(stmt.items, bindings)
+    has_aggregates = bool(stmt.group_by) or any(
+        item.expr is not None and find_aggregates(item.expr) for item in items
+    ) or (stmt.having is not None and find_aggregates(stmt.having))
+
+    if has_aggregates:
+        projected, names, order_rows = _aggregate_pipeline(
+            stmt, items, rows, resolver, params
+        )
+    else:
+        item_fns = [compile_expr(item.expr, resolver) for item in items]
+        names = [_output_name(item) for item in items]
+        projected = [
+            tuple(fn(row, params) for fn in item_fns) for row in rows
+        ]
+        if stmt.order_by:
+            # order keys may reference base columns not in the projection
+            projected = _apply_order(stmt, items, projected, rows, resolver, params)
+
+    if stmt.distinct:
+        projected = _distinct(projected)
+
+    projected = _apply_limit(stmt, projected, params)
+    return ResultSet(names, projected)
+
+
+def _layout(table: Table, offset: int) -> dict[str, int]:
+    mapping = {name: offset + 1 + i for i, name in enumerate(table.schema.column_names)}
+    mapping.setdefault("rowid", offset)
+    return mapping
+
+
+def _select_without_table(stmt: ast.SelectStmt, params: tuple) -> ResultSet:
+    resolver = Resolver({})
+    items = [item for item in stmt.items]
+    if any(item.is_star for item in items):
+        raise PlanningError("SELECT * requires a FROM clause")
+    fns = [compile_expr(item.expr, resolver) for item in items]
+    names = [_output_name(item) for item in items]
+    row = tuple(fn(_EMPTY_ROW, params) for fn in fns)
+    return ResultSet(names, [row])
+
+
+def _expand_stars(items, bindings) -> list[ast.SelectItem]:
+    expanded: list[ast.SelectItem] = []
+    for item in items:
+        if not item.is_star:
+            expanded.append(item)
+            continue
+        targets = [item.star_table] if item.star_table else list(bindings)
+        for binding in targets:
+            if binding not in bindings:
+                raise PlanningError(f"unknown table {binding!r} in select list")
+            for column, position in bindings[binding].items():
+                if column == "rowid":
+                    continue
+                expanded.append(
+                    ast.SelectItem(expr=ast.ColumnRef(binding, column), alias=column)
+                )
+    return expanded
+
+
+def _execute_join(rows, join: ast.Join, table: Table, join_offset: int,
+                  resolver: Resolver, params: tuple):
+    width = 1 + len(table.schema.columns)
+    right_rows = [[rowid, *values] for rowid, values in table.scan()]
+    equi = _equi_join_positions(join.on, resolver, join_offset)
+    out = []
+    if equi is not None:
+        left_pos, right_pos = equi
+        right_pos -= join_offset  # make it relative to the joined table's row
+        buckets: dict = {}
+        for right in right_rows:
+            key = right[right_pos]
+            if key is None:
+                continue
+            buckets.setdefault(normalize_key(key), []).append(right)
+        for left in rows:
+            key = left[left_pos]
+            matches = buckets.get(normalize_key(key), []) if key is not None else []
+            if matches:
+                for right in matches:
+                    out.append(left + right)
+            elif join.kind == "LEFT":
+                out.append(left + [None] * width)
+        return out
+    predicate = compile_expr(join.on, resolver)
+    for left in rows:
+        matched = False
+        for right in right_rows:
+            candidate = left + right
+            if truthy(predicate(candidate, params)):
+                out.append(candidate)
+                matched = True
+        if not matched and join.kind == "LEFT":
+            out.append(left + [None] * width)
+    return out
+
+
+def _equi_join_positions(on: ast.Expr, resolver: Resolver, join_offset: int):
+    """Positions for a simple ``a.x = b.y`` equi-join, else None.
+
+    Returns ``(left_pos, right_pos)`` with the right position absolute
+    (relative to the combined row); the caller rebases it.  Exactly one side
+    must belong to the newly joined table (positions >= ``join_offset``).
+    """
+    if not (isinstance(on, ast.Binary) and on.op == "="):
+        return None
+    left, right = on.left, on.right
+    if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)):
+        return None
+    try:
+        left_pos = resolver.resolve(left)
+        right_pos = resolver.resolve(right)
+    except PlanningError:
+        return None
+    if left_pos >= join_offset:
+        left_pos, right_pos = right_pos, left_pos
+    if left_pos >= join_offset or right_pos < join_offset:
+        return None  # both sides on one table; fall back to nested loop
+    return left_pos, right_pos
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+class _AggregateRewriter:
+    """Rewrites expressions over base rows into expressions over
+    intermediate rows laid out as ``[group_key_0.., agg_0..]``."""
+
+    def __init__(self, group_exprs: tuple):
+        self.group_exprs = list(group_exprs)
+        self.agg_nodes: list[ast.FuncCall] = []
+        self._agg_slots: dict[ast.FuncCall, int] = {}
+
+    def rewrite(self, expr: ast.Expr) -> ast.Expr:
+        for i, group_expr in enumerate(self.group_exprs):
+            if _expr_matches(expr, group_expr):
+                return ast.SlotRef(i)
+        if isinstance(expr, ast.FuncCall) and find_aggregates(expr) and expr in self._agg_slots:
+            return ast.SlotRef(len(self.group_exprs) + self._agg_slots[expr])
+        if isinstance(expr, ast.FuncCall):
+            from repro.minidb.functions import is_aggregate
+
+            if is_aggregate(expr.name):
+                slot = self._agg_slots.get(expr)
+                if slot is None:
+                    slot = len(self.agg_nodes)
+                    self._agg_slots[expr] = slot
+                    self.agg_nodes.append(expr)
+                return ast.SlotRef(len(self.group_exprs) + slot)
+            return ast.FuncCall(
+                expr.name, tuple(self.rewrite(a) for a in expr.args),
+                expr.distinct, expr.is_star,
+            )
+        if isinstance(expr, ast.ColumnRef):
+            raise PlanningError(
+                f"column {expr.name!r} must appear in GROUP BY or inside an aggregate"
+            )
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(expr.op, self.rewrite(expr.operand))
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(expr.op, self.rewrite(expr.left), self.rewrite(expr.right))
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                self.rewrite(expr.expr), self.rewrite(expr.low),
+                self.rewrite(expr.high), expr.negated,
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                self.rewrite(expr.expr), tuple(self.rewrite(i) for i in expr.items),
+                expr.negated,
+            )
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(self.rewrite(expr.expr), expr.negated)
+        if isinstance(expr, ast.Like):
+            return ast.Like(self.rewrite(expr.expr), self.rewrite(expr.pattern), expr.negated)
+        if isinstance(expr, ast.Cast):
+            return ast.Cast(self.rewrite(expr.expr), expr.type_name)
+        if isinstance(expr, ast.Case):
+            return ast.Case(
+                self.rewrite(expr.operand) if expr.operand is not None else None,
+                tuple((self.rewrite(w), self.rewrite(t)) for w, t in expr.whens),
+                self.rewrite(expr.else_result) if expr.else_result is not None else None,
+            )
+        return expr  # Literal, Param, SlotRef
+
+
+def _substitute_aliases(expr: ast.Expr, alias_map: dict) -> ast.Expr:
+    """Recursively replace select-list alias references with their expressions."""
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table is None and expr.name in alias_map:
+            return alias_map[expr.name]
+        return expr
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _substitute_aliases(expr.operand, alias_map))
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            expr.op,
+            _substitute_aliases(expr.left, alias_map),
+            _substitute_aliases(expr.right, alias_map),
+        )
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            _substitute_aliases(expr.expr, alias_map),
+            _substitute_aliases(expr.low, alias_map),
+            _substitute_aliases(expr.high, alias_map),
+            expr.negated,
+        )
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            _substitute_aliases(expr.expr, alias_map),
+            tuple(_substitute_aliases(i, alias_map) for i in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_substitute_aliases(expr.expr, alias_map), expr.negated)
+    if isinstance(expr, ast.Like):
+        return ast.Like(
+            _substitute_aliases(expr.expr, alias_map),
+            _substitute_aliases(expr.pattern, alias_map),
+            expr.negated,
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            tuple(_substitute_aliases(a, alias_map) for a in expr.args),
+            expr.distinct, expr.is_star,
+        )
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(_substitute_aliases(expr.expr, alias_map), expr.type_name)
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            _substitute_aliases(expr.operand, alias_map) if expr.operand is not None else None,
+            tuple(
+                (_substitute_aliases(w, alias_map), _substitute_aliases(t, alias_map))
+                for w, t in expr.whens
+            ),
+            _substitute_aliases(expr.else_result, alias_map)
+            if expr.else_result is not None else None,
+        )
+    return expr
+
+
+def _expr_matches(expr: ast.Expr, group_expr: ast.Expr) -> bool:
+    if expr == group_expr:
+        return True
+    if isinstance(expr, ast.ColumnRef) and isinstance(group_expr, ast.ColumnRef):
+        return expr.name == group_expr.name and (
+            expr.table is None or group_expr.table is None or expr.table == group_expr.table
+        )
+    return False
+
+
+def _aggregate_pipeline(stmt: ast.SelectStmt, items, rows, resolver: Resolver,
+                        params: tuple):
+    alias_map = {item.alias: item.expr for item in items if item.alias is not None}
+
+    def _substitute_alias(expr: ast.Expr) -> ast.Expr:
+        return _substitute_aliases(expr, alias_map)
+
+    group_exprs = tuple(_substitute_alias(expr) for expr in stmt.group_by)
+    rewriter = _AggregateRewriter(group_exprs)
+    rewritten_items = [
+        ast.SelectItem(rewriter.rewrite(item.expr), item.alias) for item in items
+    ]
+
+    rewritten_having = (
+        rewriter.rewrite(_substitute_alias(stmt.having))
+        if stmt.having is not None else None
+    )
+    rewritten_order = [
+        ast.OrderItem(rewriter.rewrite(_substitute_alias(order.expr)), order.ascending)
+        for order in stmt.order_by
+    ]
+
+    group_fns = [compile_expr(expr, resolver) for expr in group_exprs]
+    agg_specs = []
+    for node in rewriter.agg_nodes:
+        if node.is_star:
+            agg_specs.append((node, None))
+        else:
+            if len(node.args) != 1:
+                raise PlanningError(f"{node.name}() takes exactly one argument")
+            agg_specs.append((node, compile_expr(node.args[0], resolver)))
+
+    groups: dict = {}
+    group_values: dict = {}
+    distinct_seen: dict = {}
+    for row in rows:
+        key_values = tuple(fn(row, params) for fn in group_fns)
+        key = tuple(normalize_key(v) if v is not None else None for v in key_values)
+        accumulators = groups.get(key)
+        if accumulators is None:
+            accumulators = [make_aggregate(node.name) for node, _ in agg_specs]
+            groups[key] = accumulators
+            group_values[key] = key_values
+            distinct_seen[key] = [set() if node.distinct else None for node, _ in agg_specs]
+        for i, (node, arg_fn) in enumerate(agg_specs):
+            if node.is_star:
+                accumulators[i].step_star()
+                continue
+            value = arg_fn(row, params)
+            seen = distinct_seen[key][i]
+            if seen is not None:
+                marker = normalize_key(value) if value is not None else None
+                if marker in seen:
+                    continue
+                seen.add(marker)
+            accumulators[i].step(value)
+
+    if not groups and not stmt.group_by:
+        # aggregate over an empty input still yields one row
+        accumulators = [make_aggregate(node.name) for node, _ in agg_specs]
+        groups[()] = accumulators
+        group_values[()] = ()
+
+    slot_resolver = Resolver({})
+    having_fn = (
+        compile_expr(rewritten_having, slot_resolver)
+        if rewritten_having is not None else None
+    )
+    item_fns = [compile_expr(item.expr, slot_resolver) for item in rewritten_items]
+    names = [_output_name(original) for original in items]
+
+    inter_rows = []
+    for key, accumulators in groups.items():
+        inter = list(group_values[key]) + [acc.final() for acc in accumulators]
+        if having_fn is not None and not truthy(having_fn(inter, params)):
+            continue
+        inter_rows.append(inter)
+
+    projected = [
+        tuple(fn(inter, params) for fn in item_fns) for inter in inter_rows
+    ]
+
+    if rewritten_order:
+        order_fns = [compile_expr(order.expr, slot_resolver) for order in rewritten_order]
+        directions = [order.ascending for order in stmt.order_by]
+        keyed = []
+        for inter, out_row in zip(inter_rows, projected):
+            keys = tuple(
+                _direction_key(fn(inter, params), asc)
+                for fn, asc in zip(order_fns, directions)
+            )
+            keyed.append((keys, out_row))
+        keyed.sort(key=lambda pair: pair[0])
+        projected = [row for _, row in keyed]
+
+    return projected, names, inter_rows
+
+
+# ---------------------------------------------------------------------------
+# ordering / distinct / limit
+# ---------------------------------------------------------------------------
+
+
+class _Reversed:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Reversed) and other.key == self.key
+
+
+def _direction_key(value, ascending: bool):
+    key = sort_key(value)
+    return key if ascending else _Reversed(key)
+
+
+def _apply_order(stmt: ast.SelectStmt, items, projected, base_rows,
+                 resolver: Resolver, params: tuple):
+    alias_map = {
+        item.alias: item.expr for item in items if item.alias is not None
+    }
+    keyed = []
+    order_specs = []
+    for order in stmt.order_by:
+        expr = order.expr
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            order_specs.append(("position", expr.value - 1, order.ascending))
+            continue
+        if isinstance(expr, ast.ColumnRef) and expr.table is None and expr.name in alias_map:
+            expr = alias_map[expr.name]
+        order_specs.append(("expr", compile_expr(expr, resolver), order.ascending))
+    for base_row, out_row in zip(base_rows, projected):
+        keys = []
+        for kind, spec, ascending in order_specs:
+            if kind == "position":
+                if not 0 <= spec < len(out_row):
+                    raise PlanningError(f"ORDER BY position {spec + 1} out of range")
+                value = out_row[spec]
+            else:
+                value = spec(base_row, params)
+            keys.append(_direction_key(value, ascending))
+        keyed.append((tuple(keys), out_row))
+    keyed.sort(key=lambda pair: pair[0])
+    return [row for _, row in keyed]
+
+
+def _distinct(projected):
+    seen = set()
+    out = []
+    for row in projected:
+        marker = tuple(
+            normalize_key(v) if v is not None else None for v in row
+        )
+        try:
+            new = marker not in seen
+        except TypeError:  # unhashable value; fall back to keeping the row
+            out.append(row)
+            continue
+        if new:
+            seen.add(marker)
+            out.append(row)
+    return out
+
+
+def _apply_limit(stmt: ast.SelectStmt, projected, params: tuple):
+    if stmt.limit is None:
+        return projected
+    limit = _value_fn(stmt.limit)(_EMPTY_ROW, params)
+    offset = 0
+    if stmt.offset is not None:
+        offset = _value_fn(stmt.offset)(_EMPTY_ROW, params)
+    if limit is None:
+        return projected[offset:]
+    return projected[offset:offset + int(limit)]
+
+
+def _output_name(item: ast.SelectItem) -> str:
+    if item.alias:
+        return item.alias
+    expr = item.expr
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        inner = "*" if expr.is_star else ", ".join(_render(a) for a in expr.args)
+        return f"{expr.name.lower()}({inner})"
+    return _render(expr)
+
+
+def _render(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name if expr.table is None else f"{expr.table}.{expr.name}"
+    if isinstance(expr, ast.Binary):
+        return f"{_render(expr.left)} {expr.op} {_render(expr.right)}"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{_render(expr.operand)}"
+    if isinstance(expr, ast.FuncCall):
+        inner = "*" if expr.is_star else ", ".join(_render(a) for a in expr.args)
+        return f"{expr.name.lower()}({inner})"
+    return type(expr).__name__.lower()
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+def execute_insert(db, stmt: ast.InsertStmt, params: tuple) -> ResultSet:
+    """Run an INSERT; result carries rowcount and lastrowid."""
+    table = db.table(stmt.table)
+    schema = table.schema
+    if stmt.columns:
+        positions = [schema.position(c) for c in stmt.columns]
+    else:
+        positions = list(range(len(schema.columns)))
+    last = None
+    for value_row in stmt.rows:
+        if len(value_row) != len(positions):
+            raise ExecutionError(
+                f"INSERT has {len(value_row)} values for {len(positions)} columns"
+            )
+        full = [None] * len(schema.columns)
+        for position, expr in zip(positions, value_row):
+            full[position] = _value_fn(expr)(_EMPTY_ROW, params)
+        last = table.insert(full)
+    return ResultSet([], [], rowcount=len(stmt.rows), lastrowid=last)
+
+
+def execute_update(db, stmt: ast.UpdateStmt, params: tuple) -> ResultSet:
+    """Run an UPDATE; rowcount is the number of rows modified."""
+    table = db.table(stmt.table)
+    resolver = Resolver.for_table(stmt.table, table.schema.column_names)
+    plan = plan_scan(table, stmt.where)
+    residual_fn = (
+        compile_expr(plan.residual, resolver) if plan.residual is not None else None
+    )
+    assignment_fns = [
+        (table.schema.position(column), compile_expr(expr, resolver))
+        for column, expr in stmt.assignments
+    ]
+    pending: list[tuple[int, dict[int, object]]] = []
+    for row in scan_rows(table, plan, params):
+        if residual_fn is not None and not truthy(residual_fn(row, params)):
+            continue
+        changes = {position: fn(row, params) for position, fn in assignment_fns}
+        pending.append((row[0], changes))
+    for rowid, changes in pending:
+        table.update(rowid, changes)
+    return ResultSet([], [], rowcount=len(pending))
+
+
+def execute_delete(db, stmt: ast.DeleteStmt, params: tuple) -> ResultSet:
+    """Run a DELETE; rowcount is the number of rows removed."""
+    table = db.table(stmt.table)
+    resolver = Resolver.for_table(stmt.table, table.schema.column_names)
+    plan = plan_scan(table, stmt.where)
+    residual_fn = (
+        compile_expr(plan.residual, resolver) if plan.residual is not None else None
+    )
+    doomed: list[int] = []
+    for row in scan_rows(table, plan, params):
+        if residual_fn is not None and not truthy(residual_fn(row, params)):
+            continue
+        doomed.append(row[0])
+    for rowid in doomed:
+        table.delete(rowid)
+    return ResultSet([], [], rowcount=len(doomed))
+
+
+def explain(db, stmt) -> ResultSet:
+    """Produce a one-column plan description for SELECT/UPDATE/DELETE."""
+    lines: list[str] = []
+    if isinstance(stmt, ast.SelectStmt):
+        if stmt.table is None:
+            lines.append("ConstantScan")
+        elif stmt.joins:
+            lines.append(f"SeqScan({stmt.table.name}) + {len(stmt.joins)} join(s)")
+        else:
+            plan = plan_scan(db.table(stmt.table.name), stmt.where)
+            lines.append(plan.describe())
+        if stmt.group_by or any(
+            item.expr is not None and find_aggregates(item.expr)
+            for item in stmt.items
+        ):
+            lines.append(f"HashAggregate(keys={len(stmt.group_by)})")
+        if stmt.order_by:
+            lines.append(f"Sort(keys={len(stmt.order_by)})")
+        if stmt.limit is not None:
+            lines.append("Limit")
+    elif isinstance(stmt, (ast.UpdateStmt, ast.DeleteStmt)):
+        table = db.table(stmt.table)
+        plan = plan_scan(table, stmt.where)
+        verb = "Update" if isinstance(stmt, ast.UpdateStmt) else "Delete"
+        lines.append(f"{verb} <- {plan.describe()}")
+    return ResultSet(["plan"], [(line,) for line in lines])

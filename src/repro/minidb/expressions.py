@@ -1,0 +1,431 @@
+"""Expression compiler: AST -> Python closures over a row.
+
+Each expression compiles once per statement into a tree of nested closures,
+so the per-row cost during execution is plain function calls — the hot path
+the Table 1 benchmark exercises thousands of times.
+
+Semantics:
+
+* three-valued logic — comparisons with NULL yield NULL; ``AND``/``OR``
+  follow Kleene logic; ``WHERE`` treats NULL as false;
+* cross-storage-class comparisons order numbers before text (SQLite style);
+  equality between a number and text is simply false;
+* arithmetic with NULL yields NULL; division by zero yields NULL.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.errors import ExecutionError, PlanningError
+from repro.minidb import ast_nodes as ast
+from repro.minidb.functions import call_scalar, is_aggregate
+
+RowFn = Callable[[tuple, tuple], object]
+"""Compiled expression: ``fn(row, params) -> value``."""
+
+
+class Resolver:
+    """Maps column references to positions in the runtime row.
+
+    ``bindings`` maps *binding name* (alias or table name) to a dict of
+    column name -> row position.  Unqualified names resolve against every
+    binding and must be unambiguous.
+    """
+
+    def __init__(self, bindings: dict[str, dict[str, int]]):
+        self.bindings = bindings
+
+    @classmethod
+    def for_table(cls, binding: str, columns: list[str], rowid_position: int | None = 0,
+                  offset: int = 1) -> "Resolver":
+        """Resolver for a single table laid out as ``[rowid, col0, col1...]``."""
+        mapping = {name: offset + i for i, name in enumerate(columns)}
+        if rowid_position is not None:
+            mapping.setdefault("rowid", rowid_position)
+        return cls({binding: mapping})
+
+    def resolve(self, ref: ast.ColumnRef) -> int:
+        if ref.table is not None:
+            try:
+                return self.bindings[ref.table][ref.name]
+            except KeyError:
+                raise PlanningError(
+                    f"unknown column {ref.table}.{ref.name}"
+                ) from None
+        matches = [
+            mapping[ref.name]
+            for mapping in self.bindings.values()
+            if ref.name in mapping
+        ]
+        if not matches:
+            known = sorted({c for m in self.bindings.values() for c in m})
+            raise PlanningError(
+                f"unknown column {ref.name!r} (known: {', '.join(known)})"
+            )
+        if len(matches) > 1:
+            raise PlanningError(f"ambiguous column {ref.name!r}")
+        return matches[0]
+
+
+def compile_expr(expr: ast.Expr, resolver: Resolver) -> RowFn:
+    """Compile ``expr`` into a closure ``fn(row, params)``."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row, params: value
+    if isinstance(expr, ast.Param):
+        index = expr.index
+        return lambda row, params: params[index]
+    if isinstance(expr, ast.ColumnRef):
+        position = resolver.resolve(expr)
+        return lambda row, params: row[position]
+    if isinstance(expr, ast.SlotRef):
+        position = expr.index
+        return lambda row, params: row[position]
+    if isinstance(expr, ast.Unary):
+        return _compile_unary(expr, resolver)
+    if isinstance(expr, ast.Binary):
+        return _compile_binary(expr, resolver)
+    if isinstance(expr, ast.Between):
+        return _compile_between(expr, resolver)
+    if isinstance(expr, ast.InList):
+        return _compile_in(expr, resolver)
+    if isinstance(expr, ast.IsNull):
+        inner = compile_expr(expr.expr, resolver)
+        if expr.negated:
+            return lambda row, params: inner(row, params) is not None
+        return lambda row, params: inner(row, params) is None
+    if isinstance(expr, ast.Like):
+        return _compile_like(expr, resolver)
+    if isinstance(expr, ast.FuncCall):
+        if is_aggregate(expr.name):
+            raise PlanningError(
+                f"aggregate {expr.name}() used outside an aggregation context"
+            )
+        arg_fns = [compile_expr(arg, resolver) for arg in expr.args]
+        name = expr.name
+        return lambda row, params: call_scalar(
+            name, tuple(fn(row, params) for fn in arg_fns)
+        )
+    if isinstance(expr, ast.Cast):
+        return _compile_cast(expr, resolver)
+    if isinstance(expr, ast.Case):
+        return _compile_case(expr, resolver)
+    raise PlanningError(f"cannot compile expression node {type(expr).__name__}")
+
+
+def truthy(value) -> bool:
+    """SQL WHERE semantics: NULL and 0 are false."""
+    if value is None:
+        return False
+    if isinstance(value, str):
+        return bool(value)
+    try:
+        return bool(value)
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return False
+
+
+# ---------------------------------------------------------------------------
+# value semantics
+# ---------------------------------------------------------------------------
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def sql_equal(a, b):
+    """Equality with NULL propagation; number/text never compare equal."""
+    if a is None or b is None:
+        return None
+    if _is_number(a) and _is_number(b):
+        return a == b
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    if isinstance(a, bool) or isinstance(b, bool):
+        return bool(a) == bool(b) if type(a) is type(b) else a == b
+    return False
+
+
+def sql_compare(a, b):
+    """Total comparison for non-NULL values: numbers < text; None on NULL."""
+    if a is None or b is None:
+        return None
+    rank_a, rank_b = _rank(a), _rank(b)
+    if rank_a != rank_b:
+        return -1 if rank_a < rank_b else 1
+    if rank_a == 0:
+        fa, fb = float(a), float(b)
+        return (fa > fb) - (fa < fb)
+    sa, sb = str(a), str(b)
+    return (sa > sb) - (sa < sb)
+
+
+def _rank(value) -> int:
+    return 0 if _is_number(value) or isinstance(value, bool) else 1
+
+
+def sort_key(value):
+    """Key for ORDER BY and B+tree storage: NULL < numbers < text."""
+    if value is None:
+        return (0, 0.0)
+    if _is_number(value) or isinstance(value, bool):
+        return (1, float(value))
+    return (2, str(value))
+
+
+# ---------------------------------------------------------------------------
+# compilers per node type
+# ---------------------------------------------------------------------------
+
+
+def _compile_unary(expr: ast.Unary, resolver: Resolver) -> RowFn:
+    inner = compile_expr(expr.operand, resolver)
+    if expr.op == "NOT":
+        def negate(row, params):
+            value = inner(row, params)
+            if value is None:
+                return None
+            return 0 if truthy(value) else 1
+        return negate
+    if expr.op == "-":
+        def neg(row, params):
+            value = inner(row, params)
+            if value is None:
+                return None
+            if not _is_number(value):
+                raise ExecutionError(f"cannot negate {value!r}")
+            return -value
+        return neg
+    return inner  # unary '+'
+
+
+def _arith(op: str):
+    def add(a, b):
+        return a + b
+
+    def sub(a, b):
+        return a - b
+
+    def mul(a, b):
+        return a * b
+
+    def div(a, b):
+        if b == 0:
+            return None
+        return a / b
+
+    def mod(a, b):
+        if b == 0:
+            return None
+        return a % b
+
+    return {"+": add, "-": sub, "*": mul, "/": div, "%": mod}[op]
+
+
+def _compile_binary(expr: ast.Binary, resolver: Resolver) -> RowFn:
+    op = expr.op
+    left = compile_expr(expr.left, resolver)
+    right = compile_expr(expr.right, resolver)
+
+    if op == "AND":
+        def kleene_and(row, params):
+            a = left(row, params)
+            if a is not None and not truthy(a):
+                return 0
+            b = right(row, params)
+            if b is not None and not truthy(b):
+                return 0
+            if a is None or b is None:
+                return None
+            return 1
+        return kleene_and
+    if op == "OR":
+        def kleene_or(row, params):
+            a = left(row, params)
+            if a is not None and truthy(a):
+                return 1
+            b = right(row, params)
+            if b is not None and truthy(b):
+                return 1
+            if a is None or b is None:
+                return None
+            return 0
+        return kleene_or
+    if op == "=":
+        def eq(row, params):
+            result = sql_equal(left(row, params), right(row, params))
+            return None if result is None else int(result)
+        return eq
+    if op == "<>":
+        def ne(row, params):
+            result = sql_equal(left(row, params), right(row, params))
+            return None if result is None else int(not result)
+        return ne
+    if op in ("<", "<=", ">", ">="):
+        checks = {
+            "<": lambda c: c < 0,
+            "<=": lambda c: c <= 0,
+            ">": lambda c: c > 0,
+            ">=": lambda c: c >= 0,
+        }
+        check = checks[op]
+
+        def cmp(row, params):
+            result = sql_compare(left(row, params), right(row, params))
+            return None if result is None else int(check(result))
+        return cmp
+    if op == "||":
+        def concat(row, params):
+            a, b = left(row, params), right(row, params)
+            if a is None or b is None:
+                return None
+            return str(a) + str(b)
+        return concat
+    fn = _arith(op)
+
+    def arith(row, params):
+        a, b = left(row, params), right(row, params)
+        if a is None or b is None:
+            return None
+        if not (_is_number(a) and _is_number(b)):
+            raise ExecutionError(f"arithmetic on non-numeric values {a!r}, {b!r}")
+        return fn(a, b)
+    return arith
+
+
+def _compile_between(expr: ast.Between, resolver: Resolver) -> RowFn:
+    value_fn = compile_expr(expr.expr, resolver)
+    low_fn = compile_expr(expr.low, resolver)
+    high_fn = compile_expr(expr.high, resolver)
+    negated = expr.negated
+
+    def between(row, params):
+        value = value_fn(row, params)
+        low = low_fn(row, params)
+        high = high_fn(row, params)
+        lo_cmp = sql_compare(value, low)
+        hi_cmp = sql_compare(value, high)
+        if lo_cmp is None or hi_cmp is None:
+            return None
+        inside = lo_cmp >= 0 and hi_cmp <= 0
+        return int(inside != negated)
+    return between
+
+
+def _compile_in(expr: ast.InList, resolver: Resolver) -> RowFn:
+    value_fn = compile_expr(expr.expr, resolver)
+    item_fns = [compile_expr(item, resolver) for item in expr.items]
+    negated = expr.negated
+
+    def contains(row, params):
+        value = value_fn(row, params)
+        if value is None:
+            return None
+        saw_null = False
+        for fn in item_fns:
+            item = fn(row, params)
+            result = sql_equal(value, item)
+            if result is None:
+                saw_null = True
+            elif result:
+                return int(not negated)
+        if saw_null:
+            return None
+        return int(negated)
+    return contains
+
+
+def _compile_like(expr: ast.Like, resolver: Resolver) -> RowFn:
+    value_fn = compile_expr(expr.expr, resolver)
+    pattern_fn = compile_expr(expr.pattern, resolver)
+    negated = expr.negated
+    cache: dict[str, re.Pattern] = {}
+
+    def like(row, params):
+        value = value_fn(row, params)
+        pattern = pattern_fn(row, params)
+        if value is None or pattern is None:
+            return None
+        regex = cache.get(pattern)
+        if regex is None:
+            regex = _like_to_regex(str(pattern))
+            cache[pattern] = regex
+        matched = regex.match(str(value)) is not None
+        return int(matched != negated)
+    return like
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    parts = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
+
+
+_CAST_AFFINITY = {
+    "INT": "integer", "INTEGER": "integer", "BIGINT": "integer",
+    "REAL": "real", "FLOAT": "real", "DOUBLE": "real", "NUMERIC": "real",
+    "TEXT": "text", "VARCHAR": "text", "CHAR": "text", "STRING": "text",
+}
+
+
+def _compile_cast(expr: ast.Cast, resolver: Resolver) -> RowFn:
+    inner = compile_expr(expr.expr, resolver)
+    target = _CAST_AFFINITY.get(expr.type_name.split()[0].upper())
+    if target is None:
+        raise PlanningError(f"unknown CAST target type {expr.type_name!r}")
+
+    def cast(row, params):
+        value = inner(row, params)
+        if value is None:
+            return None
+        if target == "text":
+            return str(value)
+        if target == "integer":
+            try:
+                return int(float(value))
+            except (TypeError, ValueError):
+                return 0
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return 0.0
+    return cast
+
+
+def _compile_case(expr: ast.Case, resolver: Resolver) -> RowFn:
+    operand_fn = compile_expr(expr.operand, resolver) if expr.operand is not None else None
+    when_fns = [
+        (compile_expr(when, resolver), compile_expr(then, resolver))
+        for when, then in expr.whens
+    ]
+    else_fn = compile_expr(expr.else_result, resolver) if expr.else_result is not None else None
+
+    def case(row, params):
+        if operand_fn is not None:
+            subject = operand_fn(row, params)
+            for when_fn, then_fn in when_fns:
+                if truthy(sql_equal(subject, when_fn(row, params))):
+                    return then_fn(row, params)
+        else:
+            for when_fn, then_fn in when_fns:
+                if truthy(when_fn(row, params)):
+                    return then_fn(row, params)
+        return else_fn(row, params) if else_fn is not None else None
+    return case
+
+
+def find_aggregates(expr: ast.Expr) -> list[ast.FuncCall]:
+    """All aggregate function calls in ``expr`` (in tree order)."""
+    return [
+        node for node in ast.walk(expr)
+        if isinstance(node, ast.FuncCall) and is_aggregate(node.name)
+    ]

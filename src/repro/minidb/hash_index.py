@@ -1,0 +1,156 @@
+"""Hash and B+tree index wrappers used by minidb tables.
+
+These are the structures behind the paper's claim that Buckaroo "creates
+Postgres indexes for all the attribute combinations in the charts for
+efficient data lookups" (§2): group membership queries
+(``WHERE country = ?``) hit a hash or B+tree index instead of scanning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import IntegrityError
+from repro.minidb.btree import BTree
+from repro.minidb.expressions import sort_key
+
+
+def normalize_key(value):
+    """Normalize a column value for index equality (1 == 1.0, bool as int)."""
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return value
+
+
+class HashIndex:
+    """Equality-only index: value -> set of rowids.  NULLs are not indexed."""
+
+    kind = "hash"
+
+    def __init__(self, name: str, column: str, position: int, unique: bool = False):
+        self.name = name
+        self.column = column
+        self.position = position
+        self.unique = unique
+        self._buckets: dict = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def n_keys(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._buckets)
+
+    def insert(self, value, rowid: int) -> None:
+        """Index ``rowid`` under ``value`` (NULL is skipped)."""
+        if value is None:
+            return
+        key = normalize_key(value)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = {rowid}
+            return
+        if self.unique and bucket:
+            raise IntegrityError(
+                f"UNIQUE index {self.name}: duplicate value {value!r}"
+            )
+        bucket.add(rowid)
+
+    def remove(self, value, rowid: int) -> None:
+        """Drop the pair if present."""
+        if value is None:
+            return
+        key = normalize_key(value)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(rowid)
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, value) -> set:
+        """Rowids whose column equals ``value`` (empty for NULL)."""
+        if value is None:
+            return set()
+        return set(self._buckets.get(normalize_key(value), ()))
+
+    def keys(self) -> list:
+        """Distinct indexed values (normalized)."""
+        return list(self._buckets)
+
+
+class BTreeIndex:
+    """Ordered index supporting equality and range scans. NULLs not indexed."""
+
+    kind = "btree"
+
+    def __init__(self, name: str, column: str, position: int, unique: bool = False,
+                 order: int = 64):
+        self.name = name
+        self.column = column
+        self.position = position
+        self.unique = unique
+        self._tree = BTree(order=order)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def insert(self, value, rowid: int) -> None:
+        """Index ``rowid`` under ``value`` (NULL is skipped)."""
+        if value is None:
+            return
+        key = sort_key(value)
+        if self.unique and self._tree.search(key):
+            raise IntegrityError(
+                f"UNIQUE index {self.name}: duplicate value {value!r}"
+            )
+        self._tree.insert(key, rowid)
+
+    def remove(self, value, rowid: int) -> None:
+        """Drop the pair if present."""
+        if value is None:
+            return
+        self._tree.remove(sort_key(value), rowid)
+
+    def lookup(self, value) -> set:
+        """Rowids whose column equals ``value``."""
+        if value is None:
+            return set()
+        return self._tree.search(sort_key(value))
+
+    def range(self, low=None, high=None, include_low: bool = True,
+              include_high: bool = True) -> Iterator[int]:
+        """Yield rowids with column values in the given range, in key order."""
+        low_key = sort_key(low) if low is not None else None
+        high_key = sort_key(high) if high is not None else None
+        for _, rowids in self._tree.range_scan(low_key, high_key, include_low, include_high):
+            yield from rowids
+
+    def numeric_range(self, low=None, high=None, include_low: bool = True,
+                      include_high: bool = True) -> Iterator[int]:
+        """Like :meth:`range` but never crosses into text keys.
+
+        Text sorts above every number, so an unbounded-high scan would
+        otherwise sweep up contaminating text values.  The outlier detector
+        uses this for its two tail scans.
+        """
+        low_key = sort_key(low) if low is not None else (1, float("-inf"))
+        high_key = sort_key(high) if high is not None else (1, float("inf"))
+        for _, rowids in self._tree.range_scan(low_key, high_key, include_low, include_high):
+            yield from rowids
+
+    def numeric_min(self):
+        """The smallest numeric key, or None."""
+        for key, _ in self._tree.range_scan((1, float("-inf")), (1, float("inf"))):
+            return key[1]
+        return None
+
+    def numeric_max(self):
+        """The largest numeric key, or None (O(keys) scan)."""
+        last = None
+        for key, _ in self._tree.range_scan((1, float("-inf")), (1, float("inf"))):
+            last = key[1]
+        return last

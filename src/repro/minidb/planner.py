@@ -1,0 +1,241 @@
+"""Access-path selection for minidb.
+
+Given a table and a WHERE expression, the planner picks the cheapest scan:
+
+1. equality on a hash-indexed column (point lookup);
+2. equality on a B+tree-indexed column;
+3. ``IN`` list over an indexed column (union of point lookups);
+4. range predicates (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``) on a
+   B+tree-indexed column, with bounds merged across conjuncts;
+5. otherwise a sequential scan.
+
+Unused conjuncts become a residual filter.  This is the machinery behind the
+paper's Table 1 asymmetry: Buckaroo's group lookups (``WHERE country = ?``)
+and the zoom engine's viewport queries (``WHERE x BETWEEN ? AND ?``) all
+resolve to index scans touching only the relevant rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minidb import ast_nodes as ast
+from repro.minidb.storage import Table
+
+SEQ = "seq"
+INDEX_EQ = "index_eq"
+INDEX_IN = "index_in"
+INDEX_RANGE = "index_range"
+ROWID_EQ = "rowid_eq"
+ROWID_IN = "rowid_in"
+
+
+@dataclass
+class ScanPlan:
+    """A chosen access path plus any residual predicate."""
+
+    table: str
+    kind: str = SEQ
+    index_name: str | None = None
+    column: str | None = None
+    eq_expr: ast.Expr | None = None
+    in_exprs: tuple = ()
+    low_expr: ast.Expr | None = None
+    high_expr: ast.Expr | None = None
+    include_low: bool = True
+    include_high: bool = True
+    residual: ast.Expr | None = None
+
+    def describe(self) -> str:
+        """Human-readable one-line plan description (used by EXPLAIN)."""
+        if self.kind == SEQ:
+            base = f"SeqScan({self.table})"
+        elif self.kind == ROWID_EQ:
+            base = f"RowidLookup({self.table})"
+        elif self.kind == ROWID_IN:
+            base = f"RowidLookup({self.table}, {len(self.in_exprs)} keys)"
+        elif self.kind == INDEX_EQ:
+            base = f"IndexEqScan({self.table}.{self.column} via {self.index_name})"
+        elif self.kind == INDEX_IN:
+            base = (
+                f"IndexInScan({self.table}.{self.column} via {self.index_name}, "
+                f"{len(self.in_exprs)} keys)"
+            )
+        else:
+            low = "-inf" if self.low_expr is None else "?"
+            high = "+inf" if self.high_expr is None else "?"
+            base = (
+                f"IndexRangeScan({self.table}.{self.column} via {self.index_name}, "
+                f"{low}..{high})"
+            )
+        if self.residual is not None:
+            base += " + Filter"
+        return base
+
+
+def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten nested ANDs into a conjunct list (empty for None)."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[ast.Expr]) -> ast.Expr | None:
+    """Rebuild an AND tree from a conjunct list (None when empty)."""
+    if not conjuncts:
+        return None
+    expr = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        expr = ast.Binary("AND", expr, conjunct)
+    return expr
+
+
+def _is_value_expr(expr: ast.Expr) -> bool:
+    """True when ``expr`` is evaluable without a row (literals/params only)."""
+    return all(
+        not isinstance(node, (ast.ColumnRef, ast.SlotRef, ast.FuncCall))
+        for node in ast.walk(expr)
+    )
+
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _column_of(expr: ast.Expr, table: Table) -> str | None:
+    """Column name when ``expr`` is a reference to a column of ``table``."""
+    if isinstance(expr, ast.ColumnRef) and table.schema.has_column(expr.name):
+        if expr.table is None or expr.table == table.name:
+            return expr.name
+    return None
+
+
+def _is_rowid_ref(expr: ast.Expr, table: Table) -> bool:
+    """True when ``expr`` is the rowid pseudo-column of ``table``."""
+    return (
+        isinstance(expr, ast.ColumnRef)
+        and expr.name == "rowid"
+        and not table.schema.has_column("rowid")
+        and (expr.table is None or expr.table == table.name)
+    )
+
+
+def plan_scan(table: Table, where: ast.Expr | None,
+              binding: str | None = None) -> ScanPlan:
+    """Choose an access path for ``table`` under predicate ``where``."""
+    conjuncts = split_conjuncts(where)
+    eq_candidates: list[tuple[int, str, ast.Expr, int]] = []  # (score, col, value, idx)
+    in_candidates: list[tuple[str, tuple, int]] = []
+    bounds: dict[str, dict] = {}
+
+    # rowid point lookups beat every index — resolve them first
+    for i, conjunct in enumerate(conjuncts):
+        if isinstance(conjunct, ast.Binary) and conjunct.op == "=":
+            if _is_rowid_ref(conjunct.left, table) and _is_value_expr(conjunct.right):
+                value = conjunct.right
+            elif _is_rowid_ref(conjunct.right, table) and _is_value_expr(conjunct.left):
+                value = conjunct.left
+            else:
+                continue
+            residual = conjoin([c for j, c in enumerate(conjuncts) if j != i])
+            return ScanPlan(
+                table=table.name, kind=ROWID_EQ, eq_expr=value, residual=residual,
+            )
+        if isinstance(conjunct, ast.InList) and not conjunct.negated:
+            if _is_rowid_ref(conjunct.expr, table) and all(
+                _is_value_expr(item) for item in conjunct.items
+            ):
+                residual = conjoin([c for j, c in enumerate(conjuncts) if j != i])
+                return ScanPlan(
+                    table=table.name, kind=ROWID_IN, in_exprs=conjunct.items,
+                    residual=residual,
+                )
+
+    for i, conjunct in enumerate(conjuncts):
+        if isinstance(conjunct, ast.Binary) and conjunct.op in ("=", "<", "<=", ">", ">="):
+            left_col = _column_of(conjunct.left, table)
+            right_col = _column_of(conjunct.right, table)
+            if left_col and _is_value_expr(conjunct.right):
+                column, value, op = left_col, conjunct.right, conjunct.op
+            elif right_col and _is_value_expr(conjunct.left):
+                column, value, op = right_col, conjunct.left, _FLIPPED.get(conjunct.op, "=")
+            else:
+                continue
+            if op == "=":
+                indexes = table.indexes_on(column)
+                if indexes:
+                    score = 100 if any(ix.kind == "hash" for ix in indexes) else 90
+                    eq_candidates.append((score, column, value, i))
+            else:
+                entry = bounds.setdefault(
+                    column,
+                    {"low": None, "high": None, "incl_low": True, "incl_high": True,
+                     "conjuncts": []},
+                )
+                if op in (">", ">="):
+                    entry["low"] = value
+                    entry["incl_low"] = op == ">="
+                else:
+                    entry["high"] = value
+                    entry["incl_high"] = op == "<="
+                entry["conjuncts"].append(i)
+        elif isinstance(conjunct, ast.Between) and not conjunct.negated:
+            column = _column_of(conjunct.expr, table)
+            if column and _is_value_expr(conjunct.low) and _is_value_expr(conjunct.high):
+                entry = bounds.setdefault(
+                    column,
+                    {"low": None, "high": None, "incl_low": True, "incl_high": True,
+                     "conjuncts": []},
+                )
+                entry["low"] = conjunct.low
+                entry["high"] = conjunct.high
+                entry["incl_low"] = entry["incl_high"] = True
+                entry["conjuncts"].append(i)
+        elif isinstance(conjunct, ast.InList) and not conjunct.negated:
+            column = _column_of(conjunct.expr, table)
+            if column and all(_is_value_expr(item) for item in conjunct.items):
+                if table.indexes_on(column):
+                    in_candidates.append((column, conjunct.items, i))
+
+    # best equality first
+    if eq_candidates:
+        eq_candidates.sort(reverse=True, key=lambda c: c[0])
+        _, column, value, used = eq_candidates[0]
+        index = _best_index(table, column, prefer="hash")
+        residual = conjoin([c for j, c in enumerate(conjuncts) if j != used])
+        return ScanPlan(
+            table=table.name, kind=INDEX_EQ, index_name=index.name, column=column,
+            eq_expr=value, residual=residual,
+        )
+    if in_candidates:
+        column, items, used = in_candidates[0]
+        index = _best_index(table, column, prefer="hash")
+        residual = conjoin([c for j, c in enumerate(conjuncts) if j != used])
+        return ScanPlan(
+            table=table.name, kind=INDEX_IN, index_name=index.name, column=column,
+            in_exprs=items, residual=residual,
+        )
+    for column, entry in bounds.items():
+        btree = _best_index(table, column, prefer="btree", require_btree=True)
+        if btree is None:
+            continue
+        used = set(entry["conjuncts"])
+        residual = conjoin([c for j, c in enumerate(conjuncts) if j not in used])
+        return ScanPlan(
+            table=table.name, kind=INDEX_RANGE, index_name=btree.name, column=column,
+            low_expr=entry["low"], high_expr=entry["high"],
+            include_low=entry["incl_low"], include_high=entry["incl_high"],
+            residual=residual,
+        )
+    return ScanPlan(table=table.name, kind=SEQ, residual=where)
+
+
+def _best_index(table: Table, column: str, prefer: str,
+                require_btree: bool = False):
+    indexes = table.indexes_on(column)
+    if require_btree:
+        indexes = [ix for ix in indexes if ix.kind == "btree"]
+        return indexes[0] if indexes else None
+    preferred = [ix for ix in indexes if ix.kind == prefer]
+    return preferred[0] if preferred else indexes[0]

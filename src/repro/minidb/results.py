@@ -1,0 +1,61 @@
+"""Materialized query results."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class ResultSet:
+    """An immutable, fully materialized query result.
+
+    ``rows`` are tuples in ``columns`` order.  DML statements return an empty
+    row list with ``rowcount`` (and ``lastrowid`` for INSERT) populated.
+    """
+
+    __slots__ = ("columns", "rows", "rowcount", "lastrowid")
+
+    def __init__(self, columns: list[str], rows: list[tuple],
+                 rowcount: int = -1, lastrowid: int | None = None):
+        self.columns = list(columns)
+        self.rows = [tuple(row) for row in rows]
+        self.rowcount = rowcount
+        self.lastrowid = lastrowid
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self.rows)} rows, columns={self.columns})"
+
+    def first(self) -> tuple | None:
+        """The first row, or None when empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """The single value of a one-column result (None when empty)."""
+        row = self.first()
+        return row[0] if row else None
+
+    def column(self, key) -> list:
+        """All values of one column, by name or 0-based position."""
+        if isinstance(key, str):
+            index = self.columns.index(key)
+        else:
+            index = key
+        return [row[index] for row in self.rows]
+
+    def scalars(self) -> list:
+        """All values of the first column (for id-list queries)."""
+        return [row[0] for row in self.rows]
+
+    def to_frame(self):
+        """Convert to a :class:`repro.frame.DataFrame`."""
+        from repro.frame import DataFrame
+
+        data = {name: self.column(i) for i, name in enumerate(self.columns)}
+        if not data:
+            return DataFrame([])
+        return DataFrame.from_dict(data)

@@ -1,0 +1,212 @@
+"""Row storage for minidb tables.
+
+A :class:`Table` owns its rows (``rowid -> list of values``), applies type
+affinity on ingest, and keeps every secondary index synchronized on each
+mutation.  Mutations emit change events through an optional hook, which the
+database routes to the active transaction's undo log and the write-ahead log.
+
+Affinity is what lets dirty data live in typed columns, exactly as in the
+paper's Postgres prototype: inserting ``"12k"`` into a REAL column keeps the
+text (it does not parse), producing the type mismatch Buckaroo later detects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import CatalogError, IntegrityError
+from repro.minidb.catalog import INTEGER, NONE, REAL, TEXT, ColumnDef, TableSchema
+from repro.minidb.hash_index import BTreeIndex, HashIndex
+
+ChangeEvent = tuple
+"""('insert', table, rowid, values) | ('delete', table, rowid, values)
+| ('update', table, rowid, {position: old}, {position: new})"""
+
+
+class Table:
+    """Heap of rows keyed by a stable integer rowid, plus its indexes."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: dict[int, list] = {}
+        self.indexes: dict[str, object] = {}
+        self.next_rowid = 1
+        self.on_change: Callable[[ChangeEvent], None] | None = None
+        # additional subscribers (e.g. the backend's incremental stats
+        # cache, §3.2) — notified after on_change for every mutation,
+        # including transaction rollbacks
+        self.observers: list[Callable[[ChangeEvent], None]] = []
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    # -- ingest --------------------------------------------------------------
+
+    def coerce(self, position: int, value):
+        """Apply the column's type affinity to ``value``."""
+        if value is None:
+            return None
+        affinity = self.schema.columns[position].affinity
+        if affinity == NONE:
+            return _plain(value)
+        if affinity == TEXT:
+            if isinstance(value, bool):
+                return str(int(value))
+            if isinstance(value, (int, float)):
+                return _number_to_text(value)
+            return str(value)
+        # numeric affinities: try to make a number, keep text when impossible
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return float(value) if affinity == REAL else value
+        if isinstance(value, float):
+            if affinity == INTEGER and value == int(value):
+                return int(value)
+            return value
+        if isinstance(value, str):
+            number = _parse_strict(value)
+            if number is None:
+                return value  # the type-mismatch case: text in a numeric column
+            if affinity == INTEGER and number == int(number):
+                return int(number)
+            return number
+        return _plain(value)
+
+    def insert(self, values: list, rowid: int | None = None) -> int:
+        """Insert a row; returns its rowid.  ``values`` must match arity."""
+        if len(values) != len(self.schema.columns):
+            raise IntegrityError(
+                f"table {self.name!r}: {len(values)} values for "
+                f"{len(self.schema.columns)} columns"
+            )
+        if rowid is None:
+            rowid = self.next_rowid
+            self.next_rowid += 1
+        else:
+            if rowid in self.rows:
+                raise IntegrityError(f"duplicate rowid {rowid} in {self.name!r}")
+            self.next_rowid = max(self.next_rowid, rowid + 1)
+        row = [self.coerce(i, v) for i, v in enumerate(values)]
+        self.rows[rowid] = row
+        for index in self.indexes.values():
+            index.insert(row[index.position], rowid)
+        self._notify(("insert", self.name, rowid, list(row)))
+        return rowid
+
+    def delete(self, rowid: int) -> list:
+        """Delete a row, returning its old values."""
+        try:
+            row = self.rows.pop(rowid)
+        except KeyError:
+            raise IntegrityError(f"no row {rowid} in table {self.name!r}") from None
+        for index in self.indexes.values():
+            index.remove(row[index.position], rowid)
+        self._notify(("delete", self.name, rowid, list(row)))
+        return row
+
+    def update(self, rowid: int, changes: dict[int, object]) -> dict[int, object]:
+        """Update columns (by position) of one row; returns the old values."""
+        try:
+            row = self.rows[rowid]
+        except KeyError:
+            raise IntegrityError(f"no row {rowid} in table {self.name!r}") from None
+        old: dict[int, object] = {}
+        new: dict[int, object] = {}
+        for position, value in changes.items():
+            coerced = self.coerce(position, value)
+            old[position] = row[position]
+            new[position] = coerced
+        for index in self.indexes.values():
+            if index.position in new:
+                index.remove(old[index.position], rowid)
+        for position, value in new.items():
+            row[position] = value
+        for index in self.indexes.values():
+            if index.position in new:
+                index.insert(new[index.position], rowid)
+        self._notify(("update", self.name, rowid, old, dict(new)))
+        return old
+
+    def _notify(self, event: ChangeEvent) -> None:
+        if self.on_change is not None:
+            self.on_change(event)
+        for observer in self.observers:
+            observer(event)
+
+    def get(self, rowid: int) -> list | None:
+        """The row's values, or None when absent."""
+        row = self.rows.get(rowid)
+        return list(row) if row is not None else None
+
+    def scan(self) -> Iterator[tuple]:
+        """Yield ``(rowid, values)`` in insertion order."""
+        for rowid, row in self.rows.items():
+            yield rowid, row
+
+    # -- schema changes --------------------------------------------------------
+
+    def add_column(self, coldef: ColumnDef) -> None:
+        """ALTER TABLE ADD COLUMN — existing rows get NULL."""
+        self.schema.add_column(coldef)
+        for row in self.rows.values():
+            row.append(None)
+
+    # -- index management --------------------------------------------------------
+
+    def create_index(self, name: str, column: str, kind: str = "btree",
+                     unique: bool = False) -> None:
+        """Build (and backfill) an index over one column."""
+        if name in self.indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        position = self.schema.position(column)
+        index_cls = {"btree": BTreeIndex, "hash": HashIndex}[kind]
+        index = index_cls(name, column, position, unique=unique)
+        for rowid, row in self.rows.items():
+            index.insert(row[position], rowid)
+        self.indexes[name] = index
+
+    def drop_index(self, name: str) -> None:
+        """Remove an index."""
+        try:
+            del self.indexes[name]
+        except KeyError:
+            raise CatalogError(f"no index {name!r} on table {self.name!r}") from None
+
+    def indexes_on(self, column: str) -> list:
+        """All indexes whose key is ``column``."""
+        return [ix for ix in self.indexes.values() if ix.column == column]
+
+
+def _plain(value):
+    """Convert numpy scalars and bools to plain Python storage values."""
+    if isinstance(value, bool):
+        return int(value)
+    if hasattr(value, "item") and not isinstance(value, (int, float, str)):
+        return value.item()
+    return value
+
+
+def _number_to_text(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if float(value) == int(value):
+        return str(value)
+    return repr(float(value))
+
+
+def _parse_strict(text: str):
+    text = text.strip()
+    if not text:
+        return None
+    try:
+        if text.lstrip("+-").isdigit():
+            return int(text)
+        return float(text)
+    except ValueError:
+        return None

@@ -1,0 +1,150 @@
+"""SQL tokenizer for :mod:`repro.minidb`.
+
+Produces a flat list of :class:`Token` objects.  Keywords are *not*
+distinguished here — the parser matches identifier tokens case-insensitively
+against its keyword set, so ``select`` and ``SELECT`` both work while quoted
+identifiers (``"select"``) stay usable as column names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+# token kinds
+IDENT = "IDENT"          # bare or double-quoted identifier
+STRING = "STRING"        # single-quoted string literal
+NUMBER = "NUMBER"        # integer or float literal
+OP = "OP"                # operator or punctuation
+PARAM = "PARAM"          # positional parameter '?'
+EOF = "EOF"
+
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=", "==", "||")
+_ONE_CHAR_OPS = "+-*/%(),.<>=;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source offset (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+    def upper(self) -> str:
+        """Uppercased text — used for case-insensitive keyword matching."""
+        return self.text.upper()
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``, raising :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SQLSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            text, i = _read_string(sql, i)
+            tokens.append(Token(STRING, text, i))
+            continue
+        if ch == '"':
+            text, i = _read_quoted_ident(sql, i)
+            tokens.append(Token(IDENT, text, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            text, i = _read_number(sql, i)
+            tokens.append(Token(NUMBER, text, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            tokens.append(Token(IDENT, sql[start:i], start))
+            continue
+        if ch == "?":
+            tokens.append(Token(PARAM, "?", i))
+            i += 1
+            continue
+        two = sql[i:i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(OP, two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(OP, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(EOF, "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string starting at ``start``; '' escapes a quote."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", start)
+
+
+def _read_quoted_ident(sql: str, start: int) -> tuple[str, int]:
+    """Read a double-quoted identifier; "" escapes a quote."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == '"':
+            if i + 1 < n and sql[i + 1] == '"':
+                parts.append('"')
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated quoted identifier", start)
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    """Read an integer/float literal with optional exponent."""
+    i = start
+    n = len(sql)
+    while i < n and sql[i].isdigit():
+        i += 1
+    if i < n and sql[i] == ".":
+        i += 1
+        while i < n and sql[i].isdigit():
+            i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j].isdigit():
+            i = j
+            while i < n and sql[i].isdigit():
+                i += 1
+    return sql[start:i], i

@@ -1,0 +1,79 @@
+"""Transaction support: BEGIN / COMMIT / ROLLBACK with a row-level undo log.
+
+Every data mutation inside an open transaction records its inverse; ROLLBACK
+replays the inverses newest-first.  DDL is not transactional (documented
+limitation, matching many real engines' historical behaviour).
+
+Buckaroo's repair application wraps each wrangling operation in a
+transaction, so a failing custom wrangler can never leave the table
+half-modified.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransactionError
+from repro.minidb.storage import ChangeEvent
+
+
+class Transaction:
+    """An open transaction: an ordered log of change events."""
+
+    def __init__(self) -> None:
+        self.events: list[ChangeEvent] = []
+
+    def record(self, event: ChangeEvent) -> None:
+        self.events.append(event)
+
+
+class TransactionManager:
+    """Owns the single (non-nested) active transaction of a database."""
+
+    def __init__(self) -> None:
+        self.active: Transaction | None = None
+        self.replaying = False
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.active is not None
+
+    def begin(self) -> None:
+        if self.active is not None:
+            raise TransactionError("cannot BEGIN: a transaction is already open")
+        self.active = Transaction()
+
+    def commit(self) -> list[ChangeEvent]:
+        """Close the transaction, returning its committed events."""
+        if self.active is None:
+            raise TransactionError("COMMIT without an open transaction")
+        events = self.active.events
+        self.active = None
+        return events
+
+    def rollback(self, db) -> None:
+        """Undo every event of the open transaction, newest first."""
+        if self.active is None:
+            raise TransactionError("ROLLBACK without an open transaction")
+        events = self.active.events
+        self.active = None
+        self.replaying = True
+        try:
+            for event in reversed(events):
+                _invert(db, event)
+        finally:
+            self.replaying = False
+
+
+def _invert(db, event: ChangeEvent) -> None:
+    op = event[0]
+    table = db.table(event[1])
+    if op == "insert":
+        _, _, rowid, _values = event
+        table.delete(rowid)
+    elif op == "delete":
+        _, _, rowid, values = event
+        table.insert(values, rowid=rowid)
+    elif op == "update":
+        _, _, rowid, old, _new = event
+        table.update(rowid, dict(old))
+    else:  # pragma: no cover - defensive
+        raise TransactionError(f"cannot invert unknown event {op!r}")

@@ -1,0 +1,112 @@
+"""Write-ahead log: a durable, replayable record of committed changes.
+
+This implements the persistence half of the paper's storage layer (Fig 2 ⑤):
+the backend cache batches updates and "periodically flushes these changes to
+the Postgres database" (§3.2).  In this reproduction, a flush is a WAL
+checkpoint — the log is (optionally) written to disk and truncated.
+
+Records are JSON-serializable dicts::
+
+    {"op": "insert", "table": t, "rowid": r, "values": [...]}
+    {"op": "delete", "table": t, "rowid": r, "values": [...]}
+    {"op": "update", "table": t, "rowid": r, "old": {...}, "new": {...}}
+    {"op": "ddl", "sql": "CREATE TABLE ..."}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import DatabaseError
+
+
+class WriteAheadLog:
+    """In-memory WAL with optional file persistence."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self.records: list[dict] = []
+        self._checkpoints = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def checkpoint_count(self) -> int:
+        """Number of checkpoints performed so far."""
+        return self._checkpoints
+
+    def log_event(self, event: tuple) -> None:
+        """Record a storage change event (as emitted by Table.on_change)."""
+        op = event[0]
+        if op == "insert" or op == "delete":
+            _, table, rowid, values = event
+            self.records.append(
+                {"op": op, "table": table, "rowid": rowid, "values": list(values)}
+            )
+        elif op == "update":
+            _, table, rowid, old, new = event
+            self.records.append({
+                "op": "update", "table": table, "rowid": rowid,
+                "old": {str(k): v for k, v in old.items()},
+                "new": {str(k): v for k, v in new.items()},
+            })
+        else:
+            raise DatabaseError(f"cannot log unknown event kind {op!r}")
+
+    def log_ddl(self, sql: str) -> None:
+        """Record a schema change as its SQL text."""
+        self.records.append({"op": "ddl", "sql": sql})
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size of the pending log."""
+        return sum(len(json.dumps(record, default=str)) for record in self.records)
+
+    def checkpoint(self) -> int:
+        """Flush pending records (to disk when a path is set) and truncate.
+
+        Returns the number of records flushed.
+        """
+        flushed = len(self.records)
+        if self.path is not None and self.records:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                for record in self.records:
+                    handle.write(json.dumps(record, default=str) + "\n")
+        self.records.clear()
+        self._checkpoints += 1
+        return flushed
+
+    def replay_into(self, db) -> int:
+        """Apply the pending (in-memory) records to ``db``; returns count.
+
+        DDL records are executed as SQL; data records are applied directly to
+        storage, preserving rowids.
+        """
+        applied = 0
+        for record in self.records:
+            op = record["op"]
+            if op == "ddl":
+                db.execute(record["sql"])
+            elif op == "insert":
+                db.table(record["table"]).insert(record["values"], rowid=record["rowid"])
+            elif op == "delete":
+                db.table(record["table"]).delete(record["rowid"])
+            elif op == "update":
+                changes = {int(k): v for k, v in record["new"].items()}
+                db.table(record["table"]).update(record["rowid"], changes)
+            applied += 1
+        return applied
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WriteAheadLog":
+        """Read a WAL file back into memory (records become pending again)."""
+        wal = cls(path)
+        file_path = Path(path)
+        if file_path.exists():
+            with open(file_path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        wal.records.append(json.loads(line))
+        return wal

@@ -1,0 +1,31 @@
+"""``repro.sampling`` — anomaly-centric sampling and aggregation (§4.1).
+
+Error-first and distance-based samplers make rare errors salient under a
+render budget; reservoir and stratified samplers are the baselines; the
+aggregation module supplies binning/heatmap/decimation for scalable charts.
+"""
+
+from repro.sampling.aggregation import (
+    HeatmapGrid,
+    HistogramBins,
+    heatmap,
+    histogram,
+    minmax_decimate,
+)
+from repro.sampling.distance import DistanceBasedSampler
+from repro.sampling.error_first import ErrorFirstSampler, Sample
+from repro.sampling.reservoir import ReservoirSampler
+from repro.sampling.stratified import StratifiedSampler
+
+__all__ = [
+    "DistanceBasedSampler",
+    "ErrorFirstSampler",
+    "HeatmapGrid",
+    "HistogramBins",
+    "ReservoirSampler",
+    "Sample",
+    "StratifiedSampler",
+    "heatmap",
+    "histogram",
+    "minmax_decimate",
+]

@@ -1,0 +1,144 @@
+"""Chart aggregation strategies (§1, §4).
+
+"Novel aggregation techniques that support pan-and-zoom interactions over
+large datasets": instead of plotting rows, charts render aggregates whose
+resolution adapts to the viewport.  Three aggregators cover the paper's
+chart types — histograms (binning), heatmaps (two-way counts), and line
+charts (min/max decimation, the standard M4 technique).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.frame.parsing import coerce_to_number
+
+
+@dataclass
+class HistogramBins:
+    """Equi-width binning of one numeric series."""
+
+    edges: list = field(default_factory=list)      # n_bins + 1 edges
+    counts: list = field(default_factory=list)
+    anomaly_counts: list = field(default_factory=list)
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.counts)
+
+
+def histogram(values: Sequence, bins: int = 20,
+              anomalous_mask: Sequence[bool] | None = None) -> HistogramBins:
+    """Bin numeric values; non-numeric entries are skipped.
+
+    ``anomalous_mask`` (aligned with ``values``) produces a parallel count
+    of anomalous rows per bin, so charts can overlay error density.
+    """
+    numbers: list[float] = []
+    anomalous: list[bool] = []
+    for i, value in enumerate(values):
+        number = coerce_to_number(value)
+        if number is None:
+            continue
+        numbers.append(number)
+        anomalous.append(bool(anomalous_mask[i]) if anomalous_mask is not None else False)
+    if not numbers:
+        return HistogramBins(edges=[0.0, 1.0], counts=[0], anomaly_counts=[0])
+    array = np.asarray(numbers)
+    counts, edges = np.histogram(array, bins=bins)
+    anomaly_counts = np.zeros(len(counts), dtype=int)
+    if any(anomalous):
+        flags = np.asarray(anomalous)
+        positions = np.clip(
+            np.searchsorted(edges, array[flags], side="right") - 1, 0, len(counts) - 1
+        )
+        for position in positions:
+            anomaly_counts[position] += 1
+    return HistogramBins(
+        edges=[float(e) for e in edges],
+        counts=[int(c) for c in counts],
+        anomaly_counts=[int(c) for c in anomaly_counts],
+    )
+
+
+@dataclass
+class HeatmapGrid:
+    """Two-way aggregation: categories x value bins -> counts."""
+
+    categories: list = field(default_factory=list)
+    edges: list = field(default_factory=list)
+    counts: list = field(default_factory=list)        # [category][bin]
+    anomaly_counts: list = field(default_factory=list)
+
+
+def heatmap(categories: Sequence, values: Sequence, bins: int = 10,
+            anomalous_mask: Sequence[bool] | None = None) -> HeatmapGrid:
+    """Aggregate (category, value) pairs into a count grid."""
+    numbers = []
+    for i, value in enumerate(values):
+        number = coerce_to_number(value)
+        numbers.append(number)
+    usable = [n for n in numbers if n is not None]
+    if not usable:
+        return HeatmapGrid()
+    _, edges = np.histogram(np.asarray(usable), bins=bins)
+    distinct = list(dict.fromkeys(categories))
+    category_index = {category: i for i, category in enumerate(distinct)}
+    counts = np.zeros((len(distinct), bins), dtype=int)
+    anomaly_counts = np.zeros((len(distinct), bins), dtype=int)
+    for i, (category, number) in enumerate(zip(categories, numbers)):
+        if number is None:
+            continue
+        row = category_index[category]
+        column = min(
+            int(np.searchsorted(edges, number, side="right") - 1), bins - 1
+        )
+        column = max(column, 0)
+        counts[row, column] += 1
+        if anomalous_mask is not None and anomalous_mask[i]:
+            anomaly_counts[row, column] += 1
+    return HeatmapGrid(
+        categories=distinct,
+        edges=[float(e) for e in edges],
+        counts=counts.tolist(),
+        anomaly_counts=anomaly_counts.tolist(),
+    )
+
+
+def minmax_decimate(xs: Sequence[float], ys: Sequence[float],
+                    max_points: int = 200) -> tuple[list, list]:
+    """M4-style decimation for line charts.
+
+    Splits the x-range into pixels and keeps, per pixel, the first, last,
+    minimum, and maximum points — visually lossless at the target width.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    if len(xs) <= max_points:
+        return list(xs), list(ys)
+    order = np.argsort(np.asarray(xs), kind="stable")
+    xs_sorted = np.asarray(xs)[order]
+    ys_sorted = np.asarray(ys)[order]
+    buckets = max(1, max_points // 4)
+    edges = np.linspace(xs_sorted[0], xs_sorted[-1], buckets + 1)
+    keep: list[int] = []
+    for b in range(buckets):
+        lo, hi = edges[b], edges[b + 1]
+        if b == buckets - 1:
+            mask = (xs_sorted >= lo) & (xs_sorted <= hi)
+        else:
+            mask = (xs_sorted >= lo) & (xs_sorted < hi)
+        positions = np.flatnonzero(mask)
+        if not len(positions):
+            continue
+        chosen = {
+            positions[0], positions[-1],
+            positions[np.argmin(ys_sorted[positions])],
+            positions[np.argmax(ys_sorted[positions])],
+        }
+        keep.extend(sorted(chosen))
+    keep = sorted(set(keep))
+    return [float(xs_sorted[i]) for i in keep], [float(ys_sorted[i]) for i in keep]

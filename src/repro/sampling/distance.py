@@ -1,0 +1,80 @@
+"""Distance-based sampling (§4.1).
+
+"In cases where context is important (e.g., for identifying borderline
+outliers), Buckaroo also supports sampling based on similarity to error
+points.  For instance, it may select points close to the error cluster in
+feature space to help users understand how the anomaly deviates from the
+norm."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.frame.parsing import coerce_to_number
+from repro.sampling.error_first import Sample
+
+
+class DistanceBasedSampler:
+    """Anomalies plus the clean rows *nearest* to them in feature space.
+
+    Features are the z-scored numeric columns; distance is Euclidean from
+    each clean row to its nearest anomaly.
+    """
+
+    def __init__(self, budget: int = 500):
+        if budget < 1:
+            raise ValueError("budget must be at least 1")
+        self.budget = budget
+
+    def sample(self, backend: Backend, feature_columns: Sequence[str],
+               anomalous_rows: Sequence[int],
+               candidate_rows: Sequence[int] | None = None) -> Sample:
+        """Pick up to ``budget`` rows: all anomalies, then nearest neighbours."""
+        anomalous = sorted(set(anomalous_rows))
+        if candidate_rows is None:
+            candidate_rows = backend.all_row_ids()
+        clean = [r for r in candidate_rows if r not in set(anomalous)]
+        room = max(0, self.budget - len(anomalous))
+        if not anomalous or not clean or not room:
+            return Sample(
+                row_ids=list(anomalous) + clean[:room],
+                anomalous=set(anomalous),
+                context=set(clean[:room]),
+            )
+        matrix_bad = self._features(backend, feature_columns, anomalous)
+        matrix_clean = self._features(backend, feature_columns, clean)
+        # z-score using the pooled statistics so scales are comparable
+        pooled = np.vstack([matrix_bad, matrix_clean])
+        mean = np.nanmean(pooled, axis=0)
+        std = np.nanstd(pooled, axis=0)
+        std[std == 0] = 1.0
+        matrix_bad = (matrix_bad - mean) / std
+        matrix_clean = (matrix_clean - mean) / std
+        matrix_bad = np.nan_to_num(matrix_bad)
+        matrix_clean = np.nan_to_num(matrix_clean)
+        # distance of each clean row to its nearest anomaly
+        distances = np.full(len(clean), np.inf)
+        for bad in matrix_bad:
+            delta = matrix_clean - bad
+            distances = np.minimum(distances, np.sqrt((delta ** 2).sum(axis=1)))
+        order = np.argsort(distances, kind="stable")[:room]
+        context = {clean[i] for i in order}
+        return Sample(
+            row_ids=list(anomalous) + sorted(context),
+            anomalous=set(anomalous),
+            context=context,
+        )
+
+    def _features(self, backend: Backend, columns: Sequence[str],
+                  row_ids: Sequence[int]) -> np.ndarray:
+        matrix = np.full((len(row_ids), len(columns)), np.nan)
+        for j, column in enumerate(columns):
+            for i, raw in enumerate(backend.values(column, row_ids)):
+                number = coerce_to_number(raw)
+                if number is not None:
+                    matrix[i, j] = number
+        return matrix

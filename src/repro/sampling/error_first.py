@@ -1,0 +1,88 @@
+"""Error-first sampling (§4.1).
+
+"For each group, Buckaroo includes all anomalous records in the chart,
+ensuring no error is left unvisualized.  To provide context, it randomly
+samples a small number of non-anomalous records from the same group or
+surrounding groups.  This preserves visual contrast while maintaining a
+manageable rendering cost."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import ErrorIndex
+from repro.core.types import Group
+
+
+@dataclass
+class Sample:
+    """A render sample: which rows to draw, and why each one is included."""
+
+    row_ids: list = field(default_factory=list)
+    anomalous: set = field(default_factory=set)
+    context: set = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.row_ids)
+
+    def error_recall(self, ground_truth: set) -> float:
+        """Fraction of known-bad rows present in the sample."""
+        if not ground_truth:
+            return 1.0
+        return len(ground_truth & set(self.row_ids)) / len(ground_truth)
+
+
+class ErrorFirstSampler:
+    """All anomalies + a budgeted random sample of clean context rows."""
+
+    def __init__(self, budget: int = 500, context_per_group: int = 20,
+                 seed: int = 7):
+        if budget < 1:
+            raise ValueError("budget must be at least 1")
+        self.budget = budget
+        self.context_per_group = context_per_group
+        self._rng = np.random.default_rng(seed)
+
+    def sample_group(self, group: Group, index: ErrorIndex) -> Sample:
+        """Sample one group: every anomalous row plus clean context."""
+        anomalous = {a.row_id for a in index.anomalies(group.key)}
+        clean = [row_id for row_id in group.row_ids if row_id not in anomalous]
+        take = min(len(clean), self.context_per_group)
+        chosen = (
+            list(self._rng.choice(len(clean), size=take, replace=False))
+            if take else []
+        )
+        context = {clean[i] for i in chosen}
+        ordered = sorted(anomalous) + sorted(context)
+        return Sample(row_ids=ordered, anomalous=anomalous, context=context)
+
+    def sample_groups(self, groups: list, index: ErrorIndex) -> Sample:
+        """Sample several groups under the global render budget.
+
+        Anomalous rows are never dropped; when anomalies alone exceed the
+        budget the context allocation is zero and the budget stretches
+        (no error is left unvisualized — the §4.1 guarantee).
+        """
+        anomalous: set = set()
+        for group in groups:
+            anomalous.update(a.row_id for a in index.anomalies(group.key))
+        remaining = max(0, self.budget - len(anomalous))
+        per_group = (
+            min(self.context_per_group, max(1, remaining // max(1, len(groups))))
+            if remaining else 0
+        )
+        context: set = set()
+        if per_group:
+            for group in groups:
+                clean = [r for r in group.row_ids if r not in anomalous]
+                take = min(len(clean), per_group, remaining - len(context))
+                if take <= 0:
+                    break
+                chosen = self._rng.choice(len(clean), size=take, replace=False)
+                context.update(clean[i] for i in chosen)
+        ordered = sorted(anomalous) + sorted(context)
+        return Sample(row_ids=ordered, anomalous=anomalous, context=context)

@@ -1,0 +1,48 @@
+"""Reservoir sampling — the uniform baseline the §4.1 strategies beat.
+
+A plain Algorithm-R reservoir over a row stream: every row has equal
+probability of appearing, which is exactly why rare errors are likely to be
+invisible in the sample (the A2 ablation measures this).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+class ReservoirSampler:
+    """Uniform fixed-size sample over a stream of row ids."""
+
+    def __init__(self, capacity: int, seed: int = 7):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._reservoir: list = []
+        self._seen = 0
+
+    def offer(self, row_id: int) -> None:
+        """Consider one row for inclusion (Algorithm R)."""
+        self._seen += 1
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(row_id)
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._reservoir[slot] = row_id
+
+    def extend(self, row_ids: Iterable[int]) -> None:
+        """Offer many rows."""
+        for row_id in row_ids:
+            self.offer(row_id)
+
+    @property
+    def seen(self) -> int:
+        """Total rows offered so far."""
+        return self._seen
+
+    def sample(self) -> list:
+        """The current reservoir contents."""
+        return list(self._reservoir)

@@ -1,0 +1,36 @@
+"""Stratified sampling: a fixed quota per group.
+
+Guarantees every group is visible in the chart regardless of its size —
+useful as a middle ground between uniform sampling (which drowns small
+groups) and error-first sampling (which needs a prior detection pass).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.sampling.error_first import Sample
+
+
+class StratifiedSampler:
+    """Samples up to ``per_group`` rows from every stratum."""
+
+    def __init__(self, per_group: int = 20, seed: int = 7):
+        if per_group < 1:
+            raise ValueError("per_group must be at least 1")
+        self.per_group = per_group
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, strata: Mapping[object, Sequence[int]]) -> Sample:
+        """Sample each stratum (``category -> row ids``) independently."""
+        chosen: list = []
+        for _category, row_ids in strata.items():
+            row_ids = list(row_ids)
+            take = min(len(row_ids), self.per_group)
+            if not take:
+                continue
+            picks = self._rng.choice(len(row_ids), size=take, replace=False)
+            chosen.extend(row_ids[i] for i in picks)
+        return Sample(row_ids=sorted(chosen), context=set(chosen))

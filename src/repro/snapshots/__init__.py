@@ -1,0 +1,12 @@
+"""``repro.snapshots`` — differential snapshot storage (Fig 2 ⑤, §6.3).
+
+Provides invertible, composable per-operation deltas
+(:class:`~repro.snapshots.delta.DeltaSnapshot`), the session's
+:class:`~repro.snapshots.store.DifferentialStore`, and the full-copy baseline
+used by the storage ablation.
+"""
+
+from repro.snapshots.delta import DeltaSnapshot
+from repro.snapshots.store import DifferentialStore, FullCopyStore
+
+__all__ = ["DeltaSnapshot", "DifferentialStore", "FullCopyStore"]

@@ -1,0 +1,22 @@
+"""``repro.ui`` — the headless interactive frontend (§2.2, Fig 2 ①).
+
+Events, the repair-kit sidebar, the anomaly-summary panel, the
+:class:`BuckarooApp` facade, and a JSON protocol server simulating the
+deployed frontend/backend split.
+"""
+
+from repro.ui import events
+from repro.ui.app import BuckarooApp
+from repro.ui.repair_kit import RepairKit
+from repro.ui.report import html_report
+from repro.ui.server import BuckarooServer
+from repro.ui.summary import SummaryPanel
+
+__all__ = [
+    "BuckarooApp",
+    "BuckarooServer",
+    "RepairKit",
+    "SummaryPanel",
+    "events",
+    "html_report",
+]

@@ -1,0 +1,83 @@
+"""User interaction events.
+
+"All user interactions with the charts are handled by the backend
+components" (Fig 2): the frontend emits these events; the app (or the
+protocol server) dispatches them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.types import GroupKey
+
+
+@dataclass(frozen=True)
+class SelectGroup:
+    """Click a chart mark / select a group for inspection."""
+
+    key: GroupKey
+
+
+@dataclass(frozen=True)
+class RequestSuggestions:
+    """Open the repair-kit sidebar for the selected group."""
+
+    key: GroupKey
+    error_code: Optional[str] = None
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PreviewRepair:
+    """Hover a suggestion: compute its live chart preview."""
+
+    suggestion_rank: int
+
+
+@dataclass(frozen=True)
+class ApplyRepair:
+    """Commit a suggestion from the repair kit."""
+
+    suggestion_rank: int
+
+
+@dataclass(frozen=True)
+class Undo:
+    """Ctrl-Z."""
+
+
+@dataclass(frozen=True)
+class Redo:
+    """Ctrl-Shift-Z."""
+
+
+@dataclass(frozen=True)
+class ExportScript:
+    """Download the wrangling pipeline as a script."""
+
+    target: str = "python"
+
+
+@dataclass(frozen=True)
+class DrillDown:
+    """Click a bar in the multi-layer navigation view."""
+
+    category: object
+
+
+@dataclass(frozen=True)
+class RollUp:
+    """Navigate back up one drill level."""
+
+
+@dataclass(frozen=True)
+class RemoveVisibleRow:
+    """Delete one row from the drill-down view (the §6.2 interaction)."""
+
+    row_id: int
+
+
+Event = object
+"""Any of the dataclasses above."""

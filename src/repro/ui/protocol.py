@@ -1,0 +1,96 @@
+"""JSON wire protocol between the (simulated) frontend and backend.
+
+The production system runs the charts in a browser; every interaction
+becomes a message to the backend (Fig 2).  This module defines the message
+schema and the encoding of domain objects, so the in-process
+:class:`~repro.ui.server.BuckarooServer` exercises the same round-trip a
+networked deployment would.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.types import GroupKey
+from repro.errors import BuckarooError
+from repro.ui import events
+
+REQUEST_TYPES = (
+    "select_group", "request_suggestions", "preview_repair", "apply_repair",
+    "undo", "redo", "export_script", "drill_down", "roll_up", "remove_row",
+    "summary", "chart",
+)
+
+
+def encode_group_key(key: GroupKey) -> dict:
+    """GroupKey -> JSON-safe dict."""
+    return {
+        "categorical": key.categorical,
+        "category": key.category,
+        "numerical": key.numerical,
+    }
+
+
+def decode_group_key(payload: dict) -> GroupKey:
+    """Inverse of :func:`encode_group_key`."""
+    try:
+        return GroupKey(
+            payload["categorical"], payload["category"], payload["numerical"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise BuckarooError(f"malformed group key payload: {exc}") from exc
+
+
+def decode_request(text: str):
+    """Parse a JSON request into a UI event (or a query descriptor).
+
+    Returns ``(kind, event_or_payload)`` where query-style requests
+    (``summary``, ``chart``) pass their payload through.
+    """
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BuckarooError(f"request is not valid JSON: {exc}") from exc
+    kind = message.get("type")
+    if kind not in REQUEST_TYPES:
+        raise BuckarooError(
+            f"unknown request type {kind!r}; expected one of {REQUEST_TYPES}"
+        )
+    if kind == "select_group":
+        return kind, events.SelectGroup(decode_group_key(message["key"]))
+    if kind == "request_suggestions":
+        return kind, events.RequestSuggestions(
+            decode_group_key(message["key"]),
+            message.get("error_code"),
+            message.get("limit"),
+        )
+    if kind == "preview_repair":
+        return kind, events.PreviewRepair(int(message["rank"]))
+    if kind == "apply_repair":
+        return kind, events.ApplyRepair(int(message["rank"]))
+    if kind == "undo":
+        return kind, events.Undo()
+    if kind == "redo":
+        return kind, events.Redo()
+    if kind == "export_script":
+        return kind, events.ExportScript(message.get("target", "python"))
+    if kind == "drill_down":
+        return kind, events.DrillDown(message["category"])
+    if kind == "roll_up":
+        return kind, events.RollUp()
+    if kind == "remove_row":
+        return kind, events.RemoveVisibleRow(int(message["row_id"]))
+    return kind, message  # summary / chart queries
+
+
+def encode_response(kind: str, payload, ok: bool = True) -> str:
+    """Build the JSON response for a handled request."""
+    return json.dumps({"type": kind, "ok": ok, "payload": payload}, default=str)
+
+
+def encode_error(kind: str, error: Exception) -> str:
+    """Build the JSON error response."""
+    return json.dumps({
+        "type": kind, "ok": False,
+        "error": {"kind": type(error).__name__, "message": str(error)},
+    })

@@ -1,0 +1,57 @@
+"""The repair-kit sidebar (§2.2).
+
+"The UI ... offers a repair kit sidebar to surface appropriate wrangling
+options for selected groups."  The kit holds the ranked suggestions for the
+current selection and resolves rank numbers back to plans when the user
+applies one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.types import GroupKey, RepairSuggestion
+from repro.errors import BuckarooError
+
+
+class RepairKit:
+    """Ranked suggestions for the currently selected group."""
+
+    def __init__(self, session):
+        self.session = session
+        self.key: Optional[GroupKey] = None
+        self.suggestions: list[RepairSuggestion] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self.key is not None
+
+    def open_for(self, key: GroupKey, error_code: Optional[str] = None,
+                 limit: Optional[int] = None) -> list[RepairSuggestion]:
+        """Populate the sidebar for a selection."""
+        self.key = key
+        self.suggestions = self.session.suggest(key, error_code, limit)
+        return self.suggestions
+
+    def suggestion(self, rank: int) -> RepairSuggestion:
+        """Resolve a 1-based rank to its suggestion."""
+        for suggestion in self.suggestions:
+            if suggestion.rank == rank:
+                return suggestion
+        raise BuckarooError(
+            f"no suggestion with rank {rank} "
+            f"(kit has {len(self.suggestions)})"
+        )
+
+    def close(self) -> None:
+        """Clear the sidebar."""
+        self.key = None
+        self.suggestions = []
+
+    def describe(self) -> list[str]:
+        """One display line per suggestion."""
+        return [
+            f"{s.rank}. {s.label} [score {s.score:+.1f}, "
+            f"resolves {s.resolved}, side effects {s.introduced}]"
+            for s in self.suggestions
+        ]

@@ -1,0 +1,91 @@
+"""Standalone HTML session reports (the notebook deployment path).
+
+Renders one self-contained HTML document from a session: dataset shape,
+the ranked anomaly summary with the paper's colour coding, embedded SVG
+charts for the most anomalous pairs, the applied wrangling history, and the
+exported Python pipeline.  No external assets, so the file drops straight
+into a notebook cell (``IPython.display.HTML``) or an email.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from repro.charts.heatmap import HeatmapChart
+from repro.charts.render_svg import render_svg
+from repro.core.session import BuckarooSession
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin: .5rem 0; }
+td, th { border: 1px solid #ddd; padding: .25rem .6rem; font-size: .85rem; }
+th { background: #f5f5f5; text-align: left; }
+.swatch { display: inline-block; width: .8em; height: .8em;
+          border-radius: 2px; margin-right: .4em; vertical-align: middle; }
+pre { background: #f8f8f8; border: 1px solid #eee; padding: .8rem;
+      font-size: .75rem; overflow-x: auto; }
+.charts { display: flex; flex-wrap: wrap; gap: 1rem; }
+"""
+
+
+def html_report(session: BuckarooSession, title: str = "Buckaroo session report",
+                max_charts: int = 4, group_limit: int = 10) -> str:
+    """Render the session as one self-contained HTML document."""
+    summary = session.anomaly_summary(group_limit=group_limit)
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+        f"<p>{session.backend.row_count()} rows &times; "
+        f"{len(session.backend.column_names())} columns on the "
+        f"<b>{escape(session.backend.kind)}</b> backend &mdash; "
+        f"{summary.total} anomalies across "
+        f"{len(session.groups())} groups.</p>",
+    ]
+
+    parts.append("<h2>Anomaly summary</h2><table>")
+    parts.append("<tr><th>Error type</th><th>Count</th><th>Weighted</th></tr>")
+    for entry in summary.error_types:
+        parts.append(
+            f"<tr><td><span class='swatch' style='background:{entry.color}'>"
+            f"</span>{escape(entry.label)}</td>"
+            f"<td>{entry.count}</td><td>{entry.weighted:.1f}</td></tr>"
+        )
+    parts.append("</table>")
+
+    if summary.groups:
+        parts.append("<h2>Most anomalous groups</h2><table>")
+        parts.append("<tr><th>Group</th><th>Anomalies</th><th>Dominant</th></tr>")
+        for rank in summary.groups:
+            parts.append(
+                f"<tr><td><code>{escape(rank.key.describe())}</code></td>"
+                f"<td>{rank.count}</td><td>{escape(rank.dominant_code)}</td></tr>"
+            )
+        parts.append("</table>")
+
+    parts.append("<h2>Charts</h2><div class='charts'>")
+    worst_pairs = list(dict.fromkeys(
+        rank.key.pair for rank in summary.groups
+    )) or session.pairs()
+    for cat, num in worst_pairs[:max_charts]:
+        chart = HeatmapChart(session=session, categorical=cat, numerical=num)
+        parts.append(f"<div>{render_svg(chart)}</div>")
+    parts.append("</div>")
+
+    records = session.history.records()
+    parts.append("<h2>Applied wrangling operations</h2>")
+    if records:
+        parts.append("<ol>")
+        for record in records:
+            parts.append(f"<li>{escape(record.plan.description)}</li>")
+        parts.append("</ol>")
+        parts.append("<h2>Exported pipeline</h2>")
+        parts.append(f"<pre>{escape(session.export_script('python'))}</pre>")
+    else:
+        parts.append("<p>(none yet)</p>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

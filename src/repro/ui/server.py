@@ -1,0 +1,77 @@
+"""In-process protocol server: JSON in, JSON out.
+
+Simulates the deployed client/server split without sockets: a frontend
+sends :mod:`repro.ui.protocol` request strings; the server dispatches them
+through a :class:`~repro.ui.app.BuckarooApp` and serializes the outcome.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import ApplyResult, RepairSuggestion
+from repro.errors import ReproError
+from repro.ui import protocol
+from repro.ui.app import BuckarooApp
+
+
+class BuckarooServer:
+    """Stateful request handler over one app instance."""
+
+    def __init__(self, app: BuckarooApp):
+        self.app = app
+        self.requests_served = 0
+
+    def handle_request(self, text: str) -> str:
+        """Process one JSON request; always returns a JSON response."""
+        kind = "unknown"
+        try:
+            kind, event = protocol.decode_request(text)
+            if kind == "summary":
+                payload = self.app.summary.lines(
+                    group_limit=int(event.get("limit", 10))
+                )
+            elif kind == "chart":
+                payload = self.app.chart_text(event["cat"], event["num"])
+            else:
+                payload = self._serialize(self.app.handle(event))
+            self.requests_served += 1
+            return protocol.encode_response(kind, payload)
+        except ReproError as exc:
+            return protocol.encode_error(kind, exc)
+
+    def _serialize(self, outcome):
+        if isinstance(outcome, ApplyResult):
+            return {
+                "seq": outcome.seq,
+                "rows_affected": outcome.rows_affected,
+                "resolved": outcome.resolved,
+                "introduced": outcome.introduced,
+                "affected_groups": [
+                    protocol.encode_group_key(key)
+                    for key in outcome.affected_groups
+                ],
+                "backend_seconds": outcome.backend_seconds,
+                "replot_seconds": outcome.replot_seconds,
+            }
+        if isinstance(outcome, list) and outcome and isinstance(outcome[0], RepairSuggestion):
+            return [
+                {
+                    "rank": s.rank,
+                    "label": s.label,
+                    "score": s.score,
+                    "resolved": s.resolved,
+                    "introduced": s.introduced,
+                    "wrangler": s.plan.wrangler_code,
+                }
+                for s in outcome
+            ]
+        if hasattr(outcome, "describe"):
+            return outcome.describe()
+        if isinstance(outcome, tuple) and len(outcome) == 2 and hasattr(outcome[0], "bars"):
+            view, seconds = outcome
+            return {
+                "bars": [[str(c), n] for c, n in view.bars],
+                "seconds": seconds,
+            }
+        if hasattr(outcome, "bars"):
+            return {"bars": [[str(c), n] for c, n in outcome.bars]}
+        return outcome if isinstance(outcome, (str, int, float, dict, list)) else str(outcome)

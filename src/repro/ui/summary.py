@@ -1,0 +1,29 @@
+"""The anomaly summary panel (§2.2, Figure 1's "Anomaly Summary")."""
+
+from __future__ import annotations
+
+
+class SummaryPanel:
+    """Formats the ranked anomaly summary for display."""
+
+    def __init__(self, session):
+        self.session = session
+
+    def lines(self, group_limit: int = 10) -> list[str]:
+        """Render the panel as text lines (error types, then worst groups)."""
+        summary = self.session.anomaly_summary(group_limit=group_limit)
+        out = [f"Anomaly Summary — {summary.total} anomalies"]
+        for entry in summary.error_types:
+            out.append(f"  {entry.label}: {entry.count}")
+        if summary.groups:
+            out.append("Most erroneous groups:")
+            for rank in summary.groups:
+                out.append(
+                    f"  {rank.key.describe()}: {rank.count} "
+                    f"(dominant: {rank.dominant_code})"
+                )
+        return out
+
+    def render(self, group_limit: int = 10) -> str:
+        """The panel as one newline-joined string."""
+        return "\n".join(self.lines(group_limit))

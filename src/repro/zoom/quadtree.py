@@ -1,0 +1,126 @@
+"""A point quadtree for 2D scatter data.
+
+Backs spatial range queries over scatterplots when navigating with a
+two-dimensional viewport, complementing the B+tree-per-axis path used for
+SQL region fetches.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NavigationError
+from repro.zoom.viewport import Viewport
+
+
+class _Node:
+    __slots__ = ("x0", "y0", "x1", "y1", "points", "children")
+
+    def __init__(self, x0: float, y0: float, x1: float, y1: float):
+        self.x0, self.y0, self.x1, self.y1 = x0, y0, x1, y1
+        self.points: list = []      # (x, y, payload)
+        self.children: list | None = None
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def intersects(self, view: Viewport) -> bool:
+        return not (
+            self.x1 <= view.x0 or view.x1 <= self.x0
+            or self.y1 <= view.y0 or view.y1 <= self.y0
+        )
+
+
+class QuadTree:
+    """Fixed-extent quadtree with per-node capacity and max depth."""
+
+    def __init__(self, x0: float, y0: float, x1: float, y1: float,
+                 capacity: int = 16, max_depth: int = 12):
+        if x1 <= x0 or y1 <= y0:
+            raise NavigationError("quadtree extent must be non-empty")
+        if capacity < 1:
+            raise NavigationError("capacity must be at least 1")
+        self.root = _Node(x0, y0, x1, y1)
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, x: float, y: float, payload) -> bool:
+        """Insert one point; returns False when outside the extent."""
+        if not self.root.contains(x, y):
+            return False
+        node, depth = self.root, 0
+        while node.children is not None:
+            node = node.children[self._quadrant(node, x, y)]
+            depth += 1
+        node.points.append((x, y, payload))
+        self._count += 1
+        if len(node.points) > self.capacity and depth < self.max_depth:
+            self._split(node)
+        return True
+
+    def query(self, view: Viewport) -> list:
+        """All ``(x, y, payload)`` points inside ``view``."""
+        if not view.has_y:
+            raise NavigationError("quadtree queries need a 2D viewport")
+        out: list = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.intersects(view):
+                continue
+            if node.children is not None:
+                stack.extend(node.children)
+                continue
+            for x, y, payload in node.points:
+                if view.contains(x, y):
+                    out.append((x, y, payload))
+        return out
+
+    def count_in(self, view: Viewport) -> int:
+        """Number of points inside ``view`` (no materialization of payloads)."""
+        return len(self.query(view))
+
+    def nearest(self, x: float, y: float):
+        """The stored point closest to ``(x, y)`` (None when empty).
+
+        Linear over candidate leaves via best-first pruning.
+        """
+        best = None
+        best_d2 = float("inf")
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            # prune: minimal possible distance from (x, y) to the node box
+            dx = max(node.x0 - x, 0, x - node.x1)
+            dy = max(node.y0 - y, 0, y - node.y1)
+            if dx * dx + dy * dy > best_d2:
+                continue
+            if node.children is not None:
+                stack.extend(node.children)
+                continue
+            for px, py, payload in node.points:
+                d2 = (px - x) ** 2 + (py - y) ** 2
+                if d2 < best_d2:
+                    best_d2 = d2
+                    best = (px, py, payload)
+        return best
+
+    def _quadrant(self, node: _Node, x: float, y: float) -> int:
+        mx = (node.x0 + node.x1) / 2
+        my = (node.y0 + node.y1) / 2
+        return (1 if x >= mx else 0) + (2 if y >= my else 0)
+
+    def _split(self, node: _Node) -> None:
+        mx = (node.x0 + node.x1) / 2
+        my = (node.y0 + node.y1) / 2
+        node.children = [
+            _Node(node.x0, node.y0, mx, my),
+            _Node(mx, node.y0, node.x1, my),
+            _Node(node.x0, my, mx, node.y1),
+            _Node(mx, my, node.x1, node.y1),
+        ]
+        for x, y, payload in node.points:
+            node.children[self._quadrant(node, x, y)].points.append((x, y, payload))
+        node.points = []

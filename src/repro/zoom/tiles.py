@@ -1,0 +1,90 @@
+"""Tile mathematics and the LRU tile cache.
+
+Multi-layer navigation "ensures that only the visible portion of the data
+is loaded and rendered at any given time" (§4.2): the x-range is cut into
+tiles per zoom level (tile width halves per level) and fetched regions are
+cached, so panning re-uses neighbouring fetches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import NavigationError
+
+
+class TileGrid:
+    """Maps x-coordinates to integer tile indexes per zoom level."""
+
+    def __init__(self, x_min: float, x_max: float, base_tiles: int = 4):
+        if x_max <= x_min:
+            raise NavigationError("tile grid extent must be non-empty")
+        self.x_min = x_min
+        self.x_max = x_max
+        self.base_tiles = base_tiles
+
+    def tile_width(self, level: int) -> float:
+        """Width of one tile at ``level`` (halves with each level)."""
+        return (self.x_max - self.x_min) / (self.base_tiles * (2 ** level))
+
+    def tile_of(self, x: float, level: int) -> int:
+        """The tile index containing ``x``."""
+        width = self.tile_width(level)
+        index = int((x - self.x_min) // width)
+        max_index = self.base_tiles * (2 ** level) - 1
+        return min(max(index, 0), max_index)
+
+    def tile_extent(self, index: int, level: int) -> tuple[float, float]:
+        """The ``[x0, x1)`` range of one tile."""
+        width = self.tile_width(level)
+        x0 = self.x_min + index * width
+        return (x0, x0 + width)
+
+    def tiles_for_range(self, x0: float, x1: float, level: int) -> list[int]:
+        """Tile indexes intersecting ``[x0, x1)``."""
+        if x1 <= x0:
+            return []
+        first = self.tile_of(max(x0, self.x_min), level)
+        last = self.tile_of(min(x1, self.x_max) - 1e-12, level)
+        return list(range(first, last + 1))
+
+
+class TileCache:
+    """LRU cache keyed by ``(level, tile_index)`` with hit statistics."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise NavigationError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        """The cached payload, or None (counts hit/miss)."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key, payload) -> None:
+        """Insert/update, evicting the least recently used beyond capacity."""
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop everything (called after the data changes)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

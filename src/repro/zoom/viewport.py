@@ -1,0 +1,104 @@
+"""Viewport algebra for pan-and-zoom navigation (§4.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import NavigationError
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """An axis-aligned view window.
+
+    ``y0``/``y1`` are optional — one-dimensional charts (histograms, bar
+    charts) only navigate along x.
+    """
+
+    x0: float
+    x1: float
+    y0: Optional[float] = None
+    y1: Optional[float] = None
+
+    def __post_init__(self):
+        if self.x1 <= self.x0:
+            raise NavigationError(f"empty viewport: x1 {self.x1} <= x0 {self.x0}")
+        if (self.y0 is None) != (self.y1 is None):
+            raise NavigationError("y bounds must both be set or both be None")
+        if self.y0 is not None and self.y1 <= self.y0:
+            raise NavigationError(f"empty viewport: y1 {self.y1} <= y0 {self.y0}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> Optional[float]:
+        if self.y0 is None:
+            return None
+        return self.y1 - self.y0
+
+    @property
+    def has_y(self) -> bool:
+        return self.y0 is not None
+
+    def contains(self, x: float, y: Optional[float] = None) -> bool:
+        """Point-in-viewport test (closed on the low edge, open on high)."""
+        if not (self.x0 <= x < self.x1):
+            return False
+        if self.has_y and y is not None:
+            return self.y0 <= y < self.y1
+        return True
+
+    def intersects(self, other: "Viewport") -> bool:
+        """True when the two windows overlap."""
+        if self.x1 <= other.x0 or other.x1 <= self.x0:
+            return False
+        if self.has_y and other.has_y:
+            if self.y1 <= other.y0 or other.y1 <= self.y0:
+                return False
+        return True
+
+    def pan(self, dx: float, dy: float = 0.0) -> "Viewport":
+        """Shift the window without changing its size."""
+        return Viewport(
+            self.x0 + dx, self.x1 + dx,
+            None if self.y0 is None else self.y0 + dy,
+            None if self.y1 is None else self.y1 + dy,
+        )
+
+    def zoom(self, factor: float, center_x: Optional[float] = None,
+             center_y: Optional[float] = None) -> "Viewport":
+        """Scale around a center; ``factor < 1`` zooms in."""
+        if factor <= 0:
+            raise NavigationError("zoom factor must be positive")
+        cx = center_x if center_x is not None else (self.x0 + self.x1) / 2
+        half_w = self.width * factor / 2
+        y0 = y1 = None
+        if self.has_y:
+            cy = center_y if center_y is not None else (self.y0 + self.y1) / 2
+            half_h = self.height * factor / 2
+            y0, y1 = cy - half_h, cy + half_h
+        return Viewport(cx - half_w, cx + half_w, y0, y1)
+
+    def clamp_to(self, bounds: "Viewport") -> "Viewport":
+        """Slide the window back inside ``bounds`` (size-preserving)."""
+        x0, x1 = self.x0, self.x1
+        if x0 < bounds.x0:
+            x1 += bounds.x0 - x0
+            x0 = bounds.x0
+        if x1 > bounds.x1:
+            x0 -= x1 - bounds.x1
+            x1 = bounds.x1
+        x0 = max(x0, bounds.x0)
+        y0, y1 = self.y0, self.y1
+        if self.has_y and bounds.has_y:
+            if y0 < bounds.y0:
+                y1 += bounds.y0 - y0
+                y0 = bounds.y0
+            if y1 > bounds.y1:
+                y0 -= y1 - bounds.y1
+                y1 = bounds.y1
+            y0 = max(y0, bounds.y0)
+        return Viewport(x0, x1, y0, y1)

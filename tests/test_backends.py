@@ -1,0 +1,212 @@
+"""Contract tests: both backends must behave identically.
+
+Every test is parametrized over the SQL and frame backends — Table 1's
+comparison is only meaningful if they compute the same answers.
+"""
+
+import pytest
+
+from repro.backends import FrameBackend, SQLBackend, make_backend
+from repro.frame import DataFrame
+
+ROWS = [
+    ("Bhutan", "BS", 50000.0, 34),
+    ("Bhutan", "MS", 61000.0, 29),
+    ("Bhutan", "BS", "12k", 41),
+    ("Bhutan", "PhD", 1000000.0, 38),
+    ("Lesotho", "PhD", 72000.0, 35),
+    ("Lesotho", "BS", None, 52),
+    ("Lesotho", "MS", 48000.0, 44),
+    ("Lesotho", "BS", 55000.0, 31),
+    ("Nauru", "BS", 51000.0, 27),
+]
+COLUMNS = ["country", "degree", "income", "age"]
+
+
+@pytest.fixture(params=["sql", "frame"])
+def backend(request):
+    frame = DataFrame.from_rows(ROWS, COLUMNS)
+    return make_backend(frame, request.param)
+
+
+class TestSchema:
+    def test_kind_factory(self):
+        frame = DataFrame.from_rows(ROWS, COLUMNS)
+        assert isinstance(make_backend(frame, "sql"), SQLBackend)
+        assert isinstance(make_backend(frame, "frame"), FrameBackend)
+        with pytest.raises(ValueError):
+            make_backend(frame, "duckdb")
+
+    def test_columns_and_counts(self, backend):
+        assert backend.column_names() == COLUMNS
+        assert backend.row_count() == 9
+
+    def test_categorical_columns(self, backend):
+        cats = backend.categorical_columns()
+        assert "country" in cats and "degree" in cats
+
+    def test_numerical_columns(self, backend):
+        nums = backend.numerical_columns()
+        assert "income" in nums and "age" in nums
+
+
+class TestReads:
+    def test_row_ids_start_at_one(self, backend):
+        assert backend.all_row_ids() == list(range(1, 10))
+
+    def test_row(self, backend):
+        row = backend.row(1)
+        assert row["country"] == "Bhutan"
+        assert row["age"] == 34
+
+    def test_values_aligned(self, backend):
+        assert backend.values("country", [9, 1]) == ["Nauru", "Bhutan"]
+
+    def test_distinct_values(self, backend):
+        assert set(backend.distinct_values("country")) == {"Bhutan", "Lesotho", "Nauru"}
+
+    def test_group_row_ids(self, backend):
+        assert sorted(backend.group_row_ids("country", "Nauru")) == [9]
+        assert sorted(backend.group_row_ids("country", "Bhutan")) == [1, 2, 3, 4]
+
+    def test_group_sizes(self, backend):
+        assert backend.group_sizes("country") == {
+            "Bhutan": 4, "Lesotho": 4, "Nauru": 1,
+        }
+
+    def test_group_sizes_with_missing_key(self, backend):
+        delta = backend.set_cells("country", [9], None)
+        sizes = backend.group_sizes("country")
+        assert sizes.get(None) == 1
+        backend.revert_delta(delta)
+
+    def test_numeric_stats_global(self, backend):
+        stats = backend.numeric_stats("income")
+        # '12k' (text) and None excluded: 7 numeric values
+        assert stats.count == 7
+        assert stats.min == 48000.0
+        assert stats.max == 1000000.0
+
+    def test_numeric_stats_scoped(self, backend):
+        stats = backend.numeric_stats("income", "country", "Lesotho")
+        assert stats.count == 3
+        assert stats.mean == pytest.approx((72000 + 48000 + 55000) / 3)
+
+
+class TestDetectorCapabilities:
+    def test_missing(self, backend):
+        assert backend.missing_row_ids("income") == [6]
+        assert backend.missing_row_ids("income", "country", "Lesotho") == [6]
+        assert backend.missing_row_ids("income", "country", "Bhutan") == []
+
+    def test_mismatch(self, backend):
+        assert backend.mismatch_row_ids("income") == [3]
+        assert backend.mismatch_row_ids("income", "degree", "BS") == [3]
+
+    def test_out_of_range(self, backend):
+        rows = backend.out_of_range_row_ids("income", 0, 100000)
+        assert rows == [4]
+        scoped = backend.out_of_range_row_ids("income", 0, 100000, "country", "Lesotho")
+        assert scoped == []
+
+
+class TestWrites:
+    def test_delete_and_revert(self, backend):
+        delta = backend.delete_rows([1, 3])
+        assert backend.row_count() == 7
+        assert set(delta.deleted) == {1, 3}
+        assert delta.deleted[3]["income"] == "12k"
+        backend.revert_delta(delta)
+        assert backend.row_count() == 9
+        assert backend.row(3)["income"] == "12k"
+
+    def test_set_cells_broadcast_and_revert(self, backend):
+        delta = backend.set_cells("income", [1, 2], 99.0)
+        assert backend.values("income", [1, 2]) == [99.0, 99.0]
+        backend.revert_delta(delta)
+        assert backend.values("income", [1, 2]) == [50000.0, 61000.0]
+
+    def test_set_cells_per_row_values(self, backend):
+        delta = backend.set_cells("age", [1, 2], values=[100, 200])
+        assert backend.values("age", [1, 2]) == [100, 200]
+        assert delta.updated[1]["age"] == (34, 100)
+        backend.revert_delta(delta)
+
+    def test_set_cells_skips_noop_writes(self, backend):
+        delta = backend.set_cells("age", [1], 34)
+        assert delta.is_empty
+
+    def test_set_cells_to_null(self, backend):
+        delta = backend.set_cells("income", [1], None)
+        assert backend.values("income", [1]) == [None]
+        assert backend.missing_row_ids("income") == [1, 6]
+        backend.revert_delta(delta)
+
+    def test_group_membership_updates_after_delete(self, backend):
+        delta = backend.delete_rows([9])
+        assert backend.group_row_ids("country", "Nauru") == []
+        backend.revert_delta(delta)
+        assert backend.group_row_ids("country", "Nauru") == [9]
+
+    def test_group_membership_updates_after_relabel(self, backend):
+        delta = backend.set_cells("country", [9], "Other")
+        assert backend.group_row_ids("country", "Other") == [9]
+        assert backend.group_row_ids("country", "Nauru") == []
+        backend.revert_delta(delta)
+
+    def test_delete_everything_and_restore(self, backend):
+        delta = backend.delete_rows(backend.all_row_ids())
+        assert backend.row_count() == 0
+        backend.revert_delta(delta)
+        assert backend.row_count() == 9
+
+
+class TestInfrastructure:
+    def test_to_frame_roundtrip(self, backend):
+        frame = backend.to_frame()
+        assert frame.n_rows == 9
+        assert frame.column_names == COLUMNS
+
+    def test_to_frame_with_row_ids(self, backend):
+        frame = backend.to_frame(include_row_ids=True)
+        assert frame.column_names[0] == "_row_id"
+        assert frame["_row_id"].to_list() == list(range(1, 10))
+
+    def test_ensure_index_idempotent(self, backend):
+        backend.ensure_index("country")
+        backend.ensure_index("country")
+        # still answers correctly
+        assert sorted(backend.group_row_ids("country", "Nauru")) == [9]
+
+    def test_flush(self, backend):
+        backend.set_cells("age", [1], 99)
+        flushed = backend.flush()
+        assert flushed >= 0  # sql counts wal records, frame is a no-op
+
+
+class TestSQLSpecific:
+    def test_detectors_run_as_sql(self):
+        frame = DataFrame.from_rows(ROWS, COLUMNS)
+        backend = SQLBackend.from_frame(frame)
+        plan = backend.db.explain(
+            'SELECT rowid FROM data WHERE "income" IS NULL AND "country" = ?'
+        )
+        assert "Scan" in plan  # the capability is a real SQL query
+
+    def test_index_created_per_chart_attribute(self):
+        frame = DataFrame.from_rows(ROWS, COLUMNS)
+        backend = SQLBackend.from_frame(frame)
+        backend.ensure_index("country")
+        backend.ensure_index("income")
+        names = backend.db.index_names()
+        assert "idx_data_country" in names and "idx_data_income" in names
+        # text -> hash, numeric -> btree
+        assert backend.db.index_catalog["idx_data_country"].kind == "hash"
+        assert backend.db.index_catalog["idx_data_income"].kind == "btree"
+
+    def test_group_lookup_uses_index(self):
+        frame = DataFrame.from_rows(ROWS, COLUMNS)
+        backend = SQLBackend.from_frame(frame)
+        backend.ensure_index("country")
+        plan = backend.db.explain('SELECT rowid FROM data WHERE "country" = ?')
+        assert "IndexEqScan" in plan

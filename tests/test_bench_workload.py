@@ -1,0 +1,114 @@
+"""Tests for the benchmark harness (workload generation and reporting)."""
+
+import pytest
+
+from repro.bench import (
+    IMPUTE,
+    REMOVAL,
+    TimingSummary,
+    candidate_rows,
+    print_generic,
+    print_hopara,
+    print_table1,
+    run_workload,
+)
+from repro.config import BuckarooConfig
+from repro.core.session import BuckarooSession
+from repro.datasets import make_stackoverflow
+
+
+@pytest.fixture(params=["sql", "frame"])
+def session(request):
+    frame, _ = make_stackoverflow(scale=0.005, seed=3)
+    session = BuckarooSession.from_frame(frame, backend=request.param)
+    session.generate_groups(
+        cat_cols=["country", "ed_level"],
+        num_cols=["converted_comp_yearly", "years_code"],
+    )
+    session.detect()
+    return session
+
+
+class TestWorkload:
+    def test_candidate_rows_prefer_anomalous(self, session):
+        rows = candidate_rows(session, n_ops=5, seed=1)
+        anomalous = session.engine.index.rows_with_errors()
+        assert len(rows) == 5
+        assert set(rows) <= anomalous | set(session.backend.all_row_ids())
+        assert set(rows[: min(5, len(anomalous))]) <= anomalous
+
+    def test_removal_workload(self, session):
+        before = session.backend.row_count()
+        result = run_workload(session, REMOVAL, n_ops=5, seed=1)
+        assert result.n_ops == 5
+        assert session.backend.row_count() == before - 5
+        assert result.mean_backend > 0
+        assert result.mean_replot > 0
+        assert result.mean_total == pytest.approx(
+            result.mean_backend + result.mean_replot
+        )
+
+    def test_impute_workload(self, session):
+        before = session.backend.row_count()
+        result = run_workload(session, IMPUTE, n_ops=5, seed=1)
+        assert result.n_ops == 5
+        assert session.backend.row_count() == before  # impute never deletes
+        assert result.total_seconds > 0
+
+    def test_workload_is_undoable(self, session):
+        state = {
+            row_id: session.backend.row(row_id)
+            for row_id in session.backend.all_row_ids()
+        }
+        run_workload(session, REMOVAL, n_ops=3, seed=1)
+        for _ in range(3):
+            session.undo()
+        restored = {
+            row_id: session.backend.row(row_id)
+            for row_id in session.backend.all_row_ids()
+        }
+        assert restored == state
+
+    def test_unknown_kind(self, session):
+        with pytest.raises(ValueError):
+            run_workload(session, "explode")
+
+
+class TestTiming:
+    def test_summary_stats(self):
+        summary = TimingSummary.of([0.1, 0.2, 0.3, 0.4])
+        assert summary.n == 4
+        assert summary.mean == pytest.approx(0.25)
+        assert summary.median == pytest.approx(0.25)
+        assert summary.total == pytest.approx(1.0)
+        assert summary.p95 >= summary.median
+
+    def test_empty(self):
+        assert TimingSummary.of([]).n == 0
+
+    def test_as_ms(self):
+        assert TimingSummary.of([0.5]).as_ms()["mean_ms"] == pytest.approx(500)
+
+
+class TestReport:
+    def test_table1_format(self, capsys):
+        table = print_table1([{
+            "dataset": "StackOverflow", "sql_removal": 0.18, "sql_impute": 0.16,
+            "frame_removal": 1.69, "frame_impute": 1.27,
+        }])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "0.18 sec" in table
+        assert "StackOverflow" in table
+
+    def test_hopara_format(self, capsys):
+        table = print_hopara([{
+            "dataset": "Adult Income", "n": 20, "mean_ms": 173.0, "p95_ms": 210.0,
+        }])
+        assert "173.00 ms" in table
+        assert "Hopara" in capsys.readouterr().out
+
+    def test_generic_format(self, capsys):
+        print_generic("Ablation", ["a", "b"], [[1, 2]])
+        out = capsys.readouterr().out
+        assert "Ablation" in out

@@ -1,0 +1,161 @@
+"""Tests for the headless chart layer."""
+
+import pytest
+
+from repro.charts import (
+    ChartMatrix,
+    HeatmapChart,
+    HistogramChart,
+    LineChart,
+    ScatterChart,
+    SelectionModel,
+    build_legend,
+    render_svg,
+    render_text,
+    severity_alpha,
+)
+from repro.config import BuckarooConfig
+from repro.core.session import BuckarooSession
+from repro.core.types import NO_ANOMALY_COLOR, GroupKey
+from repro.errors import BuckarooError
+from repro.frame import DataFrame
+
+from tests.test_backends import COLUMNS, ROWS
+
+
+@pytest.fixture
+def session():
+    session = BuckarooSession.from_frame(
+        DataFrame.from_rows(ROWS, COLUMNS), backend="frame",
+        config=BuckarooConfig(min_group_size=2),
+    )
+    session.generate_groups(cat_cols=["country", "degree"],
+                            num_cols=["income", "age"])
+    session.detect()
+    return session
+
+
+class TestHeatmap:
+    def test_one_mark_per_group(self, session):
+        chart = HeatmapChart(session=session, categorical="country",
+                             numerical="income")
+        assert len(chart.marks) == 3
+        assert {m.x for m in chart.marks} == {"Bhutan", "Lesotho", "Nauru"}
+
+    def test_marks_carry_group_identity(self, session):
+        chart = HeatmapChart(session=session, categorical="country",
+                             numerical="income")
+        for mark in chart.marks:
+            assert mark.group.categorical == "country"
+            assert mark.group.numerical == "income"
+
+    def test_anomalous_marks_colored(self, session):
+        chart = HeatmapChart(session=session, categorical="country",
+                             numerical="income")
+        bhutan = next(m for m in chart.marks if m.x == "Bhutan")
+        assert bhutan.is_anomalous
+        assert bhutan.color != NO_ANOMALY_COLOR
+
+    def test_refresh_after_repair(self, session):
+        chart = HeatmapChart(session=session, categorical="country",
+                             numerical="income")
+        bhutan_before = next(m for m in chart.marks if m.x == "Bhutan")
+        key = GroupKey("country", "Bhutan", "income")
+        session.apply(session.suggest(key, limit=1)[0])
+        chart.refresh()
+        bhutan_after = next(m for m in chart.marks if m.x == "Bhutan")
+        assert bhutan_after.anomaly_count < bhutan_before.anomaly_count
+
+
+class TestOtherCharts:
+    def test_histogram_bins(self, session):
+        chart = HistogramChart(session=session, numerical="age", bins=5)
+        assert len(chart.marks) == 5
+        assert sum(m.y for m in chart.marks) == 9
+
+    def test_histogram_anomaly_overlay(self, session):
+        chart = HistogramChart(session=session, numerical="income", bins=5)
+        assert any(m.is_anomalous for m in chart.marks)
+
+    def test_scatter_includes_every_anomalous_row(self, session):
+        chart = ScatterChart(session=session, x_col="age", y_col="income",
+                             budget=4)
+        anomalous = [m for m in chart.marks if m.is_anomalous]
+        assert anomalous  # errors survive even a tiny budget
+
+    def test_line_decimation(self, session):
+        chart = LineChart(session=session, x_col="age", y_col="income",
+                          max_points=4)
+        assert 0 < len(chart.marks) <= 9
+
+
+class TestMatrix:
+    def test_one_chart_per_pair(self, session):
+        matrix = ChartMatrix(session)
+        assert len(matrix) == 4
+        assert set(matrix.pairs()) == set(session.pairs())
+
+    def test_apply_refreshes_affected_charts_only(self, session):
+        matrix = ChartMatrix(session)
+        key = GroupKey("country", "Bhutan", "income")
+        session.apply(session.suggest(key, limit=1)[0])
+        assert matrix.refreshes > 0
+
+    def test_most_anomalous_ordering(self, session):
+        matrix = ChartMatrix(session)
+        worst = matrix.most_anomalous(limit=2)
+        scores = [sum(m.anomaly_count for m in c.marks) for c in worst]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSelection:
+    def test_click_mark_selects_group(self, session):
+        chart = HeatmapChart(session=session, categorical="country",
+                             numerical="income")
+        model = SelectionModel()
+        seen = []
+        model.on_change(seen.append)
+        key = model.select_mark(chart, 0)
+        assert model.selected == key
+        assert seen == [key]
+        model.clear()
+        assert model.selected is None
+        assert seen[-1] is None
+
+    def test_mark_without_group_rejected(self, session):
+        chart = HistogramChart(session=session, numerical="age")
+        model = SelectionModel()
+        with pytest.raises(BuckarooError):
+            model.select_mark(chart, 0)
+
+
+class TestRenderers:
+    def test_text_render_shows_errors(self, session):
+        chart = HeatmapChart(session=session, categorical="country",
+                             numerical="income")
+        text = render_text(chart)
+        assert "Bhutan" in text
+        assert "errors" in text
+        assert "!" in text  # anomaly glyph
+
+    def test_svg_render_well_formed(self, session):
+        chart = HeatmapChart(session=session, categorical="country",
+                             numerical="income")
+        svg = render_svg(chart)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "<rect" in svg
+
+    def test_svg_scatter_uses_circles(self, session):
+        chart = ScatterChart(session=session, x_col="age", y_col="income")
+        assert "<circle" in render_svg(chart)
+
+    def test_legend(self, session):
+        legend = build_legend(session.detectors)
+        codes = [entry.code for entry in legend]
+        assert "outlier" in codes and "none" in codes
+
+    def test_severity_alpha_bounds(self):
+        assert severity_alpha(0, 10) == pytest.approx(0.2)
+        assert severity_alpha(10, 10) == pytest.approx(1.0)
+        assert 0.2 < severity_alpha(5, 10) < 1.0

@@ -1,0 +1,133 @@
+"""Tests for script generation — including executing the generated Python.
+
+The strongest check: export the session's pipeline, run the generated
+script on a fresh copy of the raw data, and verify it produces the same
+final table as the interactive session did.
+"""
+
+import pytest
+
+from repro.codegen import TARGETS, generate_script
+from repro.config import BuckarooConfig
+from repro.core.session import BuckarooSession
+from repro.core.types import ERROR_MISSING, ERROR_OUTLIER, ERROR_TYPE_MISMATCH, GroupKey
+from repro.errors import CodegenError
+from repro.frame import DataFrame
+
+from tests.test_backends import COLUMNS, ROWS
+
+
+def make_session() -> BuckarooSession:
+    session = BuckarooSession.from_frame(
+        DataFrame.from_rows(ROWS, COLUMNS), backend="sql",
+        config=BuckarooConfig(min_group_size=2),
+    )
+    session.generate_groups(cat_cols=["country", "degree"],
+                            num_cols=["income", "age"])
+    session.detect()
+    return session
+
+
+def run_generated(script: str, frame: DataFrame) -> DataFrame:
+    """Exec a generated python script's wrangle() on ``frame``."""
+    namespace: dict = {"__name__": "generated"}
+    exec(compile(script, "<generated>", "exec"), namespace)
+    return namespace["wrangle"](frame)
+
+
+def apply_pipeline(session: BuckarooSession, steps) -> None:
+    for key, code, wrangler in steps:
+        suggestion = next(
+            s for s in session.suggest(key, error_code=code, score_plans=False)
+            if s.plan.wrangler_code == wrangler
+        )
+        session.apply(suggestion)
+
+
+BHUTAN = GroupKey("country", "Bhutan", "income")
+LESOTHO = GroupKey("country", "Lesotho", "income")
+NAURU = GroupKey("country", "Nauru", "income")
+
+
+class TestPythonTarget:
+    def test_empty_history(self):
+        script = make_session().export_script()
+        assert "no wrangling operations" in script
+        assert "def wrangle" in script
+
+    @pytest.mark.parametrize("steps,expect", [
+        # delete the outlier
+        ([(BHUTAN, ERROR_OUTLIER, "delete_rows")], "delete_rows"),
+        # convert '12k'
+        ([(BHUTAN, ERROR_TYPE_MISMATCH, "convert_type")], "convert_types"),
+        # impute the missing Lesotho income with the group mean
+        ([(LESOTHO, ERROR_MISSING, "impute_mean")], "impute"),
+        # clip the outlier
+        ([(BHUTAN, ERROR_OUTLIER, "clip_outliers")], "clip_outliers"),
+        # merge the undersized group
+        ([(NAURU, "small_group", "merge_small_group")], "relabel_category"),
+    ])
+    def test_generated_script_matches_session(self, steps, expect):
+        session = make_session()
+        apply_pipeline(session, steps)
+        script = session.export_script("python")
+        assert expect in script
+        raw = DataFrame.from_rows(ROWS, COLUMNS)
+        regenerated = run_generated(script, raw)
+        assert regenerated.to_rows() == session.backend.to_frame().to_rows()
+
+    def test_multi_step_pipeline_matches(self):
+        session = make_session()
+        apply_pipeline(session, [
+            (BHUTAN, ERROR_TYPE_MISMATCH, "convert_type"),
+            (LESOTHO, ERROR_MISSING, "impute_median"),
+            (NAURU, "small_group", "merge_small_group"),
+        ])
+        script = session.export_script("python")
+        regenerated = run_generated(script, DataFrame.from_rows(ROWS, COLUMNS))
+        assert regenerated.to_rows() == session.backend.to_frame().to_rows()
+
+    def test_undone_actions_excluded(self):
+        session = make_session()
+        apply_pipeline(session, [(BHUTAN, ERROR_OUTLIER, "delete_rows")])
+        session.undo()
+        script = session.export_script("python")
+        assert "no wrangling operations" in script
+
+    def test_script_has_provenance_comments(self):
+        session = make_session()
+        apply_pipeline(session, [(BHUTAN, ERROR_OUTLIER, "delete_rows")])
+        script = session.export_script("python")
+        assert "# step 1:" in script
+
+
+class TestOtherTargets:
+    def _session_with_history(self):
+        session = make_session()
+        apply_pipeline(session, [
+            (BHUTAN, ERROR_OUTLIER, "delete_rows"),
+            (LESOTHO, ERROR_MISSING, "impute_mean"),
+            (BHUTAN, ERROR_TYPE_MISMATCH, "convert_type"),
+        ])
+        return session
+
+    def test_pandas_flavour(self):
+        script = self._session_with_history().export_script("pandas")
+        assert "import pandas as pd" in script
+        assert "pd.to_numeric" in script
+        assert "df.loc[" in script
+
+    def test_r_flavour(self):
+        script = self._session_with_history().export_script("r")
+        assert "library(dplyr)" in script
+        assert "%>%" in script
+        assert "mutate(" in script
+
+    def test_all_targets_enumerate(self):
+        session = self._session_with_history()
+        for target in TARGETS:
+            assert session.export_script(target)
+
+    def test_unknown_target(self):
+        with pytest.raises(CodegenError, match="unknown codegen target"):
+            make_session().export_script("cobol")

@@ -1,0 +1,102 @@
+"""Direct tests for the generated-script runtime functions."""
+
+import pytest
+
+from repro.codegen import runtime
+from repro.frame import DataFrame
+
+
+@pytest.fixture
+def df():
+    return DataFrame.from_dict({
+        "country": ["Bhutan", "Bhutan", "Lesotho", "Lesotho", "Nauru"],
+        "income": [50000.0, "12k", None, 48000.0, 1000000.0],
+    })
+
+
+class TestDeleteRows:
+    def test_delete_missing_in_group(self, df):
+        out = runtime.delete_rows(
+            df, column="income", condition="missing",
+            where={"country": "Lesotho"},
+        )
+        assert out.n_rows == 4
+        assert out["income"].n_missing == 0
+
+    def test_delete_outliers_with_bounds(self, df):
+        out = runtime.delete_rows(
+            df, column="income", condition="outlier", where=None,
+            low=0.0, high=100000.0,
+        )
+        assert out.n_rows == 4
+        assert 1000000.0 not in out["income"].to_list()
+
+    def test_delete_all_in_group(self, df):
+        out = runtime.delete_rows(
+            df, column="income", condition="all", where={"country": "Nauru"},
+        )
+        assert "Nauru" not in out["country"].to_list()
+
+    def test_unknown_condition(self, df):
+        with pytest.raises(ValueError, match="unknown condition"):
+            runtime.delete_rows(df, column="income", condition="bad_vibes")
+
+    def test_missing_group_filter(self, df):
+        out = runtime.delete_rows(
+            df.set_values("country", [4], None),
+            column="income", condition="all", where={"country": None},
+        )
+        assert out.n_rows == 4
+
+
+class TestImpute:
+    def test_group_mean(self, df):
+        out = runtime.impute(
+            df, column="income", condition="missing",
+            where={"country": "Lesotho"}, strategy="mean", scope="group",
+        )
+        assert out["income"][2] == 48000.0  # only numeric Lesotho value
+
+    def test_constant(self, df):
+        out = runtime.impute(
+            df, column="income", condition="missing", where=None,
+            strategy="constant", fill=0.0,
+        )
+        assert out["income"][2] == 0.0
+
+    def test_no_targets_is_noop(self, df):
+        out = runtime.impute(
+            df, column="income", condition="missing",
+            where={"country": "Nauru"},
+        )
+        assert out.to_rows() == df.to_rows()
+
+    def test_unknown_strategy(self, df):
+        with pytest.raises(ValueError, match="strategy"):
+            runtime.impute(df, column="income", condition="missing",
+                           strategy="vibes")
+
+
+class TestConvertAndClip:
+    def test_convert_types(self, df):
+        out = runtime.convert_types(df, column="income")
+        assert out["income"][1] == 12000.0
+
+    def test_convert_unparseable_delete(self, df):
+        dirty = df.set_values("income", [0], "garbage")
+        out = runtime.convert_types(dirty, column="income", on_fail="delete")
+        assert out.n_rows == 4
+
+    def test_clip(self, df):
+        out = runtime.clip_outliers(df, column="income", low=0.0, high=60000.0)
+        assert out["income"][4] == 60000.0
+        assert out["income"][0] == 50000.0
+
+    def test_relabel(self, df):
+        out = runtime.relabel_category(df, column="country", category="Nauru")
+        assert out["country"].to_list().count("Other") == 1
+
+    def test_set_cells(self, df):
+        out = runtime.set_cells(df, column="income",
+                                where={"country": "Bhutan"}, value=1.0)
+        assert out["income"].to_list()[:2] == [1.0, 1.0]

@@ -1,0 +1,173 @@
+"""Unit tests for built-in and custom detectors."""
+
+import pytest
+
+from repro.backends import make_backend
+from repro.config import BuckarooConfig
+from repro.core.detectors import (
+    DetectionContext,
+    DetectorRegistry,
+    MissingValueDetector,
+    OutlierDetector,
+    SmallGroupDetector,
+    TypeMismatchDetector,
+)
+from repro.core.types import (
+    ERROR_MISSING,
+    ERROR_OUTLIER,
+    ERROR_SMALL_GROUP,
+    ERROR_TYPE_MISMATCH,
+    Group,
+    GroupKey,
+)
+from repro.errors import DetectorError, UnknownErrorCodeError
+from repro.frame import DataFrame
+
+from tests.test_backends import COLUMNS, ROWS
+
+
+@pytest.fixture(params=["sql", "frame"])
+def ctx(request):
+    backend = make_backend(DataFrame.from_rows(ROWS, COLUMNS), request.param)
+    return DetectionContext(backend, BuckarooConfig(min_group_size=2))
+
+
+def group_of(ctx, cat, category, num) -> Group:
+    key = GroupKey(cat, category, num)
+    return Group(key, tuple(ctx.backend.group_row_ids(cat, category)))
+
+
+class TestMissing:
+    def test_detects_null_cells(self, ctx):
+        group = group_of(ctx, "country", "Lesotho", "income")
+        anomalies = MissingValueDetector().detect(ctx, group)
+        assert [a.row_id for a in anomalies] == [6]
+        assert anomalies[0].error_code == ERROR_MISSING
+        assert anomalies[0].column == "income"
+
+    def test_clean_group(self, ctx):
+        group = group_of(ctx, "country", "Nauru", "income")
+        assert MissingValueDetector().detect(ctx, group) == []
+
+
+class TestOutlier:
+    def test_global_scope(self, ctx):
+        group = group_of(ctx, "country", "Bhutan", "income")
+        anomalies = OutlierDetector().detect(ctx, group)
+        assert [a.row_id for a in anomalies] == [4]
+        assert anomalies[0].value == 1000000.0
+        assert "global scope" in anomalies[0].detail
+
+    def test_group_scope_changes_result(self, ctx):
+        """A value may be an outlier in one scope but not another (§1)."""
+        ctx.config = BuckarooConfig(outlier_scope="group", outlier_sigma=2.0,
+                                    min_group_size=2)
+        group = group_of(ctx, "country", "Lesotho", "income")
+        anomalies = OutlierDetector().detect(ctx, group)
+        assert anomalies == []  # 72000 is fine among Lesotho incomes
+
+    def test_no_spread_no_outliers(self, ctx):
+        group = group_of(ctx, "country", "Nauru", "income")
+        ctx.config = BuckarooConfig(outlier_scope="group", min_group_size=2)
+        assert OutlierDetector().detect(ctx, group) == []
+
+    def test_stats_cached_globally(self, ctx):
+        first = ctx.global_stats("income")
+        second = ctx.global_stats("income")
+        assert first is second
+        ctx.invalidate_stats(["income"])
+        assert ctx.global_stats("income") is not first
+
+
+class TestTypeMismatch:
+    def test_detects_text_in_numeric_column(self, ctx):
+        group = group_of(ctx, "degree", "BS", "income")
+        anomalies = TypeMismatchDetector().detect(ctx, group)
+        assert [a.row_id for a in anomalies] == [3]
+        assert anomalies[0].value == "12k"
+        assert anomalies[0].error_code == ERROR_TYPE_MISMATCH
+
+
+class TestSmallGroup:
+    def test_flags_undersized_groups(self, ctx):
+        group = group_of(ctx, "country", "Nauru", "income")
+        anomalies = SmallGroupDetector().detect(ctx, group)
+        assert len(anomalies) == 1
+        assert anomalies[0].error_code == ERROR_SMALL_GROUP
+        assert "minimum 2" in anomalies[0].detail
+
+    def test_ok_groups_pass(self, ctx):
+        group = group_of(ctx, "country", "Bhutan", "income")
+        assert SmallGroupDetector().detect(ctx, group) == []
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        registry = DetectorRegistry()
+        assert set(registry.codes()) >= {
+            ERROR_MISSING, ERROR_OUTLIER, ERROR_TYPE_MISMATCH, ERROR_SMALL_GROUP,
+        }
+
+    def test_unknown_code(self):
+        with pytest.raises(UnknownErrorCodeError):
+            DetectorRegistry().get("nope")
+
+    def test_register_function_detector(self, ctx):
+        registry = DetectorRegistry()
+
+        def negative_income(df=None, target_column="", error_type_code=""):
+            return [
+                df["_row_id"][i]
+                for i in range(df.n_rows)
+                if isinstance(df[target_column][i], (int, float))
+                and df[target_column][i] is not None
+                and df[target_column][i] < 0
+            ]
+
+        registry.register_function("negative_income", negative_income)
+        ctx.backend.set_cells("income", [7], -5.0)
+        group = group_of(ctx, "country", "Lesotho", "income")
+        anomalies = registry.get("negative_income").detect(ctx, group)
+        assert [a.row_id for a in anomalies] == [7]
+        assert anomalies[0].error_code == "negative_income"
+
+    def test_function_detector_scoped_to_group(self, ctx):
+        registry = DetectorRegistry()
+        registry.register_function("everything", lambda df=None, target_column="",
+                                   error_type_code="": [1, 2, 3, 4, 5, 6, 7, 8, 9])
+        group = group_of(ctx, "country", "Nauru", "income")
+        anomalies = registry.get("everything").detect(ctx, group)
+        assert [a.row_id for a in anomalies] == [9]  # only the group's row
+
+    def test_function_detector_with_sql_hook(self, ctx):
+        if ctx.backend.kind != "sql":
+            pytest.skip("sql hook only exists on the SQL backend")
+        registry = DetectorRegistry()
+
+        def detector(df=None, target_column="", error_type_code="", sql=None):
+            # the paper's listing pattern: run a query, return row ids
+            # (typeof guard keeps text values out of the numeric comparison)
+            return sql(
+                f'SELECT rowid FROM data WHERE "{target_column}" > 900000 '
+                f'AND typeof("{target_column}") <> \'text\''
+            )
+
+        registry.register_function("huge_income", detector)
+        group = group_of(ctx, "country", "Bhutan", "income")
+        anomalies = registry.get("huge_income").detect(ctx, group)
+        assert [a.row_id for a in anomalies] == [4]
+
+    def test_failing_detector_wrapped(self, ctx):
+        registry = DetectorRegistry()
+        registry.register_function("boom", lambda **kwargs: 1 / 0)
+        group = group_of(ctx, "country", "Nauru", "income")
+        with pytest.raises(DetectorError, match="boom"):
+            registry.get("boom").detect(ctx, group)
+
+    def test_unregister_custom_only(self):
+        registry = DetectorRegistry()
+        registry.register_function("x", lambda **kwargs: [])
+        registry.unregister("x")
+        assert "x" not in registry.codes()
+        with pytest.raises(DetectorError):
+            registry.unregister(ERROR_MISSING)

@@ -1,0 +1,150 @@
+"""Unit tests for group generation and the overlap graph."""
+
+import pytest
+
+from repro.backends import make_backend
+from repro.config import BuckarooConfig
+from repro.core.groups import GroupManager
+from repro.core.overlap import OverlapGraph
+from repro.core.types import GroupKey
+from repro.errors import BuckarooError
+from repro.frame import DataFrame
+
+from tests.test_backends import COLUMNS, ROWS
+
+
+@pytest.fixture(params=["sql", "frame"])
+def manager(request):
+    backend = make_backend(DataFrame.from_rows(ROWS, COLUMNS), request.param)
+    manager = GroupManager(backend, BuckarooConfig(min_group_size=2))
+    manager.generate(cat_cols=["country", "degree"], num_cols=["income", "age"])
+    return manager
+
+
+class TestGeneration:
+    def test_pairs_are_cat_times_num(self, manager):
+        assert set(manager.pairs) == {
+            ("country", "income"), ("country", "age"),
+            ("degree", "income"), ("degree", "age"),
+        }
+
+    def test_group_count(self, manager):
+        # 3 countries x 2 nums + 3 degrees x 2 nums
+        assert len(manager.groups) == 12
+
+    def test_group_membership(self, manager):
+        key = GroupKey("country", "Bhutan", "income")
+        assert sorted(manager.group(key).row_ids) == [1, 2, 3, 4]
+
+    def test_row_ids_shared_across_pair_siblings(self, manager):
+        income = manager.group(GroupKey("country", "Nauru", "income"))
+        age = manager.group(GroupKey("country", "Nauru", "age"))
+        assert income.row_ids == age.row_ids
+
+    def test_unknown_group_raises(self, manager):
+        with pytest.raises(BuckarooError, match="unknown group"):
+            manager.group(GroupKey("country", "Atlantis", "income"))
+
+    def test_auto_column_choice(self):
+        backend = make_backend(DataFrame.from_rows(ROWS, COLUMNS), "frame")
+        manager = GroupManager(backend, BuckarooConfig())
+        keys = manager.generate()
+        assert keys  # country/degree x income/age discovered automatically
+
+    def test_keys_for_pair(self, manager):
+        keys = manager.keys_for_pair("country", "income")
+        assert len(keys) == 3
+        assert all(k.pair == ("country", "income") for k in keys)
+
+
+class TestGroupsOfRows:
+    def test_row_in_one_group_per_pair(self, manager):
+        keys = manager.groups_of_rows([1])
+        assert len(keys) == 4  # one per pair
+        assert GroupKey("country", "Bhutan", "income") in keys
+        assert GroupKey("degree", "BS", "income") in keys
+
+    def test_multiple_rows_union(self, manager):
+        keys = manager.groups_of_rows([1, 5])
+        assert GroupKey("country", "Lesotho", "income") in keys
+        assert GroupKey("country", "Bhutan", "income") in keys
+
+    def test_empty_input(self, manager):
+        assert manager.groups_of_rows([]) == set()
+
+
+class TestRefresh:
+    def test_refresh_after_delete_drops_empty_group(self, manager):
+        key = GroupKey("country", "Nauru", "income")
+        manager.backend.delete_rows([9])
+        alive = manager.refresh([key])
+        assert alive == []
+        assert key not in manager.groups
+
+    def test_refresh_updates_membership(self, manager):
+        key = GroupKey("country", "Bhutan", "income")
+        manager.backend.delete_rows([1])
+        manager.refresh([key])
+        assert sorted(manager.group(key).row_ids) == [2, 3, 4]
+
+    def test_discover_new_categories(self, manager):
+        manager.backend.set_cells("country", [9], "Atlantis")
+        new_keys = manager.discover_new_categories("country")
+        assert GroupKey("country", "Atlantis", "income") in new_keys
+        assert manager.group(GroupKey("country", "Atlantis", "income")).row_ids == (9,)
+
+    def test_discover_ignores_non_grouping_columns(self, manager):
+        assert manager.discover_new_categories("income") == []
+
+
+class TestOverlapGraph:
+    @pytest.fixture
+    def graph(self, manager):
+        return OverlapGraph(manager)
+
+    def test_affected_groups(self, graph):
+        keys = graph.affected_groups([3])  # Bhutan / BS row
+        assert GroupKey("country", "Bhutan", "income") in keys
+        assert GroupKey("degree", "BS", "income") in keys
+        assert GroupKey("country", "Lesotho", "income") not in keys
+
+    def test_neighbors_cross_attribute_only(self, graph):
+        key = GroupKey("country", "Nauru", "income")
+        neighbors = graph.neighbors(key)
+        # Nauru's single row has degree BS -> overlaps the BS groups
+        assert GroupKey("degree", "BS", "income") in neighbors
+        assert GroupKey("country", "Bhutan", "income") not in neighbors
+
+    def test_sibling_groups_never_overlap(self, graph, manager):
+        """Groups over the same attribute are disjoint (§2.1 isolation)."""
+        for first, second in graph.edges():
+            if first.pair == second.pair:
+                assert first.category == second.category
+
+    def test_edges_symmetric_membership(self, graph, manager):
+        edges = list(graph.edges())
+        assert edges
+        for first, second in edges:
+            rows_first = set(manager.group(first).row_ids)
+            rows_second = set(manager.group(second).row_ids)
+            assert rows_first & rows_second
+
+    def test_connected_component_bounded(self, graph):
+        key = GroupKey("country", "Bhutan", "income")
+        component = graph.connected_component(key, max_groups=3)
+        assert key in component
+        assert len(component) <= 4  # may slightly exceed via last expansion
+
+    def test_connected_component_full(self, graph):
+        key = GroupKey("country", "Bhutan", "income")
+        component = graph.connected_component(key)
+        # every group is reachable in this dense toy dataset
+        assert len(component) == 12
+
+    def test_to_networkx(self, graph, manager):
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 12
+        assert nx_graph.number_of_edges() == len(list(graph.edges()))
+
+    def test_degree(self, graph):
+        assert graph.degree(GroupKey("country", "Nauru", "income")) > 0

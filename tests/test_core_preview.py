@@ -1,0 +1,76 @@
+"""Unit tests for chart series and incremental replot entries."""
+
+import pytest
+
+from repro.backends import make_backend
+from repro.config import BuckarooConfig
+from repro.core.groups import GroupManager
+from repro.core.preview import ChartSeries, build_series, refresh_entries
+from repro.core.types import GroupKey
+from repro.frame import DataFrame
+
+from tests.test_backends import COLUMNS, ROWS
+
+
+class TestChartSeries:
+    def test_entry_lookup(self):
+        series = ChartSeries("c", "v", ["a", "b"], [2, 3], [1.0, 2.0], [0, 1])
+        assert series.entry("b") == {
+            "category": "b", "count": 3, "mean": 2.0, "missing": 1,
+        }
+        assert series.entry("zzz") is None
+
+    def test_update_entry_replaces(self):
+        series = ChartSeries("c", "v", ["a"], [2], [1.0], [0])
+        series.update_entry("a", 5, 9.0, 1)
+        assert series.entry("a")["count"] == 5
+
+    def test_update_entry_appends_new_category(self):
+        series = ChartSeries("c", "v")
+        series.update_entry("new", 1, 2.0, 0)
+        assert series.categories == ["new"]
+
+    def test_remove_entry(self):
+        series = ChartSeries("c", "v", ["a", "b"], [1, 2], [0.0, 0.0], [0, 0])
+        series.remove_entry("a")
+        assert series.categories == ["b"]
+        series.remove_entry("phantom")  # no error
+
+
+@pytest.fixture(params=["sql", "frame"])
+def env(request):
+    backend = make_backend(DataFrame.from_rows(ROWS, COLUMNS), request.param)
+    manager = GroupManager(backend, BuckarooConfig(min_group_size=2))
+    manager.generate(cat_cols=["country"], num_cols=["income"])
+    return backend, manager
+
+
+class TestBuildAndRefresh:
+    def test_build_series(self, env):
+        backend, manager = env
+        series = build_series(backend, manager, "country", "income")
+        assert set(series.categories) == {"Bhutan", "Lesotho", "Nauru"}
+        entry = series.entry("Lesotho")
+        assert entry["count"] == 4
+        assert entry["missing"] == 1
+        assert entry["mean"] == pytest.approx((72000 + 48000 + 55000) / 3)
+
+    def test_incremental_refresh_matches_full_rebuild(self, env):
+        backend, manager = env
+        series = build_series(backend, manager, "country", "income")
+        backend.set_cells("income", [6], 54000.0)  # fill the missing cell
+        key = GroupKey("country", "Lesotho", "income")
+        manager.refresh([key])
+        refresh_entries(series, backend, manager, [key])
+        rebuilt = build_series(backend, manager, "country", "income")
+        assert series.entry("Lesotho") == rebuilt.entry("Lesotho")
+        assert series.entry("Bhutan") == rebuilt.entry("Bhutan")
+
+    def test_refresh_removes_dead_groups(self, env):
+        backend, manager = env
+        series = build_series(backend, manager, "country", "income")
+        backend.delete_rows([9])
+        key = GroupKey("country", "Nauru", "income")
+        manager.refresh([key])
+        refresh_entries(series, backend, manager, [key])
+        assert series.entry("Nauru") is None

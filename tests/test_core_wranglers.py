@@ -1,0 +1,202 @@
+"""Unit tests for built-in and custom wranglers."""
+
+import pytest
+
+from repro.backends import make_backend
+from repro.config import BuckarooConfig
+from repro.core.types import (
+    ERROR_MISSING,
+    ERROR_OUTLIER,
+    ERROR_TYPE_MISMATCH,
+    OP_DELETE_ROWS,
+    OP_SET_CELLS,
+    Anomaly,
+    Group,
+    GroupKey,
+)
+from repro.core.wranglers import (
+    ClipOutliersWrangler,
+    ConvertTypeWrangler,
+    DeleteRowsWrangler,
+    ImputeConstantWrangler,
+    ImputeMeanWrangler,
+    ImputeMedianWrangler,
+    MergeSmallGroupsWrangler,
+    WranglerRegistry,
+    WranglingContext,
+)
+from repro.errors import WranglerError
+from repro.frame import DataFrame
+
+from tests.test_backends import COLUMNS, ROWS
+
+
+@pytest.fixture(params=["sql", "frame"])
+def ctx(request):
+    backend = make_backend(DataFrame.from_rows(ROWS, COLUMNS), request.param)
+    return WranglingContext(backend, BuckarooConfig(min_group_size=2))
+
+
+def bhutan_income(ctx) -> Group:
+    key = GroupKey("country", "Bhutan", "income")
+    return Group(key, tuple(ctx.backend.group_row_ids("country", "Bhutan")))
+
+
+def lesotho_income(ctx) -> Group:
+    key = GroupKey("country", "Lesotho", "income")
+    return Group(key, tuple(ctx.backend.group_row_ids("country", "Lesotho")))
+
+
+def anomaly(row_id, code, group, value=None):
+    return Anomaly(row_id, group.key.numerical, code, group.key, value)
+
+
+class TestDelete:
+    def test_plan_deletes_anomalous_rows(self, ctx):
+        group = bhutan_income(ctx)
+        anomalies = [anomaly(4, ERROR_OUTLIER, group, 1000000.0)]
+        plan = DeleteRowsWrangler().plan(ctx, group, anomalies)
+        assert plan.ops[0].kind == OP_DELETE_ROWS
+        assert plan.ops[0].row_ids == (4,)
+        assert plan.error_code == ERROR_OUTLIER
+        assert "low" in plan.params and "high" in plan.params  # codegen bounds
+
+
+class TestImpute:
+    def test_group_mean_excludes_targets(self, ctx):
+        group = lesotho_income(ctx)
+        anomalies = [anomaly(6, ERROR_MISSING, group)]
+        plan = ImputeMeanWrangler().plan(ctx, group, anomalies)
+        op = plan.ops[0]
+        assert op.kind == OP_SET_CELLS
+        assert op.row_ids == (6,)
+        assert op.value == pytest.approx((72000 + 48000 + 55000) / 3)
+        assert plan.params["scope"] == "group"
+
+    def test_median(self, ctx):
+        group = lesotho_income(ctx)
+        plan = ImputeMedianWrangler().plan(
+            ctx, group, [anomaly(6, ERROR_MISSING, group)]
+        )
+        assert plan.ops[0].value == 55000.0
+
+    def test_global_scope(self, ctx):
+        group = lesotho_income(ctx)
+        plan = ImputeMeanWrangler(scope="global").plan(
+            ctx, group, [anomaly(6, ERROR_MISSING, group)]
+        )
+        stats = ctx.backend.numeric_stats("income")
+        assert plan.ops[0].value == pytest.approx(round(stats.mean, 6))
+
+    def test_constant(self, ctx):
+        group = lesotho_income(ctx)
+        plan = ImputeConstantWrangler(value=0).plan(
+            ctx, group, [anomaly(6, ERROR_MISSING, group)]
+        )
+        assert plan.ops[0].value == 0
+
+    def test_invalid_scope(self):
+        with pytest.raises(WranglerError):
+            ImputeMeanWrangler(scope="galaxy")
+
+
+class TestConvertType:
+    def test_lenient_conversion(self, ctx):
+        group = bhutan_income(ctx)
+        plan = ConvertTypeWrangler().plan(
+            ctx, group, [anomaly(3, ERROR_TYPE_MISMATCH, group, "12k")]
+        )
+        op = plan.ops[0]
+        assert op.row_ids == (3,)
+        assert op.values == (12000.0,)
+
+    def test_unparseable_to_null(self, ctx):
+        ctx.backend.set_cells("income", [1], "garbage")
+        group = bhutan_income(ctx)
+        plan = ConvertTypeWrangler(on_fail="null").plan(
+            ctx, group, [anomaly(1, ERROR_TYPE_MISMATCH, group, "garbage")]
+        )
+        assert plan.ops[0].kind == OP_SET_CELLS
+        assert plan.ops[0].value is None
+
+    def test_unparseable_to_delete(self, ctx):
+        ctx.backend.set_cells("income", [1], "garbage")
+        group = bhutan_income(ctx)
+        plan = ConvertTypeWrangler(on_fail="delete").plan(
+            ctx, group, [anomaly(1, ERROR_TYPE_MISMATCH, group, "garbage")]
+        )
+        assert plan.ops[0].kind == OP_DELETE_ROWS
+
+    def test_invalid_on_fail(self):
+        with pytest.raises(WranglerError):
+            ConvertTypeWrangler(on_fail="explode")
+
+
+class TestClip:
+    def test_clips_to_threshold(self, ctx):
+        group = bhutan_income(ctx)
+        plan = ClipOutliersWrangler().plan(
+            ctx, group, [anomaly(4, ERROR_OUTLIER, group, 1000000.0)]
+        )
+        op = plan.ops[0]
+        assert op.row_ids == (4,)
+        assert op.values[0] == plan.params["high"]
+        assert op.values[0] < 1000000.0
+
+
+class TestMergeSmallGroups:
+    def test_relabels_category(self, ctx):
+        key = GroupKey("country", "Nauru", "income")
+        group = Group(key, (9,))
+        plan = MergeSmallGroupsWrangler().plan(
+            ctx, group, [Anomaly(9, "country", "small_group", key, "Nauru")]
+        )
+        op = plan.ops[0]
+        assert op.column == "country"
+        assert op.value == "Other"
+
+
+class TestRegistry:
+    def test_for_error_filters(self):
+        registry = WranglerRegistry()
+        codes = [w.code for w in registry.for_error(ERROR_TYPE_MISMATCH)]
+        assert "convert_type" in codes
+        assert "clip_outliers" not in codes
+        assert "delete_rows" in codes  # wildcard
+
+    def test_custom_function_wrangler_set_cells(self, ctx):
+        registry = WranglerRegistry()
+
+        def fixer(df=None, target_column="", error_type_code="", row_ids=()):
+            return {row_id: 0.0 for row_id in row_ids}
+
+        registry.register_function("zero_out", fixer, error_codes=(ERROR_MISSING,))
+        group = lesotho_income(ctx)
+        plan = registry.get("zero_out").plan(
+            ctx, group, [anomaly(6, ERROR_MISSING, group)]
+        )
+        assert plan.ops[0].kind == OP_SET_CELLS
+        assert plan.ops[0].values == (0.0,)
+
+    def test_custom_function_wrangler_delete(self, ctx):
+        registry = WranglerRegistry()
+        registry.register_function(
+            "drop_them", lambda df=None, target_column="", error_type_code="",
+            row_ids=(): list(row_ids),
+        )
+        group = lesotho_income(ctx)
+        plan = registry.get("drop_them").plan(
+            ctx, group, [anomaly(6, ERROR_MISSING, group)]
+        )
+        assert plan.ops[0].kind == OP_DELETE_ROWS
+
+    def test_failing_custom_wrangler_wrapped(self, ctx):
+        registry = WranglerRegistry()
+        registry.register_function("boom", lambda **kwargs: 1 / 0)
+        group = lesotho_income(ctx)
+        with pytest.raises(WranglerError, match="boom"):
+            registry.get("boom").plan(ctx, group, [anomaly(6, ERROR_MISSING, group)])
+
+    def test_unknown_wrangler(self):
+        with pytest.raises(WranglerError):
+            WranglerRegistry().get("nope")

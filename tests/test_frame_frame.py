@@ -1,0 +1,149 @@
+"""Unit tests for DataFrame."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LengthMismatchError, MissingColumnError
+from repro.frame import Column, DataFrame
+
+
+@pytest.fixture
+def df():
+    return DataFrame.from_dict({
+        "cat": ["a", "b", "a", None],
+        "val": [1.0, 2.0, None, 4.0],
+        "n": [10, 20, 30, 40],
+    })
+
+
+class TestConstruction:
+    def test_from_dict_shape(self, df):
+        assert df.shape == (4, 3)
+        assert df.column_names == ["cat", "val", "n"]
+
+    def test_from_rows(self):
+        frame = DataFrame.from_rows([(1, "x"), (2, "y")], ["a", "b"])
+        assert frame["a"].to_list() == [1, 2]
+        assert frame["b"].to_list() == ["x", "y"]
+
+    def test_from_rows_arity_check(self):
+        with pytest.raises(LengthMismatchError):
+            DataFrame.from_rows([(1,)], ["a", "b"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DataFrame([Column("a", [1]), Column("a", [2])])
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(LengthMismatchError):
+            DataFrame([Column("a", [1]), Column("b", [1, 2])])
+
+    def test_empty(self):
+        frame = DataFrame.empty(["a", "b"])
+        assert frame.shape == (0, 2)
+
+
+class TestAccess:
+    def test_getitem_unknown_column(self, df):
+        with pytest.raises(MissingColumnError, match="nope"):
+            df["nope"]
+
+    def test_contains(self, df):
+        assert "cat" in df and "nope" not in df
+
+    def test_row(self, df):
+        assert df.row(0) == ("a", 1.0, 10)
+        assert df.row(2) == ("a", None, 30)
+
+    def test_iter_rows(self, df):
+        assert list(df.iter_rows())[1] == ("b", 2.0, 20)
+
+    def test_head(self, df):
+        assert df.head(2).n_rows == 2
+        assert df.head(100).n_rows == 4
+
+    def test_to_dict_roundtrip(self, df):
+        again = DataFrame.from_dict(df.to_dict())
+        assert again.equals(df)
+
+
+class TestColumnOps:
+    def test_select(self, df):
+        assert df.select(["n", "cat"]).column_names == ["n", "cat"]
+
+    def test_with_column_appends(self, df):
+        out = df.with_column(Column("z", [0, 0, 0, 0]))
+        assert out.column_names[-1] == "z"
+        assert df.n_cols == 3  # original untouched
+
+    def test_with_column_replaces(self, df):
+        out = df.with_column(Column("n", [0, 0, 0, 0]))
+        assert out["n"].to_list() == [0, 0, 0, 0]
+        assert out.n_cols == 3
+
+    def test_with_column_length_check(self, df):
+        with pytest.raises(LengthMismatchError):
+            df.with_column(Column("z", [1]))
+
+    def test_drop_column(self, df):
+        assert df.drop_column("val").column_names == ["cat", "n"]
+
+    def test_rename_column(self, df):
+        assert df.rename_column("n", "count").column_names == ["cat", "val", "count"]
+
+
+class TestRowOps:
+    def test_filter(self, df):
+        out = df.filter(np.array([True, False, True, False]))
+        assert out["n"].to_list() == [10, 30]
+
+    def test_take(self, df):
+        assert df.take([3, 0])["n"].to_list() == [40, 10]
+
+    def test_drop_rows(self, df):
+        assert df.drop_rows([1, 2])["n"].to_list() == [10, 40]
+
+    def test_set_values_returns_new_frame(self, df):
+        out = df.set_values("val", [0], 99.0)
+        assert out["val"][0] == 99.0
+        assert df["val"][0] == 1.0
+
+    def test_concat(self, df):
+        out = df.concat(df)
+        assert out.n_rows == 8
+
+    def test_concat_schema_mismatch(self, df):
+        with pytest.raises(ValueError, match="schemas differ"):
+            df.concat(df.drop_column("n"))
+
+    def test_sort_values_ascending_missing_last(self, df):
+        out = df.sort_values("val")
+        assert out["val"].to_list() == [1.0, 2.0, 4.0, None]
+
+    def test_sort_values_descending_missing_last(self, df):
+        out = df.sort_values("val", ascending=False)
+        assert out["val"].to_list() == [4.0, 2.0, 1.0, None]
+
+    def test_sort_values_string(self, df):
+        out = df.sort_values("cat")
+        assert out["cat"].to_list() == ["a", "a", "b", None]
+
+
+class TestAnalytics:
+    def test_categorical_columns(self, dirty_frame):
+        cats = dirty_frame.categorical_columns()
+        assert "country" in cats and "degree" in cats
+
+    def test_numerical_columns_include_messy(self, dirty_frame):
+        nums = dirty_frame.numerical_columns()
+        assert "income" in nums  # mixed dtype but mostly numeric
+        assert "age" in nums
+
+    def test_describe(self, df):
+        summary = df.describe()
+        assert summary["val"]["missing"] == 1
+        assert summary["n"]["mean"] == 25.0
+
+    def test_equals(self, df):
+        assert df.equals(df.select(df.column_names))
+        assert not df.equals(df.drop_column("n"))

@@ -1,0 +1,62 @@
+"""Unit tests for GroupBy."""
+
+import pytest
+
+from repro.errors import MissingColumnError
+from repro.frame import DataFrame
+
+
+@pytest.fixture
+def df():
+    return DataFrame.from_dict({
+        "country": ["Bhutan", "Bhutan", "Lesotho", None, "Lesotho"],
+        "income": [50000.0, None, 61000.0, 45000.0, 48000.0],
+    })
+
+
+class TestGroups:
+    def test_groups_partition_all_rows(self, df):
+        groups = df.groupby("country").groups()
+        total = sum(len(positions) for positions in groups.values())
+        assert total == df.n_rows
+
+    def test_missing_key_forms_own_group(self, df):
+        groups = df.groupby("country").groups()
+        assert None in groups
+        assert list(groups[None]) == [3]
+
+    def test_size(self, df):
+        assert df.groupby("country").size() == {"Bhutan": 2, "Lesotho": 2, None: 1}
+
+    def test_keys_first_seen_order(self, df):
+        assert df.groupby("country").keys() == ["Bhutan", "Lesotho", None]
+
+    def test_unknown_key_column(self, df):
+        with pytest.raises(MissingColumnError):
+            df.groupby("nope")
+
+
+class TestAgg:
+    def test_count_skips_missing(self, df):
+        out = df.groupby("country").agg("income", ["count"])
+        lookup = dict(zip(out["country"], out["income_count"]))
+        assert lookup["Bhutan"] == 1.0
+        assert lookup["Lesotho"] == 2.0
+
+    def test_mean(self, df):
+        out = df.groupby("country").agg("income", ["mean"])
+        lookup = dict(zip(out["country"], out["income_mean"]))
+        assert lookup["Lesotho"] == 54500.0
+
+    def test_multiple_functions(self, df):
+        out = df.groupby("country").agg("income", ["min", "max", "sum"])
+        assert set(out.column_names) == {"country", "income_min", "income_max", "income_sum"}
+
+    def test_unsupported_function(self, df):
+        with pytest.raises(ValueError, match="unsupported aggregate"):
+            df.groupby("country").agg("income", ["p99"])
+
+    def test_missing_counts(self, df):
+        counts = df.groupby("country").missing_counts("income")
+        assert counts["Bhutan"] == 1
+        assert counts["Lesotho"] == 0

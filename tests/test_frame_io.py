@@ -1,0 +1,51 @@
+"""Unit tests for CSV I/O."""
+
+import pytest
+
+from repro.frame import DataFrame, dtypes, read_csv, read_csv_text, write_csv, write_csv_text
+
+
+class TestRead:
+    def test_basic_inference(self):
+        df = read_csv_text("a,b,c\n1,2.5,x\n2,3.5,y\n")
+        assert df["a"].dtype == dtypes.INT64
+        assert df["b"].dtype == dtypes.FLOAT64
+        assert df["c"].dtype == dtypes.STRING
+
+    def test_missing_tokens(self):
+        df = read_csv_text("a\n1\nN/A\n\n")
+        assert df["a"].to_list() == [1, None, None]
+
+    def test_messy_numeric_becomes_mixed(self):
+        df = read_csv_text("income\n50000\n12k\n61000\n")
+        assert df["income"].dtype == dtypes.MIXED
+        assert df["income"].to_list() == [50000, "12k", 61000]
+
+    def test_dtype_override(self):
+        df = read_csv_text("a\n1\n2\n", dtypes_map={"a": dtypes.FLOAT64})
+        assert df["a"].dtype == dtypes.FLOAT64
+
+    def test_ragged_rows_pad_with_missing(self):
+        df = read_csv_text("a,b\n1,2\n3\n")
+        assert df["b"].to_list() == [2, None]
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_csv_text("")
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        df = DataFrame.from_dict({
+            "cat": ["x", None], "val": [1.5, 2.5], "n": [1, None],
+        })
+        again = read_csv_text(write_csv_text(df))
+        assert again["cat"].to_list() == ["x", None]
+        assert again["val"].to_list() == [1.5, 2.5]
+        assert again["n"].to_list() == [1, None]
+
+    def test_file_roundtrip(self, tmp_path):
+        df = DataFrame.from_dict({"a": [1, 2]})
+        path = tmp_path / "out.csv"
+        write_csv(df, path)
+        assert read_csv(path)["a"].to_list() == [1, 2]

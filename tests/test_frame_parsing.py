@@ -1,0 +1,79 @@
+"""Unit tests for strict and lenient numeric parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frame import parsing
+
+
+class TestStrict:
+    @pytest.mark.parametrize("text,expected", [
+        ("42", 42.0),
+        ("-3.5", -3.5),
+        ("+7", 7.0),
+        (".5", 0.5),
+        ("1e3", 1000.0),
+        ("2.5E-2", 0.025),
+        ("  10  ", 10.0),
+    ])
+    def test_parses_literals(self, text, expected):
+        assert parsing.parse_number_strict(text) == expected
+
+    @pytest.mark.parametrize("text", ["12k", "$5", "1,200", "", "abc", "1.2.3", "--4"])
+    def test_rejects_non_literals(self, text):
+        assert parsing.parse_number_strict(text) is None
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_roundtrips_floats(self, value):
+        assert parsing.parse_number_strict(repr(float(value))) == pytest.approx(float(value))
+
+
+class TestLenient:
+    @pytest.mark.parametrize("text,expected", [
+        ("12k", 12_000.0),
+        ("12K", 12_000.0),
+        ("1.5m", 1_500_000.0),
+        ("2B", 2_000_000_000.0),
+        ("$1,200.50", 1200.50),
+        ("€999", 999.0),
+        ("15%", 0.15),
+        ("(300)", -300.0),
+        ("1_000", 1000.0),
+        ("42", 42.0),
+    ])
+    def test_parses_messy_spellings(self, text, expected):
+        assert parsing.parse_number_lenient(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["twelve", "N/A", "", "k", "$", "12kk"])
+    def test_rejects_unrecoverable(self, text):
+        assert parsing.parse_number_lenient(text) is None
+
+
+class TestMissingTokens:
+    @pytest.mark.parametrize("text", ["", "NA", "n/a", "NULL", "None", "nan", "?", " - "])
+    def test_recognizes_missing(self, text):
+        assert parsing.is_missing_token(text)
+
+    @pytest.mark.parametrize("text", ["0", "no", "x"])
+    def test_rejects_values(self, text):
+        assert not parsing.is_missing_token(text)
+
+
+class TestCoerce:
+    def test_numbers_pass_through(self):
+        assert parsing.coerce_to_number(5) == 5.0
+        assert parsing.coerce_to_number(5.5) == 5.5
+
+    def test_none_and_nan(self):
+        assert parsing.coerce_to_number(None) is None
+        assert parsing.coerce_to_number(float("nan")) is None
+
+    def test_bool_is_not_a_number(self):
+        assert parsing.coerce_to_number(True) is None
+
+    def test_strings_use_lenient(self):
+        assert parsing.coerce_to_number("12k") == 12000.0
+
+    def test_other_objects(self):
+        assert parsing.coerce_to_number(object()) is None

@@ -1,0 +1,126 @@
+"""Tests for transform inference and the HTML session report."""
+
+import pytest
+
+from repro.config import BuckarooConfig
+from repro.core.inference import DELETE_ROW, CellEdit, TransformInference
+from repro.core.session import BuckarooSession
+from repro.core.types import ERROR_MISSING, ERROR_OUTLIER, ERROR_TYPE_MISMATCH, GroupKey
+from repro.errors import BuckarooError
+from repro.frame import DataFrame
+from repro.ui.report import html_report
+
+from tests.test_backends import COLUMNS, ROWS
+
+BHUTAN = GroupKey("country", "Bhutan", "income")
+LESOTHO = GroupKey("country", "Lesotho", "income")
+
+
+@pytest.fixture(params=["sql", "frame"])
+def session(request):
+    session = BuckarooSession.from_frame(
+        DataFrame.from_rows(ROWS, COLUMNS), backend=request.param,
+        config=BuckarooConfig(min_group_size=2),
+    )
+    session.generate_groups(cat_cols=["country", "degree"],
+                            num_cols=["income", "age"])
+    session.detect()
+    return session
+
+
+class TestTransformInference:
+    def test_edit_to_parsed_value_infers_conversion(self, session):
+        """Typing 12000 over '12k' demonstrates type conversion."""
+        inference = TransformInference(session)
+        results = inference.infer([CellEdit(3, "income", 12000.0)])
+        assert results[0].consistent
+        assert results[0].plan.wrangler_code == "convert_type"
+
+    def test_edit_to_group_mean_infers_imputation(self, session):
+        mean = session.backend.numeric_stats("income", "country", "Lesotho").mean
+        inference = TransformInference(session)
+        results = inference.infer(
+            [CellEdit(6, "income", round(mean, 6))], group_key=LESOTHO,
+        )
+        best = results[0]
+        assert best.consistent
+        assert best.plan.wrangler_code == "impute_mean"
+
+    def test_deletion_example_infers_delete_rows(self, session):
+        inference = TransformInference(session)
+        results = inference.infer(
+            [CellEdit(4, "income", DELETE_ROW)], group_key=BHUTAN,
+        )
+        consistent = [r for r in results if r.consistent]
+        assert consistent
+        assert consistent[0].plan.wrangler_code == "delete_rows"
+
+    def test_inconsistent_candidates_ranked_below(self, session):
+        inference = TransformInference(session)
+        results = inference.infer([CellEdit(3, "income", 12000.0)])
+        flags = [r.consistent for r in results]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_inferred_plan_is_applicable(self, session):
+        inference = TransformInference(session)
+        best = inference.infer([CellEdit(3, "income", 12000.0)])[0]
+        result = session.apply(best.suggestion)
+        assert result.resolved > 0
+        assert session.backend.values("income", [3]) == [12000.0]
+
+    def test_group_auto_located(self, session):
+        inference = TransformInference(session)
+        results = inference.infer([CellEdit(6, "income", 0.0)])
+        assert results  # row 6's missing-income group was found
+        assert all(
+            r.plan.group_key.numerical == "income" for r in results
+        )
+
+    def test_requires_examples(self, session):
+        with pytest.raises(BuckarooError, match="at least one example"):
+            TransformInference(session).infer([])
+
+    def test_rejects_multi_column_examples(self, session):
+        with pytest.raises(BuckarooError, match="one transformation"):
+            TransformInference(session).infer([
+                CellEdit(3, "income", 1.0), CellEdit(3, "age", 1),
+            ])
+
+    def test_unlocatable_examples(self, session):
+        with pytest.raises(BuckarooError, match="group_key"):
+            # row 1 is clean: no anomalous group covers it
+            TransformInference(session).infer([CellEdit(1, "income", 1.0)])
+
+    def test_limit(self, session):
+        inference = TransformInference(session)
+        results = inference.infer([CellEdit(3, "income", 12000.0)], limit=2)
+        assert len(results) == 2
+        assert [r.suggestion.rank for r in results] == [1, 2]
+
+
+class TestHtmlReport:
+    def test_report_structure(self, session):
+        html = html_report(session, title="Test <Report>")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Test &lt;Report&gt;" in html
+        assert "Anomaly summary" in html
+        assert "<svg" in html
+        assert "(none yet)" in html  # no history
+        assert "Bhutan" in html
+
+    def test_report_includes_history_and_script(self, session):
+        worst = session.anomaly_summary().groups[0].key
+        session.apply(session.suggest(worst, limit=1, score_plans=False)[0])
+        html = html_report(session)
+        assert "Applied wrangling operations" in html
+        assert "def wrangle" in html
+        assert "(none yet)" not in html
+
+    def test_report_error_colors_embedded(self, session):
+        html = html_report(session)
+        outlier_color = session.detectors.error_type(ERROR_OUTLIER).color
+        assert outlier_color in html
+
+    def test_chart_budget_respected(self, session):
+        html = html_report(session, max_charts=1)
+        assert html.count("<svg") == 1

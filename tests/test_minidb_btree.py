@@ -1,0 +1,149 @@
+"""Unit and property tests for the B+tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb.btree import BTree
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = BTree(order=4)
+        tree.insert(5, 100)
+        tree.insert(5, 101)
+        tree.insert(7, 102)
+        assert tree.search(5) == {100, 101}
+        assert tree.search(7) == {102}
+        assert tree.search(9) == set()
+        assert len(tree) == 3
+
+    def test_duplicate_pair_is_idempotent(self):
+        tree = BTree(order=4)
+        tree.insert(1, 10)
+        tree.insert(1, 10)
+        assert len(tree) == 1
+
+    def test_remove(self):
+        tree = BTree(order=4)
+        tree.insert(1, 10)
+        tree.insert(1, 11)
+        assert tree.remove(1, 10)
+        assert tree.search(1) == {11}
+        assert tree.remove(1, 11)
+        assert tree.search(1) == set()
+        assert not tree.remove(1, 99)
+        assert not tree.remove(42, 1)
+
+    def test_min_max_key(self):
+        tree = BTree(order=4)
+        assert tree.min_key() is None
+        for key in [5, 1, 9, 3]:
+            tree.insert(key, key)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BTree(order=2)
+
+    def test_splits_preserve_order(self):
+        tree = BTree(order=4)
+        for i in range(200):
+            tree.insert(i * 7 % 200, i)
+        keys = [key for key, _ in tree.iter_items()]
+        assert keys == sorted(keys)
+        tree.check_invariants()
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self):
+        tree = BTree(order=4)
+        for i in range(0, 100, 2):  # even keys 0..98
+            tree.insert(i, i)
+        return tree
+
+    def test_closed_range(self, tree):
+        keys = [k for k, _ in tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_open_low(self, tree):
+        keys = [k for k, _ in tree.range_scan(10, 16, include_low=False)]
+        assert keys == [12, 14, 16]
+
+    def test_open_high(self, tree):
+        keys = [k for k, _ in tree.range_scan(10, 16, include_high=False)]
+        assert keys == [10, 12, 14]
+
+    def test_unbounded_low(self, tree):
+        keys = [k for k, _ in tree.range_scan(None, 6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_unbounded_high(self, tree):
+        keys = [k for k, _ in tree.range_scan(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_full_scan(self, tree):
+        assert len(list(tree.range_scan())) == 50
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(11, 11)) == []  # 11 is odd, absent
+
+    def test_bounds_between_keys(self, tree):
+        keys = [k for k, _ in tree.range_scan(9, 15)]
+        assert keys == [10, 12, 14]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 20)), max_size=200))
+def test_property_matches_dict_of_sets(pairs):
+    """The tree behaves exactly like a dict[key, set] reference model."""
+    tree = BTree(order=4)
+    model: dict[int, set] = {}
+    for key, rowid in pairs:
+        tree.insert(key, rowid)
+        model.setdefault(key, set()).add(rowid)
+    tree.check_invariants()
+    for key in range(0, 51):
+        assert tree.search(key) == model.get(key, set())
+    scanned = {key: rowids for key, rowids in tree.iter_items()}
+    assert scanned == {k: v for k, v in model.items() if v}
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 30), st.integers(0, 10)), max_size=120),
+    st.lists(st.tuples(st.integers(0, 30), st.integers(0, 10)), max_size=120),
+)
+def test_property_insert_then_remove(inserts, removals):
+    """Removals (including no-ops) never violate invariants or search."""
+    tree = BTree(order=4)
+    model: dict[int, set] = {}
+    for key, rowid in inserts:
+        tree.insert(key, rowid)
+        model.setdefault(key, set()).add(rowid)
+    for key, rowid in removals:
+        expected = key in model and rowid in model[key]
+        assert tree.remove(key, rowid) is expected
+        if expected:
+            model[key].discard(rowid)
+            if not model[key]:
+                del model[key]
+    tree.check_invariants()
+    scanned = {key: rowids for key, rowids in tree.iter_items()}
+    assert scanned == model
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=300))
+def test_property_range_scan_matches_sorted_filter(keys):
+    tree = BTree(order=8)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    lo, hi = min(keys), max(keys)
+    mid_low = lo + (hi - lo) // 3
+    mid_high = lo + 2 * (hi - lo) // 3
+    scanned = [k for k, _ in tree.range_scan(mid_low, mid_high)]
+    expected = sorted({k for k in keys if mid_low <= k <= mid_high})
+    assert scanned == expected

@@ -1,0 +1,80 @@
+"""Unit tests for hash and B+tree index wrappers."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.minidb.hash_index import BTreeIndex, HashIndex, normalize_key
+
+
+class TestNormalizeKey:
+    def test_int_float_equivalence(self):
+        assert normalize_key(1) == normalize_key(1.0)
+
+    def test_bool_as_number(self):
+        assert normalize_key(True) == normalize_key(1)
+
+    def test_text_untouched(self):
+        assert normalize_key("x") == "x"
+
+
+class TestHashIndex:
+    def test_insert_lookup_remove(self):
+        index = HashIndex("i", "c", 0)
+        index.insert("a", 1)
+        index.insert("a", 2)
+        index.insert("b", 3)
+        assert index.lookup("a") == {1, 2}
+        index.remove("a", 1)
+        assert index.lookup("a") == {2}
+        index.remove("a", 2)
+        assert index.lookup("a") == set()
+        assert index.n_keys == 1
+
+    def test_nulls_not_indexed(self):
+        index = HashIndex("i", "c", 0)
+        index.insert(None, 1)
+        assert len(index) == 0
+        assert index.lookup(None) == set()
+
+    def test_numeric_equivalence(self):
+        index = HashIndex("i", "c", 0)
+        index.insert(1, 10)
+        assert index.lookup(1.0) == {10}
+
+    def test_unique_violation(self):
+        index = HashIndex("i", "c", 0, unique=True)
+        index.insert("a", 1)
+        with pytest.raises(IntegrityError):
+            index.insert("a", 2)
+
+    def test_remove_absent_is_noop(self):
+        index = HashIndex("i", "c", 0)
+        index.remove("zzz", 1)  # no error
+
+
+class TestBTreeIndex:
+    def test_lookup(self):
+        index = BTreeIndex("i", "c", 0)
+        index.insert(5.0, 1)
+        index.insert(5, 2)
+        assert index.lookup(5) == {1, 2}
+
+    def test_range_mixed_types(self):
+        """Numbers sort before text: an unbounded-high scan reaches text."""
+        index = BTreeIndex("i", "c", 0)
+        index.insert(10, 1)
+        index.insert(20, 2)
+        index.insert("12k", 3)
+        assert set(index.range(15, None)) == {2, 3}
+        assert set(index.range(None, 15)) == {1}
+
+    def test_nulls_not_indexed(self):
+        index = BTreeIndex("i", "c", 0)
+        index.insert(None, 1)
+        assert len(index) == 0
+
+    def test_unique_violation(self):
+        index = BTreeIndex("i", "c", 0, unique=True)
+        index.insert(1, 1)
+        with pytest.raises(IntegrityError):
+            index.insert(1.0, 2)

@@ -1,0 +1,72 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.minidb.tokens import EOF, IDENT, NUMBER, OP, PARAM, STRING, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_simple_statement(self):
+        assert kinds("SELECT a FROM t") == [IDENT, IDENT, IDENT, IDENT, EOF]
+
+    def test_numbers(self):
+        assert texts("1 2.5 .5 1e3 2.5E-2") == ["1", "2.5", ".5", "1e3", "2.5E-2"]
+        assert all(k == NUMBER for k in kinds("1 2.5")[:-1])
+
+    def test_strings_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].text == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"select"')
+        assert tokens[0].kind == IDENT
+        assert tokens[0].text == "select"
+
+    def test_params(self):
+        assert kinds("? ?") == [PARAM, PARAM, EOF]
+
+    def test_two_char_operators(self):
+        assert texts("<= >= <> != == ||") == ["<=", ">=", "<>", "!=", "==", "||"]
+
+    def test_punctuation(self):
+        assert texts("(a, b.c);") == ["(", "a", ",", "b", ".", "c", ")", ";"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a -- comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated block"):
+            tokenize("a /* x")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated string"):
+            tokenize("'abc")
+
+    def test_unterminated_quoted_ident(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated quoted"):
+            tokenize('"abc')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_position_reported(self):
+        with pytest.raises(SQLSyntaxError, match="offset"):
+            tokenize("abc @")

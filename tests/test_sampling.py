@@ -1,0 +1,185 @@
+"""Unit and property tests for sampling and aggregation (§4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import make_backend
+from repro.config import BuckarooConfig
+from repro.core.engine import DetectionEngine
+from repro.core.groups import GroupManager
+from repro.frame import DataFrame
+from repro.sampling import (
+    DistanceBasedSampler,
+    ErrorFirstSampler,
+    ReservoirSampler,
+    StratifiedSampler,
+    heatmap,
+    histogram,
+    minmax_decimate,
+)
+
+from tests.test_backends import COLUMNS, ROWS
+
+
+@pytest.fixture
+def detected():
+    backend = make_backend(DataFrame.from_rows(ROWS, COLUMNS), "frame")
+    manager = GroupManager(backend, BuckarooConfig(min_group_size=2))
+    manager.generate(cat_cols=["country"], num_cols=["income"])
+    engine = DetectionEngine(backend, BuckarooConfig(min_group_size=2))
+    engine.detect_all(manager.groups.values())
+    return backend, manager, engine
+
+
+class TestErrorFirst:
+    def test_all_anomalies_included(self, detected):
+        """The §4.1 guarantee: no error is left unvisualized."""
+        backend, manager, engine = detected
+        sampler = ErrorFirstSampler(budget=4, context_per_group=1)
+        groups = list(manager.groups.values())
+        sample = sampler.sample_groups(groups, engine.index)
+        assert engine.index.rows_with_errors() <= set(sample.row_ids)
+
+    def test_context_rows_are_clean(self, detected):
+        backend, manager, engine = detected
+        sampler = ErrorFirstSampler(budget=100, context_per_group=2)
+        groups = list(manager.groups.values())
+        sample = sampler.sample_groups(groups, engine.index)
+        assert not (sample.context & sample.anomalous)
+
+    def test_single_group_sample(self, detected):
+        backend, manager, engine = detected
+        sampler = ErrorFirstSampler(context_per_group=1)
+        group = next(iter(manager.groups.values()))
+        sample = sampler.sample_group(group, engine.index)
+        assert set(sample.row_ids) <= set(group.row_ids)
+
+    def test_error_recall_metric(self):
+        from repro.sampling import Sample
+
+        sample = Sample(row_ids=[1, 2, 3])
+        assert sample.error_recall({1, 2}) == 1.0
+        assert sample.error_recall({1, 9}) == 0.5
+        assert sample.error_recall(set()) == 1.0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            ErrorFirstSampler(budget=0)
+
+
+class TestDistance:
+    def test_nearest_clean_rows_selected(self, detected):
+        backend, _manager, _engine = detected
+        sampler = DistanceBasedSampler(budget=3)
+        # row 4 is the 1M outlier; nearest by income should be high earners
+        sample = sampler.sample(backend, ["income", "age"], [4])
+        assert 4 in sample.row_ids
+        assert len(sample.row_ids) == 3
+        # the closest clean point in feature space (the 72k earner, row 5)
+        # must be part of the context
+        assert 5 in sample.context
+
+    def test_no_anomalies_degenerates_gracefully(self, detected):
+        backend, _m, _e = detected
+        sample = DistanceBasedSampler(budget=2).sample(backend, ["income"], [])
+        assert len(sample.row_ids) <= 2
+
+
+class TestReservoir:
+    def test_capacity_respected(self):
+        sampler = ReservoirSampler(capacity=10, seed=1)
+        sampler.extend(range(1000))
+        assert len(sampler.sample()) == 10
+        assert sampler.seen == 1000
+
+    def test_small_stream_kept_whole(self):
+        sampler = ReservoirSampler(capacity=10)
+        sampler.extend(range(5))
+        assert sorted(sampler.sample()) == [0, 1, 2, 3, 4]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**16))
+    def test_property_uniformity_bounds(self, seed):
+        """Every offered item has roughly equal inclusion probability."""
+        sampler = ReservoirSampler(capacity=50, seed=seed)
+        sampler.extend(range(500))
+        sample = sampler.sample()
+        assert len(sample) == 50
+        assert all(0 <= x < 500 for x in sample)
+        assert len(set(sample)) == 50  # no duplicates
+
+
+class TestStratified:
+    def test_per_group_quota(self):
+        strata = {"a": list(range(100)), "b": list(range(100, 103))}
+        sample = StratifiedSampler(per_group=5, seed=1).sample(strata)
+        in_a = [r for r in sample.row_ids if r < 100]
+        in_b = [r for r in sample.row_ids if r >= 100]
+        assert len(in_a) == 5
+        assert len(in_b) == 3  # small stratum kept whole
+
+    def test_every_stratum_visible(self):
+        strata = {i: list(range(i * 10, i * 10 + 10)) for i in range(20)}
+        sample = StratifiedSampler(per_group=1, seed=1).sample(strata)
+        covered = {row // 10 for row in sample.row_ids}
+        assert covered == set(range(20))
+
+
+class TestHistogram:
+    def test_counts_sum_to_numeric_values(self):
+        # lenient coercion: '12k' parses to 12000; None is skipped
+        binned = histogram([1, 2, 3, "12k", None, 4.5], bins=4)
+        assert sum(binned.counts) == 5
+
+    def test_anomaly_overlay(self):
+        values = [1, 2, 3, 100]
+        binned = histogram(values, bins=4, anomalous_mask=[False, False, False, True])
+        assert sum(binned.anomaly_counts) == 1
+        assert binned.anomaly_counts[-1] == 1
+
+    def test_empty_input(self):
+        binned = histogram([])
+        assert binned.counts == [0]
+
+
+class TestHeatmap:
+    def test_grid_shape(self):
+        grid = heatmap(["a", "b", "a"], [1.0, 2.0, 3.0], bins=2)
+        assert grid.categories == ["a", "b"]
+        assert len(grid.counts) == 2
+        assert sum(sum(row) for row in grid.counts) == 3
+
+    def test_anomaly_counts(self):
+        grid = heatmap(["a", "a"], [1.0, 2.0], bins=2,
+                       anomalous_mask=[True, False])
+        assert sum(sum(row) for row in grid.anomaly_counts) == 1
+
+
+class TestDecimation:
+    def test_short_series_untouched(self):
+        xs, ys = minmax_decimate([1, 2, 3], [4, 5, 6], max_points=10)
+        assert xs == [1, 2, 3]
+
+    def test_extremes_preserved(self):
+        rng = np.random.default_rng(7)
+        xs = list(range(10_000))
+        ys = list(rng.normal(0, 1, 10_000))
+        ys[5000] = 100.0  # a spike decimation must keep
+        dx, dy = minmax_decimate(xs, ys, max_points=100)
+        assert len(dx) <= 120
+        assert max(dy) == 100.0
+        assert min(dy) == min(ys)
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            minmax_decimate([1, 2], [1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=300),
+       st.integers(1, 30))
+def test_property_histogram_conserves_count(values, bins):
+    binned = histogram(values, bins=bins)
+    assert sum(binned.counts) == len(values)

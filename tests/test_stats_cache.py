@@ -1,0 +1,157 @@
+"""Tests for the incremental backend cache (§3.2) on the SQL backend.
+
+The crucial invariant: after any mutation sequence, cached statistics and
+error sets must equal what a fresh scan of the table computes.  Hypothesis
+drives random mutation sequences against a recompute-from-scratch oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.sql_backend import SQLBackend
+from repro.frame import DataFrame
+
+from tests.test_backends import COLUMNS, ROWS
+
+
+@pytest.fixture
+def backend() -> SQLBackend:
+    backend = SQLBackend.from_frame(DataFrame.from_rows(ROWS, COLUMNS))
+    backend.ensure_index("country")
+    backend.ensure_index("income")
+    backend.register_chart_columns(["country", "degree"], ["income", "age"])
+    return backend
+
+
+def fresh_oracle(backend: SQLBackend) -> SQLBackend:
+    """An untracked backend over the same current data (recomputes via SQL)."""
+    oracle = SQLBackend.from_frame(backend.to_frame())
+    return oracle
+
+
+def assert_consistent(backend: SQLBackend) -> None:
+    oracle = fresh_oracle(backend)
+    id_map = dict(zip(backend.all_row_ids(), oracle.all_row_ids()))
+    for num in ("income", "age"):
+        cached = backend.numeric_stats(num)
+        scanned = oracle.numeric_stats(num)
+        assert cached.count == scanned.count
+        if scanned.count:
+            assert cached.mean == pytest.approx(scanned.mean)
+            assert cached.std == pytest.approx(scanned.std, abs=1e-9)
+            assert cached.min == pytest.approx(scanned.min)
+            assert cached.max == pytest.approx(scanned.max)
+        assert sorted(id_map[r] for r in backend.missing_row_ids(num)) == \
+            sorted(oracle.missing_row_ids(num))
+        assert sorted(id_map[r] for r in backend.mismatch_row_ids(num)) == \
+            sorted(oracle.mismatch_row_ids(num))
+        for category in backend.distinct_values("country"):
+            cached_group = backend.numeric_stats(num, "country", category)
+            scanned_group = oracle.numeric_stats(num, "country", category)
+            assert cached_group.count == scanned_group.count
+            if scanned_group.count:
+                assert cached_group.mean == pytest.approx(scanned_group.mean)
+
+
+class TestTracking:
+    def test_initial_build_matches_scan(self, backend):
+        assert_consistent(backend)
+
+    def test_tracks_pair(self, backend):
+        assert backend.stats_cache.tracks_pair("income", "country")
+        assert backend.stats_cache.tracks_pair("income", None)
+        assert not backend.stats_cache.tracks_pair("income", "gender")
+        assert not backend.stats_cache.tracks_pair("salary", "country")
+
+    def test_track_is_idempotent(self, backend):
+        backend.register_chart_columns(["country", "degree"], ["income", "age"])
+        assert_consistent(backend)
+
+    def test_track_extends_with_new_columns(self, backend):
+        backend.register_chart_columns(["gender"] if "gender" in COLUMNS else [],
+                                       [])
+        assert_consistent(backend)
+
+
+class TestMaintenance:
+    def test_after_delete(self, backend):
+        backend.delete_rows([4, 6])  # the outlier and the missing row
+        assert_consistent(backend)
+        assert backend.missing_row_ids("income") == []
+
+    def test_after_impute(self, backend):
+        backend.set_cells("income", [6], 54000.0)
+        assert_consistent(backend)
+
+    def test_after_type_conversion(self, backend):
+        backend.set_cells("income", [3], 12000.0)
+        assert_consistent(backend)
+        assert backend.mismatch_row_ids("income") == []
+
+    def test_after_relabel_moves_buckets(self, backend):
+        before = backend.numeric_stats("income", "country", "Lesotho")
+        backend.set_cells("country", [9], "Lesotho")  # Nauru row joins Lesotho
+        after = backend.numeric_stats("income", "country", "Lesotho")
+        assert after.count == before.count + 1
+        assert_consistent(backend)
+
+    def test_after_undo_roundtrip(self, backend):
+        delta = backend.delete_rows([1, 4, 6])
+        backend.revert_delta(delta)
+        assert_consistent(backend)
+
+    def test_min_max_dirty_recompute(self, backend):
+        stats = backend.numeric_stats("income")
+        assert stats.max == 1000000.0
+        backend.delete_rows([4])  # removes the maximum
+        stats = backend.numeric_stats("income")
+        assert stats.max == 72000.0
+        assert_consistent(backend)
+
+    def test_transaction_rollback_updates_cache(self, backend):
+        backend.db.execute("BEGIN")
+        backend.db.execute("DELETE FROM data WHERE country = 'Bhutan'")
+        backend.db.execute("ROLLBACK")
+        assert_consistent(backend)
+
+    def test_outlier_fast_path_uses_btree(self, backend):
+        rows = backend.out_of_range_row_ids("income", 0, 100000)
+        assert rows == [4]
+        scoped = backend.out_of_range_row_ids(
+            "income", 0, 100000, "country", "Bhutan")
+        assert scoped == [4]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(
+    st.sampled_from(["delete", "impute", "corrupt", "blank", "relabel", "undo"]),
+    st.integers(1, 9),
+), max_size=12))
+def test_property_cache_matches_fresh_scan(ops):
+    """Random mutation sequences keep the cache exactly consistent."""
+    backend = SQLBackend.from_frame(DataFrame.from_rows(ROWS, COLUMNS))
+    backend.ensure_index("income")
+    backend.register_chart_columns(["country", "degree"], ["income", "age"])
+    deltas = []
+    live = set(backend.all_row_ids())
+    for kind, row_id in ops:
+        if kind == "undo":
+            if deltas:
+                backend.revert_delta(deltas.pop())
+                live = set(backend.all_row_ids())
+            continue
+        if row_id not in live:
+            continue
+        if kind == "delete":
+            deltas.append(backend.delete_rows([row_id]))
+            live.discard(row_id)
+        elif kind == "impute":
+            deltas.append(backend.set_cells("income", [row_id], 50000.0))
+        elif kind == "corrupt":
+            deltas.append(backend.set_cells("income", [row_id], "oops"))
+        elif kind == "blank":
+            deltas.append(backend.set_cells("income", [row_id], None))
+        elif kind == "relabel":
+            deltas.append(backend.set_cells("country", [row_id], "Atlantis"))
+    assert_consistent(backend)

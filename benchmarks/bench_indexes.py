@@ -2,18 +2,21 @@
 
 "Buckaroo also creates Postgres indexes for all the attribute combinations
 in the charts for efficient data lookups."  This benchmark measures the
-three query shapes the system issues constantly — group membership
-(equality), viewport fetch (range), and point delete (rowid) — with and
-without indexes.
+query shapes the system issues constantly — group membership (equality),
+viewport fetch (range), aggregate counts, and ranked top-k fetches — with
+and without indexes.  The indexed top-k runs as an index-ordered scan that
+touches ``k`` rows; unindexed it falls back to a bounded-heap TopK over
+the full scan.  Results land in ``benchmarks/artifacts/indexes.json``.
 """
 
 import pytest
 
-from repro.bench import print_generic
+from repro.bench import print_generic, write_json_artifact
 from repro.minidb import Database
 
 N_ROWS = 20_000
 N_CATEGORIES = 40
+TOP_K = 10
 
 _RESULTS: dict = {}
 
@@ -43,20 +46,29 @@ def seq_db():
 
 def _record(name: str, mode: str, benchmark) -> None:
     _RESULTS[(name, mode)] = benchmark.stats.stats.mean
-    queries = ("group_equality", "value_range", "count_aggregate")
-    if all((q, m) in _RESULTS for q in queries for m in ("indexed", "seq")):
-        rows = []
-        for query in queries:
-            indexed = _RESULTS[(query, "indexed")]
-            seq = _RESULTS[(query, "seq")]
-            rows.append([
-                query, f"{indexed * 1000:.2f} ms", f"{seq * 1000:.2f} ms",
-                f"{seq / indexed:.0f}x",
-            ])
-        print_generic(
-            f"A4 — indexed vs sequential lookups ({N_ROWS} rows)",
-            ["Query", "Indexed", "SeqScan", "Speedup"], rows,
-        )
+    queries = ("group_equality", "value_range", "count_aggregate", "top_k")
+    if not all((q, m) in _RESULTS for q in queries for m in ("indexed", "seq")):
+        return
+    rows = []
+    payload = {"n_rows": N_ROWS, "queries": {}}
+    for query in queries:
+        indexed = _RESULTS[(query, "indexed")]
+        seq = _RESULTS[(query, "seq")]
+        rows.append([
+            query, f"{indexed * 1000:.2f} ms", f"{seq * 1000:.2f} ms",
+            f"{seq / indexed:.0f}x",
+        ])
+        payload["queries"][query] = {
+            "indexed_seconds": indexed,
+            "seq_seconds": seq,
+            "speedup": seq / indexed,
+        }
+    print_generic(
+        f"A4 — indexed vs sequential lookups ({N_ROWS} rows)",
+        ["Query", "Indexed", "SeqScan", "Speedup"], rows,
+    )
+    path = write_json_artifact("indexes", payload)
+    print(f"artifact: {path}")
 
 
 @pytest.mark.parametrize("mode", ["indexed", "seq"])
@@ -93,9 +105,48 @@ def test_group_count_aggregate(benchmark, mode, indexed_db, seq_db):
     _record("count_aggregate", mode, benchmark)
 
 
+@pytest.mark.parametrize("mode", ["indexed", "seq"])
+def test_top_k_fetch(benchmark, mode, indexed_db, seq_db):
+    """Ranked fetch: index-ordered scan vs TopK heap over a full scan."""
+    db = indexed_db if mode == "indexed" else seq_db
+    result = benchmark(
+        lambda: db.execute(f"SELECT rowid, val FROM t ORDER BY val LIMIT {TOP_K}")
+    )
+    assert len(result) == TOP_K
+    assert [v for _, v in result.rows] == sorted(v for _, v in result.rows)
+    _record("top_k", mode, benchmark)
+
+
 def test_plans_confirm_access_paths(indexed_db, seq_db):
     assert "IndexEqScan" in indexed_db.explain(
         "SELECT rowid FROM t WHERE cat = 'c7'")
     assert "IndexRangeScan" in indexed_db.explain(
         "SELECT rowid FROM t WHERE val > 10")
     assert "SeqScan" in seq_db.explain("SELECT rowid FROM t WHERE cat = 'c7'")
+    # streaming-executor operators
+    assert "IndexOrderScan" in indexed_db.explain(
+        f"SELECT rowid FROM t ORDER BY val LIMIT {TOP_K}")
+    assert "TopK" in seq_db.explain(
+        f"SELECT rowid FROM t ORDER BY val LIMIT {TOP_K}")
+    assert "TopK" in indexed_db.explain(
+        f"SELECT rowid FROM t ORDER BY val DESC LIMIT {TOP_K}")
+
+
+def test_join_uses_hash_strategy(indexed_db):
+    """Group dimension joins hash-build even with extra ON conjuncts."""
+    db = indexed_db
+    if not db.has_table("dims"):
+        db.execute("CREATE TABLE dims (cat TEXT, weight REAL)")
+        db.insert_rows(
+            "dims", [(f"c{i}", float(i)) for i in range(N_CATEGORIES)]
+        )
+    plan = db.explain(
+        "SELECT t.rowid FROM t JOIN dims ON t.cat = dims.cat "
+        "AND dims.weight > 5"
+    )
+    assert "HashJoin" in plan and "NestedLoopJoin" not in plan
+    n = db.execute(
+        "SELECT COUNT(*) FROM t JOIN dims ON t.cat = dims.cat "
+        "AND dims.weight > ?", (N_CATEGORIES - 3.0,)
+    ).scalar()
+    assert n == 2 * (N_ROWS // N_CATEGORIES)

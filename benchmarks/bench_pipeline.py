@@ -9,7 +9,7 @@ the snapshot write.  Reported per dataset on the SQL backend.
 import pytest
 
 from repro._util import Stopwatch
-from repro.bench import print_generic
+from repro.bench import print_generic, write_json_artifact
 from repro.core.session import BuckarooSession
 from repro.sampling import ErrorFirstSampler
 
@@ -20,6 +20,7 @@ from benchmarks.conftest import (
 )
 
 _ROWS: list = []
+_STAGES: dict = {}
 
 
 def _pipeline(dataset: str) -> dict:
@@ -69,6 +70,9 @@ def test_pipeline_stages(benchmark, dataset):
         _pipeline, args=(dataset,), rounds=1, iterations=1,
     )
     assert stages["detection"] > 0
+    _STAGES[dataset] = {
+        key: value for key, value in stages.items() if not key.startswith("_")
+    }
     _ROWS.append([
         DATASET_LABELS[dataset],
         f"{stages['upload'] * 1000:.0f} ms",
@@ -85,3 +89,5 @@ def test_pipeline_stages(benchmark, dataset):
              "Suggest", "Apply"],
             _ROWS,
         )
+        path = write_json_artifact("pipeline", {"stage_seconds": _STAGES})
+        print(f"artifact: {path}")

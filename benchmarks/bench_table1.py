@@ -14,7 +14,13 @@ dataset and both op types.  Each measured run is one full 50-op workload
 
 import pytest
 
-from repro.bench import IMPUTE, REMOVAL, print_table1, run_workload
+from repro.bench import (
+    IMPUTE,
+    REMOVAL,
+    print_table1,
+    run_workload,
+    write_json_artifact,
+)
 
 from benchmarks.conftest import DATASET_LABELS, make_session
 
@@ -55,6 +61,8 @@ def _maybe_print() -> None:
         for d in datasets
     ]
     print_table1(rows)
+    path = write_json_artifact("table1", {"n_ops": N_OPS, "rows": rows})
+    print(f"artifact: {path}")
     for row in rows:
         assert row["sql_removal"] < row["frame_removal"], (
             f"{row['dataset']}: SQL removal must beat frame removal"

@@ -76,18 +76,29 @@ class SQLBackend(Backend):
         result = []
         for coldef in self._table.schema.columns:
             if coldef.affinity == "text":
-                distinct = self.db.execute(
-                    f'SELECT COUNT(DISTINCT "{coldef.name}") FROM {self.table_name}'
-                ).scalar()
-                if distinct is not None and distinct <= max_categories:
+                distinct = self._distinct_count_capped(coldef.name, max_categories)
+                if distinct <= max_categories:
                     result.append(coldef.name)
             elif coldef.affinity == "integer":
-                distinct = self.db.execute(
-                    f'SELECT COUNT(DISTINCT "{coldef.name}") FROM {self.table_name}'
-                ).scalar()
-                if distinct is not None and 0 < distinct <= min(max_categories, 20):
+                cap = min(max_categories, 20)
+                distinct = self._distinct_count_capped(coldef.name, cap)
+                if 0 < distinct <= cap:
                     result.append(coldef.name)
         return result
+
+    def _distinct_count_capped(self, column: str, cap: int) -> int:
+        """Distinct non-NULL values, capped at ``cap + 1``.
+
+        Runs as a streaming ``DISTINCT ... LIMIT`` cursor, so a
+        high-cardinality column stops scanning as soon as ``cap + 1``
+        distinct values have been seen instead of aggregating the whole
+        table just to learn "too many".
+        """
+        cursor = self.db.stream(
+            f'SELECT DISTINCT "{column}" FROM {self.table_name} '
+            f'WHERE "{column}" IS NOT NULL LIMIT {cap + 1}'
+        )
+        return sum(1 for _ in cursor)
 
     def numerical_columns(self) -> list[str]:
         result = []
@@ -265,7 +276,9 @@ class SQLBackend(Backend):
             if old == coerced and type(old) is type(coerced):
                 continue
             delta.updated[row_id] = {column: (old, coerced)}
-            pairs.append((new, row_id))
+            # send the *coerced* value: the snapshot must record exactly what
+            # the UPDATE stores, or undo/redo replays diverge from the table
+            pairs.append((coerced, row_id))
         self.db.executemany(
             f'UPDATE {self.table_name} SET "{column}" = ? WHERE rowid = ?', pairs
         )

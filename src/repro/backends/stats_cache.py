@@ -30,28 +30,74 @@ def _is_numeric(value) -> bool:
 
 
 class _Moments:
-    """Incrementally maintained count/sum/sum-of-squares."""
+    """Incrementally maintained count/sum/sum-of-squares, *shifted*.
 
-    __slots__ = ("n", "total", "sumsq")
+    The unshifted form cancels catastrophically once the mean dwarfs the
+    spread: at mean ~1e9 and std ~1 the two ~1e18 terms of
+    ``sumsq/n - mean**2`` agree to every stored digit, so the variance is
+    pure rounding noise and long add/``remove`` edit sessions silently
+    collapse the std to 0 (saved only from going imaginary by a clamp).
+    Accumulating ``value - shift`` instead — with the first value seen as
+    the shift — keeps the sums at the scale of the spread, where the
+    subtraction is benign, while addition/subtraction still cancel exactly
+    under removal for integer-valued data.
+
+    No O(1)-memory accumulator survives *removing* a value that dominated
+    the sums (the subtraction cancels nearly everything, leaving rounding
+    noise — e.g. a far-outlier anchor value being repaired away).
+    ``suspect`` detects that case by comparing the surviving second moment
+    against the rounding floor of the high-water mark, and the cache
+    responds by rebuilding the accumulator from the table.
+    """
+
+    __slots__ = ("n", "shift", "total", "sumsq", "peak")
+
+    #: fraction of the sum-of-squares high-water mark below which the
+    #: surviving second moment is indistinguishable from rounding noise
+    _NOISE_FLOOR = 1e-12
 
     def __init__(self) -> None:
         self.n = 0
+        self.shift: float | None = None
         self.total = 0.0
         self.sumsq = 0.0
+        self.peak = 0.0  # high-water mark of sumsq since the last rebuild
 
     def add(self, value: float) -> None:
+        if self.shift is None:
+            self.shift = value
+        centered = value - self.shift
         self.n += 1
-        self.total += value
-        self.sumsq += value * value
+        self.total += centered
+        self.sumsq += centered * centered
+        if self.sumsq > self.peak:
+            self.peak = self.sumsq
 
     def remove(self, value: float) -> None:
+        if self.n <= 1:
+            # dropping the last value: reset so the next add re-anchors
+            self.n = 0
+            self.shift = None
+            self.total = 0.0
+            self.sumsq = 0.0
+            self.peak = 0.0
+            return
+        centered = value - self.shift
         self.n -= 1
-        self.total -= value
-        self.sumsq -= value * value
+        self.total -= centered
+        self.sumsq -= centered * centered
+
+    @property
+    def suspect(self) -> bool:
+        """True when cancellation may have eaten the second moment."""
+        if not self.n:
+            return False
+        m2 = self.sumsq - self.total * self.total / self.n
+        return m2 < self._NOISE_FLOOR * self.peak
 
     @property
     def mean(self) -> float | None:
-        return self.total / self.n if self.n else None
+        return self.shift + self.total / self.n if self.n else None
 
     @property
     def std(self) -> float | None:
@@ -136,12 +182,39 @@ class GroupStatsCache:
         cache = self._numeric[num_col]
         if cat_col is None:
             moments = cache.global_moments
+            if moments.suspect:
+                moments = self._rebuild_moments(cache, None, None)
+                cache.global_moments = moments
             low, high = self._range_of(num_col, cache)
             return Stats(moments.n, moments.mean, moments.std, low, high)
-        bucket = cache.per_cat[cat_col].get(self._cat_key(category))
+        key = self._cat_key(category)
+        bucket = cache.per_cat[cat_col].get(key)
         if bucket is None or not bucket.n:
             return Stats(0, None, None, None, None)
+        if bucket.suspect:
+            bucket = self._rebuild_moments(cache, cat_col, key)
+            cache.per_cat[cat_col][key] = bucket
         return Stats(bucket.n, bucket.mean, bucket.std, None, None)
+
+    def _rebuild_moments(self, cache: _NumericCache, cat_col: str | None,
+                         cat_key) -> _Moments:
+        """Recompute one accumulator from the table.
+
+        Removing a value that dominated the sums (an extreme outlier being
+        repaired away) leaves any O(1) accumulator holding rounding noise;
+        this one-scan rebuild re-anchors it on the surviving data.
+        """
+        moments = _Moments()
+        cat_position = (
+            self._cat_positions[cat_col] if cat_col is not None else None
+        )
+        for row in self.table.rows.values():
+            if cat_position is not None and self._cat_key(row[cat_position]) != cat_key:
+                continue
+            value = row[cache.position]
+            if _is_numeric(value):
+                moments.add(float(value))
+        return moments
 
     def missing_rows(self, num_col: str) -> set[int]:
         """Rows whose tracked column is NULL (live view — do not mutate)."""

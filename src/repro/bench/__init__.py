@@ -4,7 +4,13 @@ Workload generation (50 front-end wrangling operations), timing summaries,
 and paper-style table printers used by the ``benchmarks/`` suite.
 """
 
-from repro.bench.report import print_generic, print_hopara, print_table1
+from repro.bench.report import (
+    artifact_dir,
+    print_generic,
+    print_hopara,
+    print_table1,
+    write_json_artifact,
+)
 from repro.bench.timing import TimingSummary
 from repro.bench.workload import (
     IMPUTE,
@@ -21,6 +27,7 @@ __all__ = [
     "REMOVAL",
     "TimingSummary",
     "WorkloadResult",
+    "artifact_dir",
     "candidate_rows",
     "impute_plan",
     "print_generic",
@@ -28,4 +35,5 @@ __all__ = [
     "print_table1",
     "removal_plan",
     "run_workload",
+    "write_json_artifact",
 ]

@@ -1,12 +1,52 @@
-"""Paper-style result tables.
+"""Paper-style result tables and machine-readable benchmark artifacts.
 
 Prints the same rows the paper reports so EXPERIMENTS.md can place measured
-numbers next to published ones.
+numbers next to published ones, and persists each benchmark's numbers as a
+JSON artifact (``benchmarks/artifacts/`` by default) so successive PRs can
+track the performance trajectory instead of re-measuring by hand.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 from repro._util import format_table
+
+_ARTIFACT_DIR_ENV = "REPRO_BENCH_ARTIFACT_DIR"
+# anchored to the repo root (src/repro/bench/report.py -> three levels up
+# past src/), not the CWD, so artifacts from runs started anywhere land in
+# one place and stay comparable across PRs
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+_DEFAULT_ARTIFACT_DIR = os.path.join(_REPO_ROOT, "benchmarks", "artifacts")
+
+
+def artifact_dir() -> str:
+    """Where benchmark JSON artifacts land (env-overridable)."""
+    return os.environ.get(_ARTIFACT_DIR_ENV, _DEFAULT_ARTIFACT_DIR)
+
+
+def write_json_artifact(name: str, payload) -> str:
+    """Persist one benchmark's results as ``<artifact_dir>/<name>.json``.
+
+    ``payload`` must be JSON-serializable (non-serializable leaves are
+    stringified).  Returns the path written, so callers can print it.
+    """
+    directory = artifact_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    document = {
+        "name": name,
+        "created_unix": time.time(),
+        "payload": payload,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, default=str)
+        fh.write("\n")
+    return path
 
 
 def print_table1(rows: list[dict]) -> str:

@@ -15,7 +15,7 @@ from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema, affinity_of
 from repro.minidb.database import Database
 from repro.minidb.hash_index import BTreeIndex, HashIndex
 from repro.minidb.parser import parse, parse_expression
-from repro.minidb.results import ResultSet
+from repro.minidb.results import ResultSet, StreamingResult
 from repro.minidb.wal import WriteAheadLog
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "HashIndex",
     "IndexDef",
     "ResultSet",
+    "StreamingResult",
     "TableSchema",
     "WriteAheadLog",
     "affinity_of",

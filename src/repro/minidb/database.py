@@ -19,7 +19,7 @@ from repro.minidb import ast_nodes as ast
 from repro.minidb import executor
 from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema
 from repro.minidb.parser import parse
-from repro.minidb.results import ResultSet
+from repro.minidb.results import ResultSet, StreamingResult
 from repro.minidb.storage import Table
 from repro.minidb.transactions import TransactionManager
 from repro.minidb.wal import WriteAheadLog
@@ -43,6 +43,19 @@ class Database:
         """Parse (with caching) and run one SQL statement."""
         statement = self._parse_cached(sql)
         return self._dispatch(statement, tuple(params), sql)
+
+    def stream(self, sql: str, params: tuple | list = ()) -> StreamingResult:
+        """Run a SELECT lazily, returning a :class:`StreamingResult` cursor.
+
+        Rows are computed as the cursor is consumed, so early termination
+        (pagination, first-match probes, capped distinct counts) stops the
+        scan instead of paying for the full result.  Do not mutate the
+        database while the cursor is open.
+        """
+        statement = self._parse_cached(sql)
+        if not isinstance(statement, ast.SelectStmt):
+            raise DatabaseError("stream() supports SELECT statements only")
+        return executor.execute_select(self, statement, tuple(params), stream=True)
 
     def executemany(self, sql: str, param_rows) -> int:
         """Run one parameterized statement for each params tuple.

@@ -2,13 +2,31 @@
 
 Rows flow through the pipeline as Python lists laid out as
 ``[rowid, col0, col1, ...]`` (for joins, the segments are concatenated).
-SELECT goes through: scan -> join -> filter -> aggregate/project -> distinct
--> order -> limit.  UPDATE/DELETE plan their scans with the same planner, so
-indexed predicates touch only matching rows — the locality that makes the
-database backend fast in Table 1.
+SELECT is a chain of *streaming* operators: scan -> join -> filter ->
+aggregate/project -> distinct -> order -> limit, where every stage except
+aggregation and full sorts is a generator pulling rows one at a time.  The
+consequences the Table 1 benchmark relies on:
+
+* ``LIMIT``/``OFFSET`` short-circuit the scan — ``LIMIT 10`` over 100k rows
+  touches 10 rows (plus offset), not 100k;
+* ``ORDER BY col LIMIT k`` keeps a bounded heap (top-k) instead of sorting
+  the whole input, and skips even that when the planner answers with an
+  index-ordered scan;
+* every equi-join builds a hash table on the joined side and probes it as
+  left rows stream through — extra ``ON`` conjuncts become a residual
+  filter per candidate instead of forcing an O(n*m) nested loop;
+* ``WHERE`` conjuncts that touch only the base table are pushed below the
+  join into the scan, where the planner can turn them into index lookups.
+
+UPDATE/DELETE plan their scans with the same planner, so indexed predicates
+touch only matching rows — the locality that makes the database backend
+fast in Table 1.
 """
 
 from __future__ import annotations
+
+import heapq
+from itertools import islice
 
 from repro.errors import ExecutionError, PlanningError
 from repro.minidb import ast_nodes as ast
@@ -24,13 +42,17 @@ from repro.minidb.hash_index import normalize_key
 from repro.minidb.planner import (
     INDEX_EQ,
     INDEX_IN,
+    INDEX_ORDER,
     INDEX_RANGE,
     ROWID_EQ,
     ROWID_IN,
     ScanPlan,
+    conjoin,
+    partition_conjuncts,
     plan_scan,
+    split_join_condition,
 )
-from repro.minidb.results import ResultSet
+from repro.minidb.results import ResultSet, StreamingResult
 from repro.minidb.storage import Table
 
 _EMPTY_ROW: tuple = ()
@@ -84,20 +106,69 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
         for rowid in index.range(low, high, plan.include_low, plan.include_high):
             yield [rowid, *table.rows[rowid]]
         return
+    if plan.kind == INDEX_ORDER:
+        index = table.indexes[plan.index_name]
+        rows = table.rows
+        for rowid in index.range(None, None):
+            yield [rowid, *rows[rowid]]
+        return
     for rowid, values in table.scan():
         yield [rowid, *values]
 
 
 # ---------------------------------------------------------------------------
-# SELECT
+# SELECT planning
 # ---------------------------------------------------------------------------
 
 
-def execute_select(db, stmt: ast.SelectStmt, params: tuple) -> ResultSet:
-    """Run a SELECT and return a materialized :class:`ResultSet`."""
-    if stmt.table is None:
-        return _select_without_table(stmt, params)
+class _JoinSpec:
+    """One join step: strategy plus the pieces of its decomposed ON clause."""
 
+    __slots__ = ("join", "table", "offset", "width", "pairs", "build_filter",
+                 "residual")
+
+    def __init__(self, join: ast.Join, table: Table, offset: int,
+                 resolver: Resolver):
+        self.join = join
+        self.table = table
+        self.offset = offset
+        self.width = 1 + len(table.schema.columns)
+        pairs, right_only, residual = split_join_condition(
+            join.on, resolver, offset, self.width
+        )
+        self.pairs = pairs
+        if not pairs:
+            self.build_filter = None
+            self.residual = None  # nested loop evaluates the full ON clause
+            return
+        if join.kind == "LEFT":
+            # prefiltering the build side of a LEFT join would turn matched
+            # rows into NULL-padded ones; keep right-only conjuncts residual
+            self.build_filter = None
+            self.residual = conjoin(right_only + residual)
+        else:
+            self.build_filter = conjoin(right_only)
+            self.residual = conjoin(residual)
+
+
+class _SelectInfo:
+    """Everything execute/explain need to know about one SELECT's plan."""
+
+    __slots__ = ("base_table", "bindings", "resolver", "items", "alias_map",
+                 "has_aggregates", "scan", "join_specs", "post_where",
+                 "order_mode")
+
+
+# how the non-aggregate pipeline satisfies ORDER BY
+_ORDER_NONE = "none"        # no ORDER BY
+_ORDER_INDEXED = "indexed"  # the scan already streams rows in order
+_ORDER_TOPK = "topk"        # bounded heap of the offset+limit smallest keys
+_ORDER_SORT = "sort"        # materialize and fully sort
+
+
+def _analyze_select(db, stmt: ast.SelectStmt) -> _SelectInfo:
+    """Bind tables, pick scan/join strategies, and classify the ordering."""
+    info = _SelectInfo()
     base_table = db.table(stmt.table.name)
     bindings: dict[str, dict[str, int]] = {}
     bindings[stmt.table.binding] = _layout(base_table, 0)
@@ -111,48 +182,125 @@ def execute_select(db, stmt: ast.SelectStmt, params: tuple) -> ResultSet:
         offset += 1 + len(table.schema.columns)
     resolver = Resolver(bindings)
 
-    if stmt.joins:
-        rows = [[rowid, *values] for rowid, values in base_table.scan()]
-        for join, table, join_offset in join_tables:
-            rows = _execute_join(rows, join, table, join_offset, resolver, params)
-        if stmt.where is not None:
-            predicate = compile_expr(stmt.where, resolver)
-            rows = [row for row in rows if truthy(predicate(row, params))]
-    else:
-        plan = plan_scan(base_table, stmt.where)
-        rows = []
-        if plan.residual is not None:
-            predicate = compile_expr(plan.residual, resolver)
-            for row in scan_rows(base_table, plan, params):
-                if truthy(predicate(row, params)):
-                    rows.append(row)
-        else:
-            rows = list(scan_rows(base_table, plan, params))
-
-    items = _expand_stars(stmt.items, bindings)
-    has_aggregates = bool(stmt.group_by) or any(
-        item.expr is not None and find_aggregates(item.expr) for item in items
+    info.base_table = base_table
+    info.bindings = bindings
+    info.resolver = resolver
+    info.items = _expand_stars(stmt.items, bindings)
+    info.alias_map = {
+        item.alias: item.expr for item in info.items if item.alias is not None
+    }
+    info.has_aggregates = bool(stmt.group_by) or any(
+        item.expr is not None and find_aggregates(item.expr)
+        for item in info.items
     ) or (stmt.having is not None and find_aggregates(stmt.having))
 
-    if has_aggregates:
-        projected, names, order_rows = _aggregate_pipeline(
-            stmt, items, rows, resolver, params
+    order_column = (
+        None if info.has_aggregates
+        else _index_orderable_column(stmt, info, base_table, resolver)
+    )
+    boundary = 1 + len(base_table.schema.columns)
+    if join_tables:
+        pushed, info.post_where = partition_conjuncts(
+            stmt.where, resolver, boundary
+        )
+        info.scan = plan_scan(
+            base_table, pushed, binding=stmt.table.binding,
+            order_column=order_column,
         )
     else:
-        item_fns = [compile_expr(item.expr, resolver) for item in items]
-        names = [_output_name(item) for item in items]
-        projected = [
-            tuple(fn(row, params) for fn in item_fns) for row in rows
-        ]
-        if stmt.order_by:
-            # order keys may reference base columns not in the projection
-            projected = _apply_order(stmt, items, projected, rows, resolver, params)
+        info.scan = plan_scan(
+            base_table, stmt.where, binding=stmt.table.binding,
+            order_column=order_column,
+        )
+        info.post_where = None
+    info.join_specs = [
+        _JoinSpec(join, table, join_offset, resolver)
+        for join, table, join_offset in join_tables
+    ]
 
-    if stmt.distinct:
-        projected = _distinct(projected)
+    if info.has_aggregates or not stmt.order_by:
+        info.order_mode = _ORDER_NONE
+    elif order_column is not None and info.scan.ordered_by == order_column:
+        # joins stream left rows through in order, so scan order survives
+        info.order_mode = _ORDER_INDEXED
+    elif stmt.limit is not None and not stmt.distinct:
+        info.order_mode = _ORDER_TOPK
+    else:
+        info.order_mode = _ORDER_SORT
+    return info
 
-    projected = _apply_limit(stmt, projected, params)
-    return ResultSet(names, projected)
+
+def _index_orderable_column(stmt: ast.SelectStmt, info: _SelectInfo,
+                            base_table: Table, resolver: Resolver) -> str | None:
+    """Base-table column whose ascending index order satisfies ORDER BY."""
+    if len(stmt.order_by) != 1 or not stmt.order_by[0].ascending:
+        return None
+    expr = stmt.order_by[0].expr
+    if (
+        isinstance(expr, ast.ColumnRef) and expr.table is None
+        and expr.name in info.alias_map
+    ):
+        expr = info.alias_map[expr.name]
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if not base_table.schema.has_column(expr.name):
+        return None
+    if expr.table is not None and expr.table != stmt.table.binding:
+        return None
+    try:
+        position = resolver.resolve(expr)
+    except PlanningError:
+        return None  # ambiguous across joins; the sort path reports it
+    if not 1 <= position <= len(base_table.schema.columns):
+        return None
+    return expr.name
+
+
+# ---------------------------------------------------------------------------
+# SELECT execution
+# ---------------------------------------------------------------------------
+
+
+def execute_select(db, stmt: ast.SelectStmt, params: tuple,
+                   stream: bool = False):
+    """Run a SELECT.
+
+    Returns a materialized :class:`ResultSet`, or — with ``stream=True`` — a
+    lazy :class:`StreamingResult` whose rows are produced on demand (the
+    underlying table must not be mutated while it is being consumed).
+    """
+    if stmt.table is None:
+        result = _select_without_table(stmt, params)
+        if stream:
+            return StreamingResult(result.columns, iter(result.rows))
+        return result
+
+    info = _analyze_select(db, stmt)
+    rows = scan_rows(info.base_table, info.scan, params)
+    if info.scan.residual is not None:
+        # base-table positions coincide in the single-table and joined
+        # layouts, so the full resolver compiles residuals for both
+        residual_fn = compile_expr(info.scan.residual, info.resolver)
+        rows = (row for row in rows if truthy(residual_fn(row, params)))
+    for spec in info.join_specs:
+        rows = _stream_join(rows, spec, info.resolver, params)
+    if info.post_where is not None:
+        post_fn = compile_expr(info.post_where, info.resolver)
+        rows = (row for row in rows if truthy(post_fn(row, params)))
+
+    if info.has_aggregates:
+        names, out = _aggregate_pipeline(stmt, info.items, rows,
+                                         info.resolver, params)
+        if stmt.distinct:
+            out = _stream_distinct(out)
+        limit, offset = _limit_bounds(stmt, params)
+        out = _limit_stream(out, limit, offset)
+    else:
+        names, out = _project_order_limit(stmt, info, rows, params)
+
+    if stream:
+        return StreamingResult(names, out)
+    return ResultSet(names, list(out))
 
 
 def _layout(table: Table, offset: int) -> dict[str, int]:
@@ -191,65 +339,68 @@ def _expand_stars(items, bindings) -> list[ast.SelectItem]:
     return expanded
 
 
-def _execute_join(rows, join: ast.Join, table: Table, join_offset: int,
-                  resolver: Resolver, params: tuple):
-    width = 1 + len(table.schema.columns)
-    right_rows = [[rowid, *values] for rowid, values in table.scan()]
-    equi = _equi_join_positions(join.on, resolver, join_offset)
-    out = []
-    if equi is not None:
-        left_pos, right_pos = equi
-        right_pos -= join_offset  # make it relative to the joined table's row
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+
+
+def _stream_join(rows, spec: _JoinSpec, resolver: Resolver, params: tuple):
+    """Stream the combined rows of one join step, preserving left order."""
+    join, table, pad_width = spec.join, spec.table, spec.width
+    if spec.pairs:
+        left_positions = [lp for lp, _ in spec.pairs]
+        right_positions = [rp - spec.offset for _, rp in spec.pairs]
+        build_filter_fn = (
+            compile_expr(spec.build_filter, resolver)
+            if spec.build_filter is not None else None
+        )
+        residual_fn = (
+            compile_expr(spec.residual, resolver)
+            if spec.residual is not None else None
+        )
+        pad = [None] * spec.offset
         buckets: dict = {}
-        for right in right_rows:
-            key = right[right_pos]
-            if key is None:
+        for rowid, values in table.scan():
+            right = [rowid, *values]
+            if build_filter_fn is not None and not truthy(
+                build_filter_fn(pad + right, params)
+            ):
                 continue
-            buckets.setdefault(normalize_key(key), []).append(right)
+            key_values = [right[p] for p in right_positions]
+            if any(v is None for v in key_values):
+                continue  # NULL join keys never match
+            key = tuple(normalize_key(v) for v in key_values)
+            buckets.setdefault(key, []).append(right)
         for left in rows:
-            key = left[left_pos]
-            matches = buckets.get(normalize_key(key), []) if key is not None else []
-            if matches:
-                for right in matches:
-                    out.append(left + right)
-            elif join.kind == "LEFT":
-                out.append(left + [None] * width)
-        return out
+            key_values = [left[p] for p in left_positions]
+            if any(v is None for v in key_values):
+                matches = ()
+            else:
+                key = tuple(normalize_key(v) for v in key_values)
+                matches = buckets.get(key, ())
+            matched = False
+            for right in matches:
+                candidate = left + right
+                if residual_fn is not None and not truthy(
+                    residual_fn(candidate, params)
+                ):
+                    continue
+                matched = True
+                yield candidate
+            if not matched and join.kind == "LEFT":
+                yield left + [None] * pad_width
+        return
+    right_rows = [[rowid, *values] for rowid, values in table.scan()]
     predicate = compile_expr(join.on, resolver)
     for left in rows:
         matched = False
         for right in right_rows:
             candidate = left + right
             if truthy(predicate(candidate, params)):
-                out.append(candidate)
                 matched = True
+                yield candidate
         if not matched and join.kind == "LEFT":
-            out.append(left + [None] * width)
-    return out
-
-
-def _equi_join_positions(on: ast.Expr, resolver: Resolver, join_offset: int):
-    """Positions for a simple ``a.x = b.y`` equi-join, else None.
-
-    Returns ``(left_pos, right_pos)`` with the right position absolute
-    (relative to the combined row); the caller rebases it.  Exactly one side
-    must belong to the newly joined table (positions >= ``join_offset``).
-    """
-    if not (isinstance(on, ast.Binary) and on.op == "="):
-        return None
-    left, right = on.left, on.right
-    if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)):
-        return None
-    try:
-        left_pos = resolver.resolve(left)
-        right_pos = resolver.resolve(right)
-    except PlanningError:
-        return None
-    if left_pos >= join_offset:
-        left_pos, right_pos = right_pos, left_pos
-    if left_pos >= join_offset or right_pos < join_offset:
-        return None  # both sides on one table; fall back to nested loop
-    return left_pos, right_pos
+            yield left + [None] * pad_width
 
 
 # ---------------------------------------------------------------------------
@@ -387,6 +538,7 @@ def _expr_matches(expr: ast.Expr, group_expr: ast.Expr) -> bool:
 
 def _aggregate_pipeline(stmt: ast.SelectStmt, items, rows, resolver: Resolver,
                         params: tuple):
+    """Consume the row stream into hash groups; returns (names, row iter)."""
     alias_map = {item.alias: item.expr for item in items if item.alias is not None}
 
     def _substitute_alias(expr: ast.Expr) -> ast.Expr:
@@ -480,7 +632,7 @@ def _aggregate_pipeline(stmt: ast.SelectStmt, items, rows, resolver: Resolver,
         keyed.sort(key=lambda pair: pair[0])
         projected = [row for _, row in keyed]
 
-    return projected, names, inter_rows
+    return names, iter(projected)
 
 
 # ---------------------------------------------------------------------------
@@ -508,64 +660,107 @@ def _direction_key(value, ascending: bool):
     return key if ascending else _Reversed(key)
 
 
-def _apply_order(stmt: ast.SelectStmt, items, projected, base_rows,
-                 resolver: Resolver, params: tuple):
-    alias_map = {
-        item.alias: item.expr for item in items if item.alias is not None
-    }
-    keyed = []
-    order_specs = []
+def _project_order_limit(stmt: ast.SelectStmt, info: _SelectInfo, rows,
+                         params: tuple):
+    """Project the row stream and satisfy ORDER BY/DISTINCT/LIMIT.
+
+    Returns ``(names, iterator of output tuples)``.  Streaming modes
+    (``none``/``indexed``) never materialize; top-k keeps ``offset+limit``
+    rows; only the full-sort fallback holds the whole input.
+    """
+    item_fns = [compile_expr(item.expr, info.resolver) for item in info.items]
+    names = [_output_name(item) for item in info.items]
+    limit, offset = _limit_bounds(stmt, params)
+
+    if info.order_mode in (_ORDER_NONE, _ORDER_INDEXED):
+        out = (tuple(fn(row, params) for fn in item_fns) for row in rows)
+        if stmt.distinct:
+            out = _stream_distinct(out)
+        return names, _limit_stream(out, limit, offset)
+
+    order_specs = _order_specs(stmt, info.alias_map, info.resolver)
+
+    def keyed():
+        for row in rows:
+            out_row = tuple(fn(row, params) for fn in item_fns)
+            yield _order_key(order_specs, row, out_row, params), out_row
+
+    if info.order_mode == _ORDER_TOPK and limit is not None:
+        n = max(offset, 0) + max(int(limit), 0)
+        top = heapq.nsmallest(n, keyed(), key=lambda pair: pair[0])
+        return names, iter([pair[1] for pair in top[offset:]])
+
+    pairs = sorted(keyed(), key=lambda pair: pair[0])
+    out = iter([pair[1] for pair in pairs])
+    if stmt.distinct:
+        out = _stream_distinct(out)
+    return names, _limit_stream(out, limit, offset)
+
+
+def _order_specs(stmt: ast.SelectStmt, alias_map: dict, resolver: Resolver):
+    specs = []
     for order in stmt.order_by:
         expr = order.expr
         if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-            order_specs.append(("position", expr.value - 1, order.ascending))
+            specs.append(("position", expr.value - 1, order.ascending))
             continue
         if isinstance(expr, ast.ColumnRef) and expr.table is None and expr.name in alias_map:
             expr = alias_map[expr.name]
-        order_specs.append(("expr", compile_expr(expr, resolver), order.ascending))
-    for base_row, out_row in zip(base_rows, projected):
-        keys = []
-        for kind, spec, ascending in order_specs:
-            if kind == "position":
-                if not 0 <= spec < len(out_row):
-                    raise PlanningError(f"ORDER BY position {spec + 1} out of range")
-                value = out_row[spec]
-            else:
-                value = spec(base_row, params)
-            keys.append(_direction_key(value, ascending))
-        keyed.append((tuple(keys), out_row))
-    keyed.sort(key=lambda pair: pair[0])
-    return [row for _, row in keyed]
+        specs.append(("expr", compile_expr(expr, resolver), order.ascending))
+    return specs
 
 
-def _distinct(projected):
-    seen = set()
-    out = []
-    for row in projected:
+def _order_key(specs, base_row, out_row, params: tuple) -> tuple:
+    keys = []
+    for kind, spec, ascending in specs:
+        if kind == "position":
+            if not 0 <= spec < len(out_row):
+                raise PlanningError(f"ORDER BY position {spec + 1} out of range")
+            value = out_row[spec]
+        else:
+            value = spec(base_row, params)
+        keys.append(_direction_key(value, ascending))
+    return tuple(keys)
+
+
+def _stream_distinct(rows):
+    """Yield each distinct row once, preserving first-occurrence order.
+
+    Rows containing unhashable values fall back to a linear-scan list, so
+    duplicates are still suppressed (hashable markers stay O(1))."""
+    seen: set = set()
+    unhashable: list = []
+    for row in rows:
         marker = tuple(
             normalize_key(v) if v is not None else None for v in row
         )
         try:
-            new = marker not in seen
-        except TypeError:  # unhashable value; fall back to keeping the row
-            out.append(row)
-            continue
-        if new:
+            if marker in seen:
+                continue
             seen.add(marker)
-            out.append(row)
-    return out
+        except TypeError:
+            if marker in unhashable:
+                continue
+            unhashable.append(marker)
+        yield row
 
 
-def _apply_limit(stmt: ast.SelectStmt, projected, params: tuple):
+def _limit_bounds(stmt: ast.SelectStmt, params: tuple):
+    """Evaluate LIMIT/OFFSET to ``(limit or None, offset >= 0)``."""
     if stmt.limit is None:
-        return projected
+        return None, 0
     limit = _value_fn(stmt.limit)(_EMPTY_ROW, params)
     offset = 0
     if stmt.offset is not None:
-        offset = _value_fn(stmt.offset)(_EMPTY_ROW, params)
+        offset = _value_fn(stmt.offset)(_EMPTY_ROW, params) or 0
+    return limit, max(int(offset), 0)
+
+
+def _limit_stream(rows, limit, offset: int):
     if limit is None:
-        return projected[offset:]
-    return projected[offset:offset + int(limit)]
+        return islice(rows, offset, None) if offset else rows
+    stop = offset + max(int(limit), 0)
+    return islice(rows, offset, stop)
 
 
 def _output_name(item: ast.SelectItem) -> str:
@@ -668,18 +863,35 @@ def explain(db, stmt) -> ResultSet:
     if isinstance(stmt, ast.SelectStmt):
         if stmt.table is None:
             lines.append("ConstantScan")
-        elif stmt.joins:
-            lines.append(f"SeqScan({stmt.table.name}) + {len(stmt.joins)} join(s)")
         else:
-            plan = plan_scan(db.table(stmt.table.name), stmt.where)
-            lines.append(plan.describe())
-        if stmt.group_by or any(
-            item.expr is not None and find_aggregates(item.expr)
-            for item in stmt.items
-        ):
-            lines.append(f"HashAggregate(keys={len(stmt.group_by)})")
-        if stmt.order_by:
-            lines.append(f"Sort(keys={len(stmt.order_by)})")
+            info = _analyze_select(db, stmt)
+            lines.append(info.scan.describe())
+            for spec in info.join_specs:
+                if spec.pairs:
+                    line = (
+                        f"HashJoin({spec.join.table.binding}, "
+                        f"keys={len(spec.pairs)})"
+                    )
+                    if spec.build_filter is not None:
+                        line += " + BuildFilter"
+                    if spec.residual is not None:
+                        line += " + Filter"
+                else:
+                    line = f"NestedLoopJoin({spec.join.table.binding})"
+                lines.append(line)
+            if info.post_where is not None:
+                lines.append("Filter")
+            if info.has_aggregates:
+                lines.append(f"HashAggregate(keys={len(stmt.group_by)})")
+                if stmt.order_by:
+                    lines.append(f"Sort(keys={len(stmt.order_by)})")
+            elif info.order_mode == _ORDER_TOPK:
+                lines.append(f"TopK(keys={len(stmt.order_by)})")
+            elif info.order_mode == _ORDER_SORT:
+                lines.append(f"Sort(keys={len(stmt.order_by)})")
+            # _ORDER_INDEXED: the IndexOrderScan line already covers it
+        if stmt.distinct:
+            lines.append("Distinct")
         if stmt.limit is not None:
             lines.append("Limit")
     elif isinstance(stmt, (ast.UpdateStmt, ast.DeleteStmt)):

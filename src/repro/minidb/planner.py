@@ -7,18 +7,26 @@ Given a table and a WHERE expression, the planner picks the cheapest scan:
 3. ``IN`` list over an indexed column (union of point lookups);
 4. range predicates (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``) on a
    B+tree-indexed column, with bounds merged across conjuncts;
-5. otherwise a sequential scan.
+5. a full B+tree walk in key order when it satisfies an ``ORDER BY``
+   (so ``ORDER BY indexed_col LIMIT k`` touches only ``k`` rows);
+6. otherwise a sequential scan.
 
 Unused conjuncts become a residual filter.  This is the machinery behind the
 paper's Table 1 asymmetry: Buckaroo's group lookups (``WHERE country = ?``)
 and the zoom engine's viewport queries (``WHERE x BETWEEN ? AND ?``) all
 resolve to index scans touching only the relevant rows.
+
+The module also hosts the join-planning helpers the streaming executor
+uses: splitting an ``ON`` clause into hash-join key pairs plus residual
+conjuncts, and partitioning a ``WHERE`` clause so base-table conjuncts can
+be pushed below the join into the scan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import PlanningError
 from repro.minidb import ast_nodes as ast
 from repro.minidb.storage import Table
 
@@ -26,6 +34,7 @@ SEQ = "seq"
 INDEX_EQ = "index_eq"
 INDEX_IN = "index_in"
 INDEX_RANGE = "index_range"
+INDEX_ORDER = "index_order"
 ROWID_EQ = "rowid_eq"
 ROWID_IN = "rowid_in"
 
@@ -45,11 +54,14 @@ class ScanPlan:
     include_low: bool = True
     include_high: bool = True
     residual: ast.Expr | None = None
+    ordered_by: str | None = None  # rows come out sorted by this column (asc)
 
     def describe(self) -> str:
         """Human-readable one-line plan description (used by EXPLAIN)."""
         if self.kind == SEQ:
             base = f"SeqScan({self.table})"
+        elif self.kind == INDEX_ORDER:
+            base = f"IndexOrderScan({self.table}.{self.column} via {self.index_name})"
         elif self.kind == ROWID_EQ:
             base = f"RowidLookup({self.table})"
         elif self.kind == ROWID_IN:
@@ -103,27 +115,37 @@ def _is_value_expr(expr: ast.Expr) -> bool:
 _FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
-def _column_of(expr: ast.Expr, table: Table) -> str | None:
+def _column_of(expr: ast.Expr, table: Table,
+               binding: str | None = None) -> str | None:
     """Column name when ``expr`` is a reference to a column of ``table``."""
     if isinstance(expr, ast.ColumnRef) and table.schema.has_column(expr.name):
-        if expr.table is None or expr.table == table.name:
+        if expr.table is None or expr.table in (table.name, binding):
             return expr.name
     return None
 
 
-def _is_rowid_ref(expr: ast.Expr, table: Table) -> bool:
+def _is_rowid_ref(expr: ast.Expr, table: Table,
+                  binding: str | None = None) -> bool:
     """True when ``expr`` is the rowid pseudo-column of ``table``."""
     return (
         isinstance(expr, ast.ColumnRef)
         and expr.name == "rowid"
         and not table.schema.has_column("rowid")
-        and (expr.table is None or expr.table == table.name)
+        and (expr.table is None or expr.table in (table.name, binding))
     )
 
 
 def plan_scan(table: Table, where: ast.Expr | None,
-              binding: str | None = None) -> ScanPlan:
-    """Choose an access path for ``table`` under predicate ``where``."""
+              binding: str | None = None,
+              order_column: str | None = None) -> ScanPlan:
+    """Choose an access path for ``table`` under predicate ``where``.
+
+    ``order_column`` names a column whose ascending sort order the caller
+    would like the scan to produce (from ``ORDER BY``); when no predicate
+    picks a better path and a B+tree index covers every row, the planner
+    answers with an :data:`INDEX_ORDER` full index walk, letting the
+    executor skip the sort entirely.
+    """
     conjuncts = split_conjuncts(where)
     eq_candidates: list[tuple[int, str, ast.Expr, int]] = []  # (score, col, value, idx)
     in_candidates: list[tuple[str, tuple, int]] = []
@@ -132,9 +154,9 @@ def plan_scan(table: Table, where: ast.Expr | None,
     # rowid point lookups beat every index — resolve them first
     for i, conjunct in enumerate(conjuncts):
         if isinstance(conjunct, ast.Binary) and conjunct.op == "=":
-            if _is_rowid_ref(conjunct.left, table) and _is_value_expr(conjunct.right):
+            if _is_rowid_ref(conjunct.left, table, binding) and _is_value_expr(conjunct.right):
                 value = conjunct.right
-            elif _is_rowid_ref(conjunct.right, table) and _is_value_expr(conjunct.left):
+            elif _is_rowid_ref(conjunct.right, table, binding) and _is_value_expr(conjunct.left):
                 value = conjunct.left
             else:
                 continue
@@ -143,7 +165,7 @@ def plan_scan(table: Table, where: ast.Expr | None,
                 table=table.name, kind=ROWID_EQ, eq_expr=value, residual=residual,
             )
         if isinstance(conjunct, ast.InList) and not conjunct.negated:
-            if _is_rowid_ref(conjunct.expr, table) and all(
+            if _is_rowid_ref(conjunct.expr, table, binding) and all(
                 _is_value_expr(item) for item in conjunct.items
             ):
                 residual = conjoin([c for j, c in enumerate(conjuncts) if j != i])
@@ -154,8 +176,8 @@ def plan_scan(table: Table, where: ast.Expr | None,
 
     for i, conjunct in enumerate(conjuncts):
         if isinstance(conjunct, ast.Binary) and conjunct.op in ("=", "<", "<=", ">", ">="):
-            left_col = _column_of(conjunct.left, table)
-            right_col = _column_of(conjunct.right, table)
+            left_col = _column_of(conjunct.left, table, binding)
+            right_col = _column_of(conjunct.right, table, binding)
             if left_col and _is_value_expr(conjunct.right):
                 column, value, op = left_col, conjunct.right, conjunct.op
             elif right_col and _is_value_expr(conjunct.left):
@@ -181,7 +203,7 @@ def plan_scan(table: Table, where: ast.Expr | None,
                     entry["incl_high"] = op == "<="
                 entry["conjuncts"].append(i)
         elif isinstance(conjunct, ast.Between) and not conjunct.negated:
-            column = _column_of(conjunct.expr, table)
+            column = _column_of(conjunct.expr, table, binding)
             if column and _is_value_expr(conjunct.low) and _is_value_expr(conjunct.high):
                 entry = bounds.setdefault(
                     column,
@@ -193,7 +215,7 @@ def plan_scan(table: Table, where: ast.Expr | None,
                 entry["incl_low"] = entry["incl_high"] = True
                 entry["conjuncts"].append(i)
         elif isinstance(conjunct, ast.InList) and not conjunct.negated:
-            column = _column_of(conjunct.expr, table)
+            column = _column_of(conjunct.expr, table, binding)
             if column and all(_is_value_expr(item) for item in conjunct.items):
                 if table.indexes_on(column):
                     in_candidates.append((column, conjunct.items, i))
@@ -226,8 +248,17 @@ def plan_scan(table: Table, where: ast.Expr | None,
             table=table.name, kind=INDEX_RANGE, index_name=btree.name, column=column,
             low_expr=entry["low"], high_expr=entry["high"],
             include_low=entry["incl_low"], include_high=entry["incl_high"],
-            residual=residual,
+            residual=residual, ordered_by=column,
         )
+    if order_column is not None:
+        btree = _best_index(table, order_column, prefer="btree", require_btree=True)
+        # NULLs are not indexed and must sort first, so a full index walk
+        # is only a valid ordering when every row appears in the index
+        if btree is not None and len(btree) == table.n_rows:
+            return ScanPlan(
+                table=table.name, kind=INDEX_ORDER, index_name=btree.name,
+                column=order_column, residual=where, ordered_by=order_column,
+            )
     return ScanPlan(table=table.name, kind=SEQ, residual=where)
 
 
@@ -239,3 +270,85 @@ def _best_index(table: Table, column: str, prefer: str,
         return indexes[0] if indexes else None
     preferred = [ix for ix in indexes if ix.kind == prefer]
     return preferred[0] if preferred else indexes[0]
+
+
+# ---------------------------------------------------------------------------
+# join planning
+# ---------------------------------------------------------------------------
+
+
+def _resolved_positions(expr: ast.Expr, resolver) -> list[int] | None:
+    """Row positions of every column reference, or None when any fails.
+
+    A failed resolution (unknown or ambiguous column) is not an error here:
+    the conjunct simply stays in the residual, where compiling it surfaces
+    the same :class:`PlanningError` the executor has always raised.
+    """
+    positions = []
+    for node in ast.walk(expr):
+        if isinstance(node, ast.ColumnRef):
+            try:
+                positions.append(resolver.resolve(node))
+            except PlanningError:
+                return None
+    return positions
+
+
+def split_join_condition(on: ast.Expr, resolver, join_offset: int,
+                         width: int):
+    """Decompose an ``ON`` clause for a hash join against the table at
+    ``join_offset`` (occupying ``width`` row slots).
+
+    Returns ``(pairs, right_only, residual)``:
+
+    * ``pairs`` — ``(left_pos, right_pos)`` equi-join key positions, with
+      ``right_pos`` absolute in the combined row (the executor rebases it);
+    * ``right_only`` — conjuncts referencing only the newly joined table,
+      applicable while building the hash table (INNER joins only);
+    * ``residual`` — everything else, evaluated per candidate pair.
+
+    An empty ``pairs`` means no hash join is possible and the caller must
+    fall back to a nested loop over the full ``ON`` expression.
+    """
+    pairs: list[tuple[int, int]] = []
+    right_only: list[ast.Expr] = []
+    residual: list[ast.Expr] = []
+    end = join_offset + width
+    for conjunct in split_conjuncts(on):
+        positions = _resolved_positions(conjunct, resolver)
+        if (
+            positions is not None
+            and isinstance(conjunct, ast.Binary) and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            left_pos, right_pos = positions
+            if left_pos >= join_offset:
+                left_pos, right_pos = right_pos, left_pos
+            if left_pos < join_offset <= right_pos < end:
+                pairs.append((left_pos, right_pos))
+                continue
+        if positions and all(join_offset <= p < end for p in positions):
+            right_only.append(conjunct)
+        else:
+            residual.append(conjunct)
+    return pairs, right_only, residual
+
+
+def partition_conjuncts(where: ast.Expr | None, resolver, boundary: int):
+    """Split ``where`` into (pushable, remainder) around a join boundary.
+
+    Conjuncts whose column references all land below ``boundary`` (i.e. on
+    the base table) are safe to evaluate before the join — for INNER joins
+    trivially, and for LEFT joins because the left side is the preserved
+    side.  Both halves come back re-conjoined (None when empty).
+    """
+    pushable: list[ast.Expr] = []
+    remainder: list[ast.Expr] = []
+    for conjunct in split_conjuncts(where):
+        positions = _resolved_positions(conjunct, resolver)
+        if positions is not None and all(p < boundary for p in positions):
+            pushable.append(conjunct)
+        else:
+            remainder.append(conjunct)
+    return conjoin(pushable), conjoin(remainder)

@@ -1,7 +1,15 @@
-"""Materialized query results."""
+"""Query results: materialized sets and streaming cursors.
+
+:class:`ResultSet` is the fully materialized form every ``execute()`` call
+returns.  :class:`StreamingResult` wraps the executor's generator pipeline
+without draining it — rows are produced on demand, so a consumer that stops
+early (``LIMIT``-style consumption, pagination, first-match search) never
+pays for the rows it does not read.
+"""
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterator
 
 
@@ -59,3 +67,37 @@ class ResultSet:
         if not data:
             return DataFrame([])
         return DataFrame.from_dict(data)
+
+
+class StreamingResult:
+    """A lazily produced SELECT result (single forward pass).
+
+    Rows come straight out of the executor's generator pipeline: nothing is
+    computed until the consumer asks, and abandoning the cursor abandons the
+    remaining work.  The underlying table must not be mutated while the
+    cursor is open — materialize first when in doubt.
+    """
+
+    __slots__ = ("columns", "_rows")
+
+    def __init__(self, columns: list[str], rows: Iterator[tuple]):
+        self.columns = list(columns)
+        self._rows = iter(rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self._rows
+
+    def __repr__(self) -> str:
+        return f"StreamingResult(columns={self.columns})"
+
+    def fetchone(self) -> tuple | None:
+        """The next row, or None once exhausted."""
+        return next(self._rows, None)
+
+    def fetchmany(self, n: int) -> list[tuple]:
+        """Up to ``n`` further rows (fewer at the end of the stream)."""
+        return list(islice(self._rows, n))
+
+    def materialize(self) -> ResultSet:
+        """Drain the remaining rows into a :class:`ResultSet`."""
+        return ResultSet(self.columns, list(self._rows))

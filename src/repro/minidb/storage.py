@@ -75,7 +75,9 @@ class Table:
                 return value  # the type-mismatch case: text in a numeric column
             if affinity == INTEGER and number == int(number):
                 return int(number)
-            return number
+            # widen like the direct-number path so coercion is idempotent:
+            # coerce(coerce("7")) must equal coerce("7") for replay fidelity
+            return float(number) if affinity == REAL else number
         return _plain(value)
 
     def insert(self, values: list, rowid: int | None = None) -> int:

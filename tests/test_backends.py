@@ -210,3 +210,27 @@ class TestSQLSpecific:
         backend.ensure_index("country")
         plan = backend.db.explain('SELECT rowid FROM data WHERE "country" = ?')
         assert "IndexEqScan" in plan
+
+    def test_set_cells_replay_matches_stored_state(self):
+        """Regression: the snapshot must record exactly what SQL stored.
+
+        On a MIXED-affinity column a digit string coerces to a number; the
+        delta, the stored cell, and an undo/redo replay must all agree in
+        value *and* type, or replays drift away from the table state.
+        """
+        frame = DataFrame.from_rows(
+            [("a", 1.5), ("b", "x"), ("c", 3.0)], ["k", "m"]
+        )
+        assert {c.name: c.dtype for c in frame.columns}["m"] == "mixed"
+        backend = SQLBackend.from_frame(frame)
+
+        delta = backend.set_cells("m", [2], "7")
+        stored = backend.values("m", [2])[0]
+        _old, recorded = delta.updated[2]["m"]
+        assert recorded == stored and type(recorded) is type(stored)
+
+        backend.revert_delta(delta)
+        assert backend.values("m", [2])[0] == "x"
+        backend.apply_delta(delta)
+        replayed = backend.values("m", [2])[0]
+        assert replayed == stored and type(replayed) is type(stored)

@@ -39,7 +39,7 @@ def assert_consistent(backend: SQLBackend) -> None:
         assert cached.count == scanned.count
         if scanned.count:
             assert cached.mean == pytest.approx(scanned.mean)
-            assert cached.std == pytest.approx(scanned.std, abs=1e-9)
+            assert cached.std == pytest.approx(scanned.std, rel=1e-9, abs=1e-9)
             assert cached.min == pytest.approx(scanned.min)
             assert cached.max == pytest.approx(scanned.max)
         assert sorted(id_map[r] for r in backend.missing_row_ids(num)) == \
@@ -121,6 +121,91 @@ class TestMaintenance:
         scoped = backend.out_of_range_row_ids(
             "income", 0, 100000, "country", "Bhutan")
         assert scoped == [4]
+
+
+class TestNumericalStability:
+    def test_large_mean_small_std_survives(self):
+        """Regression: naive sum-of-squares cancels catastrophically.
+
+        With mean ~1e9 and std ~1 the naive ``sumsq/n - mean**2`` loses
+        every significant digit and the std collapses to ~0 (saved only
+        from going imaginary by a clamp).  The shifted accumulator keeps
+        its sums at the scale of the spread and stays accurate.
+        """
+        values = [1.0e9 + (i % 3) - 1.0 for i in range(300)]
+        frame = DataFrame.from_rows(
+            [("g", v) for v in values], ["cat", "big"]
+        )
+        backend = SQLBackend.from_frame(frame)
+        backend.register_chart_columns(["cat"], ["big"])
+        expected_std = (2.0 / 3.0) ** 0.5
+        stats = backend.numeric_stats("big")
+        assert stats.mean == pytest.approx(1.0e9, rel=1e-12)
+        assert stats.std == pytest.approx(expected_std, rel=1e-6)
+        grouped = backend.numeric_stats("big", "cat", "g")
+        assert grouped.std == pytest.approx(expected_std, rel=1e-6)
+
+    def test_repairing_a_dominant_outlier_recovers_precision(self):
+        """Removing a value that dominated the sums must not leave noise.
+
+        A far-outlier anchor value (0.0 among ~1e9 readings) poisons any
+        O(1) accumulator; once the outlier is repaired away the cache must
+        detect the cancellation and rebuild from the surviving rows."""
+        values = [0.0] + [1.0e9 + (i % 3) - 1.0 for i in range(300)]
+        frame = DataFrame.from_rows(
+            [("g", v) for v in values], ["cat", "big"]
+        )
+        backend = SQLBackend.from_frame(frame)
+        backend.register_chart_columns(["cat"], ["big"])
+        backend.set_cells("big", [1], 1.0e9)  # repair the outlier
+        expected_std = (200.0 / 301.0) ** 0.5  # 100x(+-1), 101x(0) offsets
+        stats = backend.numeric_stats("big")
+        assert stats.std == pytest.approx(expected_std, rel=1e-6)
+        grouped = backend.numeric_stats("big", "cat", "g")
+        assert grouped.std == pytest.approx(expected_std, rel=1e-6)
+
+    def test_long_edit_session_keeps_precision(self):
+        """Many add/remove cycles must not erode the cached std."""
+        values = [1.0e9 + (i % 3) - 1.0 for i in range(90)]
+        frame = DataFrame.from_rows([(v,) for v in values], ["big"])
+        backend = SQLBackend.from_frame(frame)
+        backend.register_chart_columns([], ["big"])
+        for round_ in range(50):
+            backend.set_cells("big", [1], 1.0e9 + 5.0)
+            backend.set_cells("big", [1], values[0])
+        stats = backend.numeric_stats("big")
+        assert stats.std == pytest.approx((2.0 / 3.0) ** 0.5, rel=1e-6)
+        assert stats.mean == pytest.approx(1.0e9, rel=1e-12)
+
+
+class TestSimultaneousUpdate:
+    def test_numeric_and_categorical_in_one_statement(self, backend):
+        """One UPDATE changing a numeric *and* a categorical column must
+        rebucket exactly once (the rebucket-skip path), leaving every
+        cached per-category statistic equal to a fresh SQL aggregate."""
+        before_lesotho = backend.numeric_stats("income", "country", "Lesotho")
+        before_bhutan = backend.numeric_stats("income", "country", "Bhutan")
+        backend.db.execute(
+            'UPDATE data SET "income" = ?, "country" = ? WHERE rowid = ?',
+            (99000.0, "Lesotho", 1),
+        )
+        after_lesotho = backend.numeric_stats("income", "country", "Lesotho")
+        after_bhutan = backend.numeric_stats("income", "country", "Bhutan")
+        assert after_lesotho.count == before_lesotho.count + 1
+        assert after_bhutan.count == before_bhutan.count - 1
+        # the *other* numeric column (age) rebuckets through the
+        # categorical branch, not the numeric one
+        assert backend.numeric_stats("age", "country", "Lesotho").count == 5
+        assert_consistent(backend)
+
+    def test_same_category_rewrite_only_moves_numeric(self, backend):
+        """Numeric + categorical update where the category value does not
+        actually change: buckets must not double-move."""
+        backend.db.execute(
+            'UPDATE data SET "income" = ?, "country" = ? WHERE rowid = ?',
+            (52000.0, "Bhutan", 1),
+        )
+        assert_consistent(backend)
 
 
 @settings(max_examples=60, deadline=None)

@@ -128,7 +128,7 @@ def test_plans_confirm_access_paths(indexed_db, seq_db):
         f"SELECT rowid FROM t ORDER BY val LIMIT {TOP_K}")
     assert "TopK" in seq_db.explain(
         f"SELECT rowid FROM t ORDER BY val LIMIT {TOP_K}")
-    assert "TopK" in indexed_db.explain(
+    assert "IndexOrderScan" in indexed_db.explain(
         f"SELECT rowid FROM t ORDER BY val DESC LIMIT {TOP_K}")
 
 

@@ -125,7 +125,7 @@ def test_streaming_acceptance(db):
     plan = db.explain(
         f"SELECT cat, val FROM t ORDER BY val DESC LIMIT {LIMIT}"
     )
-    assert "TopK" in plan
+    assert "IndexOrderScan" in plan and "DESC" in plan  # reverse leaf walk
     if ("order_by_indexed_limit", "streaming") in _RESULTS:
         speedup = (
             _RESULTS[("order_by_indexed_limit", "materialized")]

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Fail CI when a tracked benchmark hot path slows down past a threshold.
+
+Diffs a fresh smoke run (``benchmarks/artifacts/smoke/``, written by
+``scripts/ci_bench_smoke.py`` — same scale as the committed baselines)
+against the baselines in ``benchmarks/baselines/``.  A *tracked hot
+path* is any numeric leaf of an artifact payload whose key path goes
+through a ``seconds`` / ``*_seconds`` component — e.g.
+``queries.scan_limit.streaming_seconds`` or ``modes.composite.seconds``.
+Ratios (``speedup``) and counters are ignored.
+
+Usage::
+
+    python scripts/ci_bench_smoke.py          # produce the smoke run
+    python scripts/check_bench_regression.py \
+        [--artifacts DIR] [--baselines DIR] \
+        [--threshold 2.0] [--min-seconds 0.0001]
+
+Baselines and artifacts must come from the same scale and comparable
+hardware; re-record baselines (copy the smoke output into
+``benchmarks/baselines/``) when a deliberate perf change lands.
+
+Exit status 1 when any tracked path is more than ``threshold`` times
+slower than its baseline *and* slower by at least ``--min-seconds``
+(microsecond-scale jitter should not fail a build).  Baselines with no
+fresh artifact fail too — a vanished artifact hides regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ARTIFACTS = REPO_ROOT / "benchmarks" / "artifacts" / "smoke"
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+
+
+# Table 1 reports whole-workload runtimes in seconds under the paper's
+# column names; track them alongside the self-describing *_seconds keys
+EXTRA_TRACKED_KEYS = {"sql_removal", "sql_impute", "frame_removal", "frame_impute"}
+
+
+def _is_seconds_key(key: str) -> bool:
+    return key == "seconds" or key.endswith("_seconds") or key in EXTRA_TRACKED_KEYS
+
+
+def tracked_paths(payload, prefix: tuple = (), in_seconds: bool = False) -> dict:
+    """Flatten a payload to ``{dotted.path: seconds}`` for tracked leaves."""
+    out: dict = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            key_text = str(key)
+            out.update(tracked_paths(
+                value, prefix + (key_text,),
+                in_seconds or _is_seconds_key(key_text),
+            ))
+        return out
+    if isinstance(payload, list):
+        for i, value in enumerate(payload):
+            out.update(tracked_paths(value, prefix + (str(i),), in_seconds))
+        return out
+    if in_seconds and isinstance(payload, numbers.Real) and not isinstance(payload, bool):
+        out[".".join(prefix)] = float(payload)
+    return out
+
+
+def load_payload(path: Path):
+    with open(path, encoding="utf-8") as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or "payload" not in document:
+        raise ValueError(f"{path.name}: not a benchmark artifact")
+    return document["payload"]
+
+
+def compare(baseline_dir: Path, artifact_dir: Path, threshold: float,
+            min_seconds: float) -> list[str]:
+    """Human-readable failure lines (empty when everything is in budget)."""
+    problems: list[str] = []
+    baselines = sorted(baseline_dir.glob("*.json"))
+    if not baselines:
+        return [f"no baselines found in {baseline_dir}"]
+    for baseline_path in baselines:
+        artifact_path = artifact_dir / baseline_path.name
+        if not artifact_path.exists():
+            problems.append(
+                f"{baseline_path.name}: no fresh artifact in {artifact_dir}"
+            )
+            continue
+        try:
+            old = tracked_paths(load_payload(baseline_path))
+            new = tracked_paths(load_payload(artifact_path))
+        except (ValueError, json.JSONDecodeError) as exc:
+            problems.append(str(exc))
+            continue
+        for path, old_seconds in sorted(old.items()):
+            new_seconds = new.get(path)
+            if new_seconds is None:
+                problems.append(
+                    f"{baseline_path.name}: tracked path {path} disappeared"
+                )
+                continue
+            if old_seconds <= 0:
+                continue
+            ratio = new_seconds / old_seconds
+            if ratio > threshold and new_seconds - old_seconds > min_seconds:
+                problems.append(
+                    f"{baseline_path.name}: {path} regressed {ratio:.1f}x "
+                    f"({old_seconds * 1000:.3f} ms -> {new_seconds * 1000:.3f} ms)"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifacts", default=str(DEFAULT_ARTIFACTS),
+                        help="directory of freshly produced smoke artifacts "
+                             "(ci_bench_smoke.py's default output)")
+    parser.add_argument("--baselines", default=str(DEFAULT_BASELINES),
+                        help="directory of committed baseline artifacts")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when new/old exceeds this ratio (default 2.0)")
+    parser.add_argument("--min-seconds", type=float, default=0.0001,
+                        help="ignore slowdowns smaller than this in absolute "
+                             "seconds (default 0.0001)")
+    args = parser.parse_args(argv)
+
+    problems = compare(
+        Path(args.baselines), Path(args.artifacts),
+        args.threshold, args.min_seconds,
+    )
+    for line in problems:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    if not problems:
+        print(f"no regressions beyond {args.threshold}x "
+              f"(baselines: {args.baselines})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,10 +6,13 @@ pan-and-zoom region queries (§4.2) and outlier threshold scans rely on.
 Design notes:
 
 * keys are the normalized tuples produced by
-  :func:`repro.minidb.expressions.sort_key`, so heterogeneous column values
-  (numbers mixed with text) order deterministically;
+  :func:`repro.minidb.expressions.sort_key` — or, for composite indexes,
+  tuples *of* those tuples — so heterogeneous column values (numbers mixed
+  with text, NULLs included) order deterministically;
 * each key maps to a *set* of rowids (columns are not unique in general);
-* leaves form a singly linked list for in-order range scans;
+* leaves form a doubly linked list, so range scans run in both key orders
+  (:meth:`BTree.range_scan` forward, :meth:`BTree.range_scan_desc`
+  backward — the walk behind ``ORDER BY col DESC LIMIT k``);
 * deleting the last rowid of a key removes the key from its leaf without
   rebalancing (lazy deletion).  Internal separators may then reference
   absent keys, which never affects search correctness — separators only
@@ -24,12 +27,13 @@ from typing import Iterator
 
 
 class _Leaf:
-    __slots__ = ("keys", "values", "next")
+    __slots__ = ("keys", "values", "next", "prev")
 
     def __init__(self) -> None:
         self.keys: list = []
         self.values: list[set] = []
         self.next: _Leaf | None = None
+        self.prev: _Leaf | None = None
 
 
 class _Internal:
@@ -123,6 +127,37 @@ class BTree:
             node = node.next
             index = 0
 
+    def range_scan_desc(self, low=None, high=None, include_low: bool = True,
+                        include_high: bool = True) -> Iterator[tuple]:
+        """Like :meth:`range_scan` but yields keys in *descending* order.
+
+        Walks the leaf chain backward via the ``prev`` pointers, so
+        ``ORDER BY col DESC LIMIT k`` touches only the last ``k`` keys.
+        """
+        if high is None:
+            node: _Leaf | None = self._rightmost_leaf()
+            index = len(node.keys) - 1
+        else:
+            node = self._find_leaf(high)
+            if include_high:
+                index = bisect_right(node.keys, high) - 1
+            else:
+                index = bisect_left(node.keys, high) - 1
+        while node is not None:
+            while index >= 0:
+                key = node.keys[index]
+                if low is not None:
+                    if include_low:
+                        if key < low:
+                            return
+                    elif key <= low:
+                        return
+                yield key, set(node.values[index])
+                index -= 1
+            node = node.prev
+            if node is not None:
+                index = len(node.keys) - 1
+
     def iter_items(self) -> Iterator[tuple]:
         """All ``(key, rowids)`` pairs in key order."""
         return self.range_scan()
@@ -134,11 +169,10 @@ class BTree:
         return None
 
     def max_key(self):
-        """Largest key, or None when empty."""
-        last = None
-        for key, _ in self.iter_items():
-            last = key
-        return last
+        """Largest key, or None when empty (O(log n) reverse walk)."""
+        for key, _ in self.range_scan_desc():
+            return key
+        return None
 
     # -- invariants (for tests) ----------------------------------------------
 
@@ -157,6 +191,12 @@ class BTree:
             leaves_via_chain.append(node)
             node = node.next
         assert leaves_via_tree == leaves_via_chain, "leaf chain diverges from tree"
+        backwards = []
+        node = self._rightmost_leaf()
+        while node is not None:
+            backwards.append(node)
+            node = node.prev
+        assert backwards[::-1] == leaves_via_chain, "prev chain diverges from next chain"
         all_keys = [key for leaf in leaves_via_tree for key in leaf.keys]
         assert all_keys == sorted(all_keys), "leaf keys not sorted"
         assert len(all_keys) == len(set(map(repr, all_keys))), "duplicate keys in leaves"
@@ -190,6 +230,12 @@ class BTree:
         node = self.root
         while isinstance(node, _Internal):
             node = node.children[0]
+        return node
+
+    def _rightmost_leaf(self) -> _Leaf:
+        node = self.root
+        while isinstance(node, _Internal):
+            node = node.children[-1]
         return node
 
     def _collect_leaves(self, node, out: list) -> None:
@@ -233,6 +279,9 @@ class BTree:
         node.keys = node.keys[:mid]
         node.values = node.values[:mid]
         sibling.next = node.next
+        sibling.prev = node
+        if sibling.next is not None:
+            sibling.next.prev = sibling
         node.next = sibling
         return sibling.keys[0], sibling
 

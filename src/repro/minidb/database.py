@@ -186,14 +186,11 @@ class Database:
             if statement.if_not_exists:
                 return ResultSet([], [], rowcount=0)
             raise CatalogError(f"index {statement.name!r} already exists")
-        if len(statement.columns) != 1:
-            raise CatalogError(
-                "minidb indexes cover exactly one column; create one index "
-                "per attribute (Buckaroo indexes each charted attribute separately)"
-            )
         table = self.table(statement.table)
+        # column validation happens in Table.create_index before any key is
+        # built, so a typo'd column raises a CatalogError naming it
         table.create_index(
-            statement.name, statement.columns[0],
+            statement.name, statement.columns,
             kind=statement.kind, unique=statement.unique,
         )
         self.index_catalog[statement.name] = IndexDef(

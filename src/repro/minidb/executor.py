@@ -42,7 +42,9 @@ from repro.minidb.hash_index import normalize_key
 from repro.minidb.planner import (
     INDEX_EQ,
     INDEX_IN,
+    INDEX_NULL,
     INDEX_ORDER,
+    INDEX_PREFIX,
     INDEX_RANGE,
     ROWID_EQ,
     ROWID_IN,
@@ -99,6 +101,24 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
                     seen.add(rowid)
                     yield [rowid, *table.rows[rowid]]
         return
+    if plan.kind == INDEX_PREFIX:
+        index = table.indexes[plan.index_name]
+        values = tuple(
+            _value_fn(expr)(_EMPTY_ROW, params) for expr in plan.prefix_exprs
+        )
+        rows = table.rows
+        if index.kind == "hash":
+            for rowid in index.lookup_values(values):
+                yield [rowid, *rows[rowid]]
+        else:
+            for rowid in index.prefix_scan(values, reverse=plan.descending):
+                yield [rowid, *rows[rowid]]
+        return
+    if plan.kind == INDEX_NULL:
+        index = table.indexes[plan.index_name]
+        for rowid in index.lookup_null():
+            yield [rowid, *table.rows[rowid]]
+        return
     if plan.kind == INDEX_RANGE:
         index = table.indexes[plan.index_name]
         low = _value_fn(plan.low_expr)(_EMPTY_ROW, params) if plan.low_expr is not None else None
@@ -109,7 +129,7 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
     if plan.kind == INDEX_ORDER:
         index = table.indexes[plan.index_name]
         rows = table.rows
-        for rowid in index.range(None, None):
+        for rowid in index.ordered_rowids(reverse=plan.descending):
             yield [rowid, *rows[rowid]]
         return
     for rowid, values in table.scan():
@@ -194,9 +214,9 @@ def _analyze_select(db, stmt: ast.SelectStmt) -> _SelectInfo:
         for item in info.items
     ) or (stmt.having is not None and find_aggregates(stmt.having))
 
-    order_column = (
+    order_spec = (
         None if info.has_aggregates
-        else _index_orderable_column(stmt, info, base_table, resolver)
+        else _scan_order_spec(stmt, info, base_table, resolver)
     )
     boundary = 1 + len(base_table.schema.columns)
     if join_tables:
@@ -205,12 +225,12 @@ def _analyze_select(db, stmt: ast.SelectStmt) -> _SelectInfo:
         )
         info.scan = plan_scan(
             base_table, pushed, binding=stmt.table.binding,
-            order_column=order_column,
+            order_spec=order_spec,
         )
     else:
         info.scan = plan_scan(
             base_table, stmt.where, binding=stmt.table.binding,
-            order_column=order_column,
+            order_spec=order_spec,
         )
         info.post_where = None
     info.join_specs = [
@@ -220,7 +240,7 @@ def _analyze_select(db, stmt: ast.SelectStmt) -> _SelectInfo:
 
     if info.has_aggregates or not stmt.order_by:
         info.order_mode = _ORDER_NONE
-    elif order_column is not None and info.scan.ordered_by == order_column:
+    elif order_spec is not None and info.scan.order_satisfied:
         # joins stream left rows through in order, so scan order survives
         info.order_mode = _ORDER_INDEXED
     elif stmt.limit is not None and not stmt.distinct:
@@ -230,30 +250,38 @@ def _analyze_select(db, stmt: ast.SelectStmt) -> _SelectInfo:
     return info
 
 
-def _index_orderable_column(stmt: ast.SelectStmt, info: _SelectInfo,
-                            base_table: Table, resolver: Resolver) -> str | None:
-    """Base-table column whose ascending index order satisfies ORDER BY."""
-    if len(stmt.order_by) != 1 or not stmt.order_by[0].ascending:
+def _scan_order_spec(stmt: ast.SelectStmt, info: _SelectInfo,
+                     base_table: Table, resolver: Resolver) -> list | None:
+    """The ORDER BY as ``(base-table column, ascending)`` pairs.
+
+    None when any order item is something a scan cannot produce directly —
+    an expression, a positional reference, or a joined table's column.
+    Directions may be mixed; the planner decides what it can serve.
+    """
+    if not stmt.order_by:
         return None
-    expr = stmt.order_by[0].expr
-    if (
-        isinstance(expr, ast.ColumnRef) and expr.table is None
-        and expr.name in info.alias_map
-    ):
-        expr = info.alias_map[expr.name]
-    if not isinstance(expr, ast.ColumnRef):
-        return None
-    if not base_table.schema.has_column(expr.name):
-        return None
-    if expr.table is not None and expr.table != stmt.table.binding:
-        return None
-    try:
-        position = resolver.resolve(expr)
-    except PlanningError:
-        return None  # ambiguous across joins; the sort path reports it
-    if not 1 <= position <= len(base_table.schema.columns):
-        return None
-    return expr.name
+    spec: list = []
+    for order in stmt.order_by:
+        expr = order.expr
+        if (
+            isinstance(expr, ast.ColumnRef) and expr.table is None
+            and expr.name in info.alias_map
+        ):
+            expr = info.alias_map[expr.name]
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        if not base_table.schema.has_column(expr.name):
+            return None
+        if expr.table is not None and expr.table != stmt.table.binding:
+            return None
+        try:
+            position = resolver.resolve(expr)
+        except PlanningError:
+            return None  # ambiguous across joins; the sort path reports it
+        if not 1 <= position <= len(base_table.schema.columns):
+            return None
+        spec.append((expr.name, order.ascending))
+    return spec
 
 
 # ---------------------------------------------------------------------------
@@ -620,15 +648,32 @@ def _aggregate_pipeline(stmt: ast.SelectStmt, items, rows, resolver: Resolver,
     ]
 
     if rewritten_order:
-        order_fns = [compile_expr(order.expr, slot_resolver) for order in rewritten_order]
-        directions = [order.ascending for order in stmt.order_by]
+        # positional ORDER BY (e.g. ORDER BY 2) refers to the projected
+        # output row, everything else to the intermediate group row
+        specs = []
+        for original, order in zip(stmt.order_by, rewritten_order):
+            if isinstance(original.expr, ast.Literal) and isinstance(
+                original.expr.value, int
+            ):
+                specs.append(("position", original.expr.value - 1, order.ascending))
+            else:
+                specs.append(
+                    ("expr", compile_expr(order.expr, slot_resolver), order.ascending)
+                )
         keyed = []
         for inter, out_row in zip(inter_rows, projected):
-            keys = tuple(
-                _direction_key(fn(inter, params), asc)
-                for fn, asc in zip(order_fns, directions)
-            )
-            keyed.append((keys, out_row))
+            keys = []
+            for kind, spec, ascending in specs:
+                if kind == "position":
+                    if not 0 <= spec < len(out_row):
+                        raise PlanningError(
+                            f"ORDER BY position {spec + 1} out of range"
+                        )
+                    value = out_row[spec]
+                else:
+                    value = spec(inter, params)
+                keys.append(_direction_key(value, ascending))
+            keyed.append((tuple(keys), out_row))
         keyed.sort(key=lambda pair: pair[0])
         projected = [row for _, row in keyed]
 

@@ -3,16 +3,34 @@
 These are the structures behind the paper's claim that Buckaroo "creates
 Postgres indexes for all the attribute combinations in the charts for
 efficient data lookups" (§2): group membership queries
-(``WHERE country = ?``) hit a hash or B+tree index instead of scanning.
+(``WHERE country = ?``) hit a hash or B+tree index instead of scanning, and
+two-attribute chart lookups (``WHERE cat = ? ORDER BY val LIMIT k``) walk a
+single *composite* B+tree.
+
+Both index kinds cover one **or more** columns:
+
+* :class:`HashIndex` — equality only.  Keys are tuples of normalized
+  values; rows with a NULL in any indexed column are skipped (SQL equality
+  never matches NULL).
+* :class:`BTreeIndex` — ordered.  Keys are NULL-aware sort-key tuples, so
+  *every* row is indexed (NULLs sort first, matching ``ORDER BY``), and the
+  rowids whose key contains a NULL are additionally tracked in
+  :attr:`BTreeIndex.null_rowids`.  That full coverage is what lets the
+  planner answer ``ORDER BY`` straight from a leaf walk even on nullable
+  columns, forward or backward (DESC).
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.errors import IntegrityError
 from repro.minidb.btree import BTree
 from repro.minidb.expressions import sort_key
+
+#: sorts above every real key component ((rank, primitive) with rank <= 2),
+#: used to build the exclusive upper bound of a composite prefix scan
+_ABOVE_ANY_COMPONENT = (3,)
 
 
 def normalize_key(value):
@@ -24,16 +42,94 @@ def normalize_key(value):
     return value
 
 
-class HashIndex:
-    """Equality-only index: value -> set of rowids.  NULLs are not indexed."""
+def _as_columns(columns) -> tuple:
+    """Accept a single column name or a sequence of them."""
+    if isinstance(columns, str):
+        return (columns,)
+    return tuple(columns)
+
+
+def _as_positions(positions) -> tuple:
+    if isinstance(positions, int):
+        return (positions,)
+    return tuple(positions)
+
+
+class _IndexBase:
+    """Shared shape of both index kinds: columns, positions, row plumbing."""
+
+    def __init__(self, name: str, columns, positions, unique: bool = False):
+        self.name = name
+        self.columns = _as_columns(columns)
+        self.positions = _as_positions(positions)
+        if len(self.columns) != len(self.positions):
+            raise ValueError(
+                f"index {name!r}: {len(self.columns)} columns for "
+                f"{len(self.positions)} positions"
+            )
+        self.unique = unique
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def column(self) -> str:
+        """First (or only) indexed column — legacy single-column accessor."""
+        return self.columns[0]
+
+    @property
+    def position(self) -> int:
+        """First (or only) indexed position — legacy single-column accessor."""
+        return self.positions[0]
+
+    def touches(self, changed_positions) -> bool:
+        """True when an update to ``changed_positions`` affects this key."""
+        return any(p in changed_positions for p in self.positions)
+
+    def key_values(self, row: Sequence) -> tuple:
+        """This index's key components extracted from a stored row."""
+        return tuple(row[p] for p in self.positions)
+
+    def _values_of(self, value) -> tuple:
+        """Normalize the legacy single-value API to a component tuple."""
+        if self.n_columns == 1:
+            return (value,)
+        values = tuple(value)
+        if len(values) != self.n_columns:
+            raise ValueError(
+                f"index {self.name!r} covers {self.n_columns} columns, "
+                f"got {len(values)} values"
+            )
+        return values
+
+    # -- row-level maintenance (called by Table on every mutation) ----------
+
+    def add_row(self, row: Sequence, rowid: int) -> None:
+        self.insert_values(self.key_values(row), rowid)
+
+    def remove_row(self, row: Sequence, rowid: int) -> None:
+        self.remove_values(self.key_values(row), rowid)
+
+    # -- legacy single-value API (and tuple passthrough for composites) -----
+
+    def insert(self, value, rowid: int) -> None:
+        self.insert_values(self._values_of(value), rowid)
+
+    def remove(self, value, rowid: int) -> None:
+        self.remove_values(self._values_of(value), rowid)
+
+    def lookup(self, value) -> set:
+        return self.lookup_values(self._values_of(value))
+
+
+class HashIndex(_IndexBase):
+    """Equality-only index: value tuple -> set of rowids.  NULLs skipped."""
 
     kind = "hash"
 
-    def __init__(self, name: str, column: str, position: int, unique: bool = False):
-        self.name = name
-        self.column = column
-        self.position = position
-        self.unique = unique
+    def __init__(self, name: str, columns, positions, unique: bool = False):
+        super().__init__(name, columns, positions, unique)
         self._buckets: dict = {}
 
     def __len__(self) -> int:
@@ -44,26 +140,26 @@ class HashIndex:
         """Number of distinct indexed values."""
         return len(self._buckets)
 
-    def insert(self, value, rowid: int) -> None:
-        """Index ``rowid`` under ``value`` (NULL is skipped)."""
-        if value is None:
+    def insert_values(self, values: tuple, rowid: int) -> None:
+        """Index ``rowid`` under the component tuple (any NULL is skipped)."""
+        if any(v is None for v in values):
             return
-        key = normalize_key(value)
+        key = self._key(values)
         bucket = self._buckets.get(key)
         if bucket is None:
             self._buckets[key] = {rowid}
             return
         if self.unique and bucket:
             raise IntegrityError(
-                f"UNIQUE index {self.name}: duplicate value {value!r}"
+                f"UNIQUE index {self.name}: duplicate value {values!r}"
             )
         bucket.add(rowid)
 
-    def remove(self, value, rowid: int) -> None:
+    def remove_values(self, values: tuple, rowid: int) -> None:
         """Drop the pair if present."""
-        if value is None:
+        if any(v is None for v in values):
             return
-        key = normalize_key(value)
+        key = self._key(values)
         bucket = self._buckets.get(key)
         if bucket is None:
             return
@@ -71,60 +167,130 @@ class HashIndex:
         if not bucket:
             del self._buckets[key]
 
-    def lookup(self, value) -> set:
-        """Rowids whose column equals ``value`` (empty for NULL)."""
-        if value is None:
+    def lookup_values(self, values: tuple) -> set:
+        """Rowids whose columns equal ``values`` (empty when any is NULL)."""
+        if any(v is None for v in values):
             return set()
-        return set(self._buckets.get(normalize_key(value), ()))
+        return set(self._buckets.get(self._key(values), ()))
 
     def keys(self) -> list:
-        """Distinct indexed values (normalized)."""
+        """Distinct indexed values (normalized; scalars for 1-column)."""
+        if self.n_columns == 1:
+            return [key[0] for key in self._buckets]
         return list(self._buckets)
 
+    def _key(self, values: tuple) -> tuple:
+        return tuple(normalize_key(v) for v in values)
 
-class BTreeIndex:
-    """Ordered index supporting equality and range scans. NULLs not indexed."""
+
+class BTreeIndex(_IndexBase):
+    """Ordered index: equality, ranges, and ordered walks in both directions.
+
+    Every row is indexed.  Single-column keys are ``sort_key(value)``
+    (preserving the ``(rank, primitive)`` shape older numeric helpers rely
+    on); composite keys are tuples of those.  ``sort_key(None)`` ranks below
+    every number and string, so NULLs occupy the front of the key space —
+    exactly where ``ORDER BY`` puts them — and :attr:`null_rowids` records
+    which rows carry a NULL in any indexed column.
+    """
 
     kind = "btree"
 
-    def __init__(self, name: str, column: str, position: int, unique: bool = False,
+    def __init__(self, name: str, columns, positions, unique: bool = False,
                  order: int = 64):
-        self.name = name
-        self.column = column
-        self.position = position
-        self.unique = unique
+        super().__init__(name, columns, positions, unique)
         self._tree = BTree(order=order)
+        self.null_rowids: set[int] = set()
 
     def __len__(self) -> int:
         return len(self._tree)
 
-    def insert(self, value, rowid: int) -> None:
-        """Index ``rowid`` under ``value`` (NULL is skipped)."""
-        if value is None:
-            return
-        key = sort_key(value)
-        if self.unique and self._tree.search(key):
+    @property
+    def n_keys(self) -> int:
+        """Number of distinct keys currently stored."""
+        return self._tree.n_keys
+
+    def covers(self, n_rows: int) -> bool:
+        """True when every one of ``n_rows`` table rows is in the tree —
+        the precondition for serving ``ORDER BY`` from a leaf walk."""
+        return len(self._tree) == n_rows
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert_values(self, values: tuple, rowid: int) -> None:
+        """Index ``rowid`` under the component tuple (NULLs included)."""
+        has_null = any(v is None for v in values)
+        key = self._key(values)
+        if self.unique and not has_null and self._tree.search(key):
+            # SQL semantics: NULLs never collide under UNIQUE
             raise IntegrityError(
-                f"UNIQUE index {self.name}: duplicate value {value!r}"
+                f"UNIQUE index {self.name}: duplicate value "
+                f"{values[0] if self.n_columns == 1 else values!r}"
             )
         self._tree.insert(key, rowid)
+        if has_null:
+            self.null_rowids.add(rowid)
 
-    def remove(self, value, rowid: int) -> None:
+    def remove_values(self, values: tuple, rowid: int) -> None:
         """Drop the pair if present."""
-        if value is None:
-            return
-        self._tree.remove(sort_key(value), rowid)
+        self._tree.remove(self._key(values), rowid)
+        self.null_rowids.discard(rowid)
 
-    def lookup(self, value) -> set:
-        """Rowids whose column equals ``value``."""
-        if value is None:
+    # -- point and prefix lookups --------------------------------------------
+
+    def lookup_values(self, values: tuple) -> set:
+        """Rowids whose columns equal ``values`` (empty when any is NULL)."""
+        if any(v is None for v in values):
             return set()
-        return self._tree.search(sort_key(value))
+        return self._tree.search(self._key(values))
+
+    def lookup_null(self) -> set:
+        """Rowids whose indexed key contains a NULL (``IS NULL`` scans)."""
+        return set(self.null_rowids)
+
+    def prefix_scan(self, values: tuple, reverse: bool = False) -> Iterator[int]:
+        """Rowids whose first ``len(values)`` columns equal ``values``,
+        ordered (asc, or desc with ``reverse``) by the remaining columns.
+
+        Any NULL component yields nothing — this implements SQL equality.
+        """
+        if any(v is None for v in values):
+            return
+        k = len(values)
+        if k == self.n_columns:
+            # full-key equality: order among duplicates is unconstrained
+            yield from self.lookup_values(values)
+            return
+        low = tuple(sort_key(v) for v in values)
+        high = low + (_ABOVE_ANY_COMPONENT,)
+        scan = self._tree.range_scan_desc if reverse else self._tree.range_scan
+        for _key, rowids in scan(low, high, True, False):
+            yield from rowids
+
+    # -- ordered walks ---------------------------------------------------------
+
+    def ordered_rowids(self, reverse: bool = False) -> Iterator[int]:
+        """Every indexed rowid in full key order (reverse walks the leaf
+        chain backward).  NULL keys come first ascending, last descending —
+        matching the executor's sort-key semantics."""
+        scan = self._tree.range_scan_desc if reverse else self._tree.range_scan
+        for _key, rowids in scan(None, None):
+            yield from rowids
+
+    # -- legacy single-value range API ------------------------------------------
 
     def range(self, low=None, high=None, include_low: bool = True,
               include_high: bool = True) -> Iterator[int]:
-        """Yield rowids with column values in the given range, in key order."""
-        low_key = sort_key(low) if low is not None else None
+        """Yield rowids with column values in the given range, in key order.
+
+        NULLs never satisfy a comparison, so an unbounded-low scan starts
+        just past the NULL key instead of sweeping it up.
+        """
+        self._require_single("range")
+        if low is None:
+            low_key, include_low = sort_key(None), False
+        else:
+            low_key = sort_key(low)
         high_key = sort_key(high) if high is not None else None
         for _, rowids in self._tree.range_scan(low_key, high_key, include_low, include_high):
             yield from rowids
@@ -137,6 +303,7 @@ class BTreeIndex:
         otherwise sweep up contaminating text values.  The outlier detector
         uses this for its two tail scans.
         """
+        self._require_single("numeric_range")
         low_key = sort_key(low) if low is not None else (1, float("-inf"))
         high_key = sort_key(high) if high is not None else (1, float("inf"))
         for _, rowids in self._tree.range_scan(low_key, high_key, include_low, include_high):
@@ -144,13 +311,28 @@ class BTreeIndex:
 
     def numeric_min(self):
         """The smallest numeric key, or None."""
+        self._require_single("numeric_min")
         for key, _ in self._tree.range_scan((1, float("-inf")), (1, float("inf"))):
             return key[1]
         return None
 
     def numeric_max(self):
-        """The largest numeric key, or None (O(keys) scan)."""
-        last = None
-        for key, _ in self._tree.range_scan((1, float("-inf")), (1, float("inf"))):
-            last = key[1]
-        return last
+        """The largest numeric key, or None (O(log n) reverse walk)."""
+        self._require_single("numeric_max")
+        for key, _ in self._tree.range_scan_desc((1, float("-inf")), (1, float("inf"))):
+            return key[1]
+        return None
+
+    # -- internals -------------------------------------------------------------
+
+    def _key(self, values: tuple):
+        if self.n_columns == 1:
+            return sort_key(values[0])
+        return tuple(sort_key(v) for v in values)
+
+    def _require_single(self, what: str) -> None:
+        if self.n_columns != 1:
+            raise ValueError(
+                f"{what}() applies to single-column indexes; "
+                f"{self.name!r} covers {self.columns}"
+            )

@@ -1,15 +1,32 @@
 """Access-path selection for minidb.
 
-Given a table and a WHERE expression, the planner picks the cheapest scan:
+Given a table, a WHERE expression, and the query's ORDER BY shape, the
+planner picks the cheapest scan:
 
-1. equality on a hash-indexed column (point lookup);
-2. equality on a B+tree-indexed column;
-3. ``IN`` list over an indexed column (union of point lookups);
-4. range predicates (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``) on a
+1. rowid point lookups;
+2. a composite B+tree walk matching *equality-prefix + order-suffix* —
+   ``WHERE cat = ? ORDER BY val [DESC] LIMIT k`` on an index over
+   ``(cat, val)`` becomes one bounded leaf walk (backward for DESC),
+   with no sort or top-k operator downstream;
+3. full equality over every column of a multi-column index;
+4. equality on a hash-indexed column, then on a B+tree-indexed column;
+5. ``IN`` list over an indexed column (union of point lookups);
+6. ``IS NULL`` on a B+tree-indexed column (the index tracks its NULL
+   rowids, so the predicate is a point lookup);
+7. range predicates (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``) on a
    B+tree-indexed column, with bounds merged across conjuncts;
-5. a full B+tree walk in key order when it satisfies an ``ORDER BY``
-   (so ``ORDER BY indexed_col LIMIT k`` touches only ``k`` rows);
-6. otherwise a sequential scan.
+8. an equality-prefix walk of a composite index even when it leaves the
+   order unsatisfied (it still touches only the matching group);
+9. a full B+tree walk in key order — forward or backward — when it
+   satisfies the ``ORDER BY`` (so ``ORDER BY indexed_col [DESC] LIMIT k``
+   touches only ``k`` rows);
+10. otherwise a sequential scan.
+
+Because B+tree indexes are NULL-aware (every row is indexed; NULL keys
+sort first, exactly like the executor's sort keys), ordered walks stay
+valid on nullable columns.  A plan also reports ``order_satisfied`` when
+every ORDER BY column is pinned by an equality conjunct, letting the
+executor drop the sort for ``WHERE cat = ? ORDER BY cat``.
 
 Unused conjuncts become a residual filter.  This is the machinery behind the
 paper's Table 1 asymmetry: Buckaroo's group lookups (``WHERE country = ?``)
@@ -35,6 +52,8 @@ INDEX_EQ = "index_eq"
 INDEX_IN = "index_in"
 INDEX_RANGE = "index_range"
 INDEX_ORDER = "index_order"
+INDEX_PREFIX = "index_prefix"
+INDEX_NULL = "index_null"
 ROWID_EQ = "rowid_eq"
 ROWID_IN = "rowid_in"
 
@@ -47,21 +66,41 @@ class ScanPlan:
     kind: str = SEQ
     index_name: str | None = None
     column: str | None = None
+    columns: tuple = ()  # index key columns (composite paths)
     eq_expr: ast.Expr | None = None
+    prefix_exprs: tuple = ()  # equality values for the leading index columns
     in_exprs: tuple = ()
     low_expr: ast.Expr | None = None
     high_expr: ast.Expr | None = None
     include_low: bool = True
     include_high: bool = True
+    descending: bool = False  # walk the index backward (ORDER BY ... DESC)
     residual: ast.Expr | None = None
-    ordered_by: str | None = None  # rows come out sorted by this column (asc)
+    order_satisfied: bool = False  # scan output already matches the ORDER BY
 
     def describe(self) -> str:
         """Human-readable one-line plan description (used by EXPLAIN)."""
         if self.kind == SEQ:
             base = f"SeqScan({self.table})"
         elif self.kind == INDEX_ORDER:
-            base = f"IndexOrderScan({self.table}.{self.column} via {self.index_name})"
+            base = (
+                f"IndexOrderScan({self.table}.{self._key_text()} "
+                f"via {self.index_name}{', DESC' if self.descending else ''})"
+            )
+        elif self.kind == INDEX_PREFIX:
+            if len(self.prefix_exprs) == len(self.columns):
+                base = (
+                    f"IndexEqScan({self.table}.{self._key_text()} "
+                    f"via {self.index_name}, {len(self.prefix_exprs)} cols)"
+                )
+            else:
+                base = (
+                    f"IndexOrderScan({self.table}.{self._key_text()} "
+                    f"via {self.index_name}, eq_prefix={len(self.prefix_exprs)}"
+                    f"{', DESC' if self.descending else ''})"
+                )
+        elif self.kind == INDEX_NULL:
+            base = f"IndexNullScan({self.table}.{self.column} via {self.index_name})"
         elif self.kind == ROWID_EQ:
             base = f"RowidLookup({self.table})"
         elif self.kind == ROWID_IN:
@@ -83,6 +122,11 @@ class ScanPlan:
         if self.residual is not None:
             base += " + Filter"
         return base
+
+    def _key_text(self) -> str:
+        if len(self.columns) > 1:
+            return f"({', '.join(self.columns)})"
+        return self.columns[0] if self.columns else self.column
 
 
 def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
@@ -137,18 +181,19 @@ def _is_rowid_ref(expr: ast.Expr, table: Table,
 
 def plan_scan(table: Table, where: ast.Expr | None,
               binding: str | None = None,
-              order_column: str | None = None) -> ScanPlan:
+              order_spec: list | None = None) -> ScanPlan:
     """Choose an access path for ``table`` under predicate ``where``.
 
-    ``order_column`` names a column whose ascending sort order the caller
-    would like the scan to produce (from ``ORDER BY``); when no predicate
-    picks a better path and a B+tree index covers every row, the planner
-    answers with an :data:`INDEX_ORDER` full index walk, letting the
-    executor skip the sort entirely.
+    ``order_spec`` is the caller's ORDER BY shape as ``(column, ascending)``
+    pairs (None when the order cannot be served by a scan).  The planner
+    prefers plans whose output order already satisfies it — marked via
+    ``order_satisfied`` — so the executor can drop its sort/top-k stage.
     """
     conjuncts = split_conjuncts(where)
     eq_candidates: list[tuple[int, str, ast.Expr, int]] = []  # (score, col, value, idx)
+    eq_map: dict[str, tuple[ast.Expr, int]] = {}  # every equality conjunct
     in_candidates: list[tuple[str, tuple, int]] = []
+    null_candidates: list[tuple[str, int]] = []  # (col, idx) for IS NULL
     bounds: dict[str, dict] = {}
 
     # rowid point lookups beat every index — resolve them first
@@ -163,6 +208,7 @@ def plan_scan(table: Table, where: ast.Expr | None,
             residual = conjoin([c for j, c in enumerate(conjuncts) if j != i])
             return ScanPlan(
                 table=table.name, kind=ROWID_EQ, eq_expr=value, residual=residual,
+                order_satisfied=order_spec is not None,  # at most one row
             )
         if isinstance(conjunct, ast.InList) and not conjunct.negated:
             if _is_rowid_ref(conjunct.expr, table, binding) and all(
@@ -185,6 +231,7 @@ def plan_scan(table: Table, where: ast.Expr | None,
             else:
                 continue
             if op == "=":
+                eq_map.setdefault(column, (value, i))
                 indexes = table.indexes_on(column)
                 if indexes:
                     score = 100 if any(ix.kind == "hash" for ix in indexes) else 90
@@ -219,47 +266,187 @@ def plan_scan(table: Table, where: ast.Expr | None,
             if column and all(_is_value_expr(item) for item in conjunct.items):
                 if table.indexes_on(column):
                     in_candidates.append((column, conjunct.items, i))
+        elif isinstance(conjunct, ast.IsNull) and not conjunct.negated:
+            column = _column_of(conjunct.expr, table, binding)
+            if column:
+                null_candidates.append((column, i))
 
-    # best equality first
+    # ORDER BY columns pinned by an equality are constant across the output;
+    # what remains is the order the scan itself must produce
+    effective_order: list = []
+    if order_spec:
+        seen_cols: set[str] = set()
+        for column, ascending in order_spec:
+            if column in eq_map or column in seen_cols:
+                continue  # constant column / repeated key: ordering is a no-op
+            seen_cols.add(column)
+            effective_order.append((column, ascending))
+    trivial_order = bool(order_spec) and not effective_order
+
+    def finalize(plan: ScanPlan) -> ScanPlan:
+        if trivial_order:
+            plan.order_satisfied = True
+        return plan
+
+    # equality-prefix + order-suffix over composite (and single) B+trees:
+    # `WHERE cat = ? ORDER BY val DESC` on (cat, val) is one bounded walk
+    walk = _match_ordered_walk(table, eq_map, effective_order)
+    if walk is not None and walk[1] > 0:
+        return _prefix_plan(table, conjuncts, eq_map, *walk, order_satisfied=True)
+
+    # full equality across every column of a multi-column index
+    full_eq = _match_full_equality(table, eq_map)
+    if full_eq is not None:
+        index, prefix_cols = full_eq
+        used = {eq_map[c][1] for c in prefix_cols}
+        residual = conjoin([c for j, c in enumerate(conjuncts) if j not in used])
+        return finalize(ScanPlan(
+            table=table.name, kind=INDEX_PREFIX, index_name=index.name,
+            column=index.columns[0], columns=index.columns,
+            prefix_exprs=tuple(eq_map[c][0] for c in prefix_cols),
+            residual=residual,
+        ))
+
+    # best single-column equality
     if eq_candidates:
         eq_candidates.sort(reverse=True, key=lambda c: c[0])
         _, column, value, used = eq_candidates[0]
         index = _best_index(table, column, prefer="hash")
         residual = conjoin([c for j, c in enumerate(conjuncts) if j != used])
-        return ScanPlan(
+        return finalize(ScanPlan(
             table=table.name, kind=INDEX_EQ, index_name=index.name, column=column,
             eq_expr=value, residual=residual,
-        )
+        ))
     if in_candidates:
         column, items, used = in_candidates[0]
         index = _best_index(table, column, prefer="hash")
         residual = conjoin([c for j, c in enumerate(conjuncts) if j != used])
-        return ScanPlan(
+        return finalize(ScanPlan(
             table=table.name, kind=INDEX_IN, index_name=index.name, column=column,
             in_exprs=items, residual=residual,
-        )
+        ))
+    for column, used in null_candidates:
+        btree = _best_index(table, column, prefer="btree", require_btree=True)
+        if btree is None or not btree.covers(table.n_rows):
+            continue
+        residual = conjoin([c for j, c in enumerate(conjuncts) if j != used])
+        return finalize(ScanPlan(
+            table=table.name, kind=INDEX_NULL, index_name=btree.name, column=column,
+            residual=residual,
+        ))
     for column, entry in bounds.items():
         btree = _best_index(table, column, prefer="btree", require_btree=True)
         if btree is None:
             continue
         used = set(entry["conjuncts"])
         residual = conjoin([c for j, c in enumerate(conjuncts) if j not in used])
-        return ScanPlan(
+        return finalize(ScanPlan(
             table=table.name, kind=INDEX_RANGE, index_name=btree.name, column=column,
             low_expr=entry["low"], high_expr=entry["high"],
             include_low=entry["incl_low"], include_high=entry["incl_high"],
-            residual=residual, ordered_by=column,
+            residual=residual,
+            order_satisfied=effective_order == [(column, True)],
+        ))
+    # equality-prefix walk of a composite index, order notwithstanding:
+    # still confines the scan to the matching group
+    prefix = _match_longest_prefix(table, eq_map)
+    if prefix is not None:
+        index, k = prefix
+        return finalize(_prefix_plan(
+            table, conjuncts, eq_map, index, k, False, order_satisfied=False,
+        ))
+    if walk is not None:  # pure ordered walk (no equality prefix)
+        index, _k, descending = walk
+        return ScanPlan(
+            table=table.name, kind=INDEX_ORDER, index_name=index.name,
+            column=index.columns[0], columns=index.columns,
+            descending=descending, residual=where,
+            order_satisfied=True,
         )
-    if order_column is not None:
-        btree = _best_index(table, order_column, prefer="btree", require_btree=True)
-        # NULLs are not indexed and must sort first, so a full index walk
-        # is only a valid ordering when every row appears in the index
-        if btree is not None and len(btree) == table.n_rows:
-            return ScanPlan(
-                table=table.name, kind=INDEX_ORDER, index_name=btree.name,
-                column=order_column, residual=where, ordered_by=order_column,
-            )
-    return ScanPlan(table=table.name, kind=SEQ, residual=where)
+    return finalize(ScanPlan(table=table.name, kind=SEQ, residual=where))
+
+
+def _match_ordered_walk(table: Table, eq_map: dict, effective_order: list):
+    """The B+tree index (if any) whose key order serves the ORDER BY after
+    an equality prefix: returns ``(index, prefix_len, descending)``.
+
+    The index columns past the equality prefix must start with exactly the
+    residual ORDER BY columns, all in one direction (ascending → forward
+    leaf walk, descending → backward).  The index must cover every table
+    row — always true for maintained indexes, which are NULL-aware.
+    """
+    if not effective_order:
+        return None
+    directions = {ascending for _, ascending in effective_order}
+    if len(directions) != 1:
+        return None
+    descending = not directions.pop()
+    best = None
+    for index in table.btree_indexes():
+        if not index.covers(table.n_rows):
+            continue
+        k = _eq_prefix_len(index.columns, eq_map)
+        suffix = index.columns[k:]
+        m = len(effective_order)
+        if len(suffix) < m:
+            continue
+        if any(suffix[i] != effective_order[i][0] for i in range(m)):
+            continue
+        # rank: longest equality prefix, then tightest index (fewest columns)
+        rank = (k, -index.n_columns)
+        if best is None or rank > best[0]:
+            best = (rank, (index, k, descending))
+    return best[1] if best is not None else None
+
+
+def _match_full_equality(table: Table, eq_map: dict):
+    """A multi-column index every column of which is equality-bound."""
+    best = None
+    for index in table.indexes.values():
+        if index.n_columns < 2:
+            continue
+        if any(column not in eq_map for column in index.columns):
+            continue
+        rank = (index.n_columns, index.kind == "hash")
+        if best is None or rank > best[0]:
+            best = (rank, (index, index.columns))
+    return best[1] if best is not None else None
+
+
+def _match_longest_prefix(table: Table, eq_map: dict):
+    """The composite B+tree with the longest equality-bound leading prefix."""
+    best = None
+    for index in table.btree_indexes():
+        if index.n_columns < 2 or not index.covers(table.n_rows):
+            continue
+        k = _eq_prefix_len(index.columns, eq_map)
+        if k == 0:
+            continue
+        rank = (k, -index.n_columns)
+        if best is None or rank > best[0]:
+            best = (rank, (index, k))
+    return best[1] if best is not None else None
+
+
+def _eq_prefix_len(columns: tuple, eq_map: dict) -> int:
+    k = 0
+    while k < len(columns) and columns[k] in eq_map:
+        k += 1
+    return k
+
+
+def _prefix_plan(table: Table, conjuncts: list, eq_map: dict, index, k: int,
+                 descending: bool, order_satisfied: bool) -> ScanPlan:
+    prefix_cols = index.columns[:k]
+    used = {eq_map[c][1] for c in prefix_cols}
+    residual = conjoin([c for j, c in enumerate(conjuncts) if j not in used])
+    return ScanPlan(
+        table=table.name, kind=INDEX_PREFIX, index_name=index.name,
+        column=index.columns[0], columns=index.columns,
+        prefix_exprs=tuple(eq_map[c][0] for c in prefix_cols),
+        descending=descending, residual=residual,
+        order_satisfied=order_satisfied,
+    )
 
 
 def _best_index(table: Table, column: str, prefer: str,

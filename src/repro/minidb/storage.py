@@ -97,7 +97,7 @@ class Table:
         row = [self.coerce(i, v) for i, v in enumerate(values)]
         self.rows[rowid] = row
         for index in self.indexes.values():
-            index.insert(row[index.position], rowid)
+            index.add_row(row, rowid)
         self._notify(("insert", self.name, rowid, list(row)))
         return rowid
 
@@ -108,7 +108,7 @@ class Table:
         except KeyError:
             raise IntegrityError(f"no row {rowid} in table {self.name!r}") from None
         for index in self.indexes.values():
-            index.remove(row[index.position], rowid)
+            index.remove_row(row, rowid)
         self._notify(("delete", self.name, rowid, list(row)))
         return row
 
@@ -124,14 +124,13 @@ class Table:
             coerced = self.coerce(position, value)
             old[position] = row[position]
             new[position] = coerced
-        for index in self.indexes.values():
-            if index.position in new:
-                index.remove(old[index.position], rowid)
+        touched = [ix for ix in self.indexes.values() if ix.touches(new)]
+        for index in touched:
+            index.remove_row(row, rowid)
         for position, value in new.items():
             row[position] = value
-        for index in self.indexes.values():
-            if index.position in new:
-                index.insert(new[index.position], rowid)
+        for index in touched:
+            index.add_row(row, rowid)
         self._notify(("update", self.name, rowid, old, dict(new)))
         return old
 
@@ -161,16 +160,33 @@ class Table:
 
     # -- index management --------------------------------------------------------
 
-    def create_index(self, name: str, column: str, kind: str = "btree",
+    def create_index(self, name: str, columns, kind: str = "btree",
                      unique: bool = False) -> None:
-        """Build (and backfill) an index over one column."""
+        """Build (and backfill) an index over one or more columns.
+
+        Column names are validated against the schema *before* any key is
+        built, so a typo surfaces as a :class:`CatalogError` naming the
+        column rather than an error deep inside the B+tree backfill.
+        """
         if name in self.indexes:
             raise CatalogError(f"index {name!r} already exists")
-        position = self.schema.position(column)
+        if isinstance(columns, str):
+            columns = (columns,)
+        columns = tuple(columns)
+        if not columns:
+            raise CatalogError(f"index {name!r} must cover at least one column")
+        seen: set[str] = set()
+        for column in columns:
+            if column in seen:
+                raise CatalogError(
+                    f"index {name!r} names column {column!r} twice"
+                )
+            seen.add(column)
+        positions = tuple(self.schema.position(column) for column in columns)
         index_cls = {"btree": BTreeIndex, "hash": HashIndex}[kind]
-        index = index_cls(name, column, position, unique=unique)
+        index = index_cls(name, columns, positions, unique=unique)
         for rowid, row in self.rows.items():
-            index.insert(row[position], rowid)
+            index.add_row(row, rowid)
         self.indexes[name] = index
 
     def drop_index(self, name: str) -> None:
@@ -181,8 +197,12 @@ class Table:
             raise CatalogError(f"no index {name!r} on table {self.name!r}") from None
 
     def indexes_on(self, column: str) -> list:
-        """All indexes whose key is ``column``."""
-        return [ix for ix in self.indexes.values() if ix.column == column]
+        """All single-column indexes whose key is exactly ``column``."""
+        return [ix for ix in self.indexes.values() if ix.columns == (column,)]
+
+    def btree_indexes(self) -> list:
+        """Every ordered (B+tree) index, single- and multi-column."""
+        return [ix for ix in self.indexes.values() if ix.kind == "btree"]
 
 
 def _plain(value):

@@ -147,3 +147,40 @@ def test_property_range_scan_matches_sorted_filter(keys):
     scanned = [k for k, _ in tree.range_scan(mid_low, mid_high)]
     expected = sorted({k for k in keys if mid_low <= k <= mid_high})
     assert scanned == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(-1000, 1000), min_size=1, max_size=300),
+    st.booleans(), st.booleans(),
+)
+def test_property_desc_scan_mirrors_asc(keys, include_low, include_high):
+    tree = BTree(order=8)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    lo, hi = min(keys), max(keys)
+    mid_low = lo + (hi - lo) // 3
+    mid_high = lo + 2 * (hi - lo) // 3
+    forward = list(tree.range_scan(mid_low, mid_high, include_low, include_high))
+    backward = list(tree.range_scan_desc(mid_low, mid_high, include_low, include_high))
+    assert backward == forward[::-1]
+    # unbounded full walks mirror too
+    assert list(tree.range_scan_desc()) == list(tree.range_scan())[::-1]
+    assert tree.max_key() == max(keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 60), min_size=1, max_size=200),
+       st.lists(st.integers(0, 60), max_size=200))
+def test_property_desc_scan_after_removals(inserts, removals):
+    """Lazy deletion (empty leaves left in the chain) must not break the
+    backward walk."""
+    tree = BTree(order=4)
+    for i, key in enumerate(inserts):
+        tree.insert(key, i)
+    for key in removals:
+        for i, ins in enumerate(inserts):
+            if ins == key:
+                tree.remove(key, i)
+    tree.check_invariants()
+    assert list(tree.range_scan_desc()) == list(tree.range_scan())[::-1]

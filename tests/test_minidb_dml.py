@@ -260,11 +260,30 @@ class TestDDLAndCatalog:
         assert db.index_names() == []
         db.execute("DROP INDEX IF EXISTS i")
 
-    def test_multi_column_index_rejected(self):
+    def test_multi_column_index_created(self):
         db = Database()
         db.execute("CREATE TABLE t (a INT, b INT)")
-        with pytest.raises(CatalogError, match="one column"):
-            db.execute("CREATE INDEX i ON t (a, b)")
+        db.execute("INSERT INTO t VALUES (1, 2), (1, 3)")
+        db.execute("CREATE INDEX i ON t (a, b)")
+        assert db.index_catalog["i"].columns == ("a", "b")
+        assert db.execute(
+            "SELECT b FROM t WHERE a = 1 AND b = 3"
+        ).scalars() == [3]
+
+    def test_index_on_missing_column_names_it(self):
+        """A typo'd column fails in the catalog, not inside the B+tree."""
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        db.execute("INSERT INTO t VALUES (1, 2)")
+        with pytest.raises(CatalogError, match=r"no column 'zz'.*has: a, b"):
+            db.execute("CREATE INDEX i ON t (a, zz)")
+        assert db.index_names() == []  # nothing half-created
+
+    def test_index_duplicate_column_rejected(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(CatalogError, match="twice"):
+            db.execute("CREATE INDEX i ON t (a, a)")
 
     def test_alter_add_column(self):
         db = Database()

@@ -119,6 +119,20 @@ class TestAggregation:
         assert dirty_db.execute(
             "SELECT COUNT(DISTINCT degree) FROM salary").scalar() == 3
 
+    def test_group_by_positional_order(self, dirty_db):
+        rows = dirty_db.execute(
+            "SELECT country, COUNT(*) FROM salary GROUP BY country "
+            "ORDER BY 2 DESC, 1"
+        ).rows
+        assert rows == [("Bhutan", 4), ("Lesotho", 4), ("Nauru", 1)]
+
+    def test_group_by_positional_order_out_of_range(self, dirty_db):
+        with pytest.raises(PlanningError, match="position 9"):
+            dirty_db.execute(
+                "SELECT country, COUNT(*) FROM salary GROUP BY country "
+                "ORDER BY 9"
+            )
+
     def test_median_and_stddev(self, dirty_db):
         median = dirty_db.execute("SELECT MEDIAN(age) FROM salary").scalar()
         assert median == 35

@@ -73,7 +73,8 @@ class TestTopK:
         assert top == everything[:9]
 
     def test_explain_shows_topk(self, big_db):
-        plan = big_db.explain("SELECT val FROM t ORDER BY val DESC LIMIT 7")
+        # cat only has a hash index, which cannot serve an ordered walk
+        plan = big_db.explain("SELECT cat FROM t ORDER BY cat DESC LIMIT 7")
         assert "TopK" in plan and "Limit" in plan
 
     def test_order_without_limit_still_sorts(self, big_db):
@@ -101,19 +102,33 @@ class TestIndexOrderScan:
         )[:15]
         assert values == expected
 
-    def test_nulls_disable_index_order(self):
-        """NULLs sort first but are absent from the index: must fall back."""
+    def test_nulls_keep_index_order_valid(self):
+        """NULL-aware keys: NULLs are in the index, sorted first, so the
+        ordered walk stays available on nullable columns."""
         db = Database()
         db.execute("CREATE TABLE t (v REAL)")
         db.insert_rows("t", [(3.0,), (None,), (1.0,)])
         db.execute("CREATE INDEX idx_v ON t (v)")
         plan = db.explain("SELECT v FROM t ORDER BY v LIMIT 2")
-        assert "IndexOrderScan" not in plan
+        assert "IndexOrderScan" in plan and "Sort" not in plan and "TopK" not in plan
         assert db.execute("SELECT v FROM t ORDER BY v LIMIT 2").scalars() == [None, 1.0]
+        plan = db.explain("SELECT v FROM t ORDER BY v DESC")
+        assert "IndexOrderScan" in plan
+        assert db.execute(
+            "SELECT v FROM t ORDER BY v DESC"
+        ).scalars() == [3.0, 1.0, None]
 
-    def test_desc_order_not_satisfied_by_index(self, big_db):
+    def test_desc_order_served_by_reverse_walk(self, big_db):
         plan = big_db.explain("SELECT val FROM t ORDER BY val DESC LIMIT 5")
-        assert "IndexOrderScan" not in plan
+        assert "IndexOrderScan" in plan and "DESC" in plan
+        assert "TopK" not in plan and "Sort" not in plan
+        values = big_db.execute(
+            "SELECT val FROM t ORDER BY val DESC LIMIT 5"
+        ).scalars()
+        expected = sorted(
+            big_db.execute("SELECT val FROM t").scalars(), reverse=True
+        )[:5]
+        assert values == expected
 
 
 class TestHashJoinGeneralized:

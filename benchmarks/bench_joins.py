@@ -1,0 +1,184 @@
+"""A7 — cost-based join planning: reordering and merge joins.
+
+Two scenarios the plan IR unlocked:
+
+* **Join reordering** — a 3-table equi-join whose selective small table
+  is written *last* syntactically.  The greedy planner joins it first
+  (smallest estimated output), shrinking the intermediate stream before
+  the expensive second probe; the syntactic order pays full price.
+* **Merge vs. hash joins** — with covering B+trees on both join keys the
+  planner merges pre-grouped index walks instead of building a hash
+  table.  On a full COUNT(*) that saves the build; with
+  ``ORDER BY key LIMIT k`` the preserved key order elides the sort and
+  the join touches ~k keys instead of everything.
+
+Numbers land in ``benchmarks/artifacts/joins.json``; the committed smoke
+baseline in ``benchmarks/baselines/`` puts both scenarios under the CI
+regression gate.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import print_generic, write_json_artifact
+from repro.minidb import Database
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+N_ROWS = max(2000, int(100_000 * SCALE))
+LIMIT = 10
+
+REORDER_SQL = (
+    "SELECT COUNT(*) FROM big JOIN mid ON big.m = mid.id "
+    "JOIN small ON big.s = small.id WHERE small.flag = 1"
+)
+COUNT_SQL = "SELECT COUNT(*) FROM a JOIN b ON a.k = b.k"
+ORDERED_SQL = f"SELECT a.k, b.y FROM a JOIN b ON a.k = b.k ORDER BY a.k LIMIT {LIMIT}"
+
+REORDER_MODES = ("reordered", "syntactic")
+STRATEGY_MODES = (
+    "merge_count", "hash_count", "merge_ordered_limit", "hash_ordered_limit",
+)
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def three_table_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE big (m INT, s INT, v REAL)")
+    db.execute("CREATE TABLE mid (id INT, w REAL)")
+    db.execute("CREATE TABLE small (id INT, flag INT)")
+    db.insert_rows(
+        "big", [(i % (N_ROWS // 10), i % 50, float(i)) for i in range(N_ROWS)]
+    )
+    db.insert_rows("mid", [(i, float(i)) for i in range(N_ROWS // 10)])
+    # flag is selective (25 distinct values): WHERE flag = 1 keeps 2 of 50
+    # rows, which is what makes joining small first the clear winner
+    db.insert_rows("small", [(i, i % 25) for i in range(50)])
+    db.analyze()
+    return db
+
+
+@pytest.fixture(scope="module")
+def strategy_dbs() -> dict:
+    built: dict[str, Database] = {}
+    for mode in ("merge", "hash"):
+        db = Database()
+        db.execute("CREATE TABLE a (k INT, x REAL)")
+        db.execute("CREATE TABLE b (k INT, y REAL)")
+        db.insert_rows("a", [(i, float(i)) for i in range(N_ROWS)])
+        db.insert_rows(
+            "b", [(i % (N_ROWS // 2), float(i)) for i in range(N_ROWS // 2)]
+        )
+        if mode == "merge":
+            db.execute("CREATE INDEX iak ON a (k)")
+            db.execute("CREATE INDEX ibk ON b (k)")
+        db.analyze()
+        built[mode] = db
+    return built
+
+
+def _record(mode: str, benchmark) -> None:
+    _RESULTS[mode] = benchmark.stats.stats.mean
+    if not all(m in _RESULTS for m in REORDER_MODES + STRATEGY_MODES):
+        return
+    payload = {
+        "n_rows": N_ROWS,
+        "limit": LIMIT,
+        "reordering": {
+            "query": REORDER_SQL,
+            "reordered": {"seconds": _RESULTS["reordered"]},
+            "syntactic": {"seconds": _RESULTS["syntactic"]},
+            "speedup": _RESULTS["syntactic"] / _RESULTS["reordered"],
+        },
+        "strategy": {
+            "count_query": COUNT_SQL,
+            "ordered_query": ORDERED_SQL,
+            "merge_count": {"seconds": _RESULTS["merge_count"]},
+            "hash_count": {"seconds": _RESULTS["hash_count"]},
+            "merge_ordered_limit": {"seconds": _RESULTS["merge_ordered_limit"]},
+            "hash_ordered_limit": {"seconds": _RESULTS["hash_ordered_limit"]},
+            "count_speedup": _RESULTS["hash_count"] / _RESULTS["merge_count"],
+            "ordered_speedup": (
+                _RESULTS["hash_ordered_limit"] / _RESULTS["merge_ordered_limit"]
+            ),
+        },
+    }
+    rows = [
+        ["3-table reordered", f"{_RESULTS['reordered'] * 1000:.2f} ms",
+         f"{payload['reordering']['speedup']:.2f}x vs syntactic"],
+        ["COUNT merge join", f"{_RESULTS['merge_count'] * 1000:.2f} ms",
+         f"{payload['strategy']['count_speedup']:.2f}x vs hash"],
+        ["ordered LIMIT merge", f"{_RESULTS['merge_ordered_limit'] * 1000:.3f} ms",
+         f"{payload['strategy']['ordered_speedup']:.0f}x vs hash+topk"],
+    ]
+    print_generic(
+        f"A7 — join reordering and merge joins ({N_ROWS} rows)",
+        ["Plan", "Latency", "Speedup"],
+        rows,
+    )
+    path = write_json_artifact("joins", payload)
+    print(f"artifact: {path}")
+
+
+@pytest.mark.parametrize("mode", REORDER_MODES)
+def test_three_table_reordering(benchmark, mode, three_table_db):
+    db = three_table_db
+    db.reorder_joins = mode == "reordered"
+    try:
+        count = benchmark(lambda: db.execute(REORDER_SQL).scalar())
+    finally:
+        db.reorder_joins = True
+    assert count == db.execute(REORDER_SQL).scalar()
+    _record(mode, benchmark)
+
+
+@pytest.mark.parametrize("mode", ("merge_count", "hash_count"))
+def test_count_join_strategy(benchmark, mode, strategy_dbs):
+    db = strategy_dbs["merge" if mode.startswith("merge") else "hash"]
+    count = benchmark(lambda: db.execute(COUNT_SQL).scalar())
+    assert count == N_ROWS // 2
+    _record(mode, benchmark)
+
+
+@pytest.mark.parametrize("mode", ("merge_ordered_limit", "hash_ordered_limit"))
+def test_ordered_limit_join_strategy(benchmark, mode, strategy_dbs):
+    db = strategy_dbs["merge" if mode.startswith("merge") else "hash"]
+    result = benchmark(lambda: db.execute(ORDERED_SQL).rows)
+    keys = [k for k, _ in result]
+    assert len(result) == LIMIT and keys == sorted(keys)
+    _record(mode, benchmark)
+
+
+def test_join_acceptance(three_table_db, strategy_dbs):
+    """Plan shapes and the speedups the issue demands."""
+    plan = three_table_db.explain(REORDER_SQL)
+    lines = plan.splitlines()
+
+    def indent_of(marker):
+        return next(
+            len(line) - len(line.lstrip()) for line in lines if marker in line
+        )
+
+    # the small filtered table (written last syntactically) joins first:
+    # its build side sits deepest in the tree
+    assert indent_of("HashJoin(small") > indent_of("HashJoin(mid")
+
+    merge_plan = strategy_dbs["merge"].explain(ORDERED_SQL)
+    assert "MergeJoin" in merge_plan
+    assert "Sort" not in merge_plan and "TopK" not in merge_plan
+    hash_plan = strategy_dbs["hash"].explain(ORDERED_SQL)
+    assert "HashJoin" in hash_plan and "TopK" in hash_plan
+
+    if all(m in _RESULTS for m in REORDER_MODES + STRATEGY_MODES):
+        reorder_speedup = _RESULTS["syntactic"] / _RESULTS["reordered"]
+        ordered_speedup = (
+            _RESULTS["hash_ordered_limit"] / _RESULTS["merge_ordered_limit"]
+        )
+        # full-scale bars; smoke runs are too small for stable ratios
+        if N_ROWS >= 50_000:
+            assert reorder_speedup >= 1.1, f"measured {reorder_speedup:.2f}x"
+            assert ordered_speedup >= 50, f"measured {ordered_speedup:.1f}x"
+            count_speedup = _RESULTS["hash_count"] / _RESULTS["merge_count"]
+            assert count_speedup >= 1.2, f"measured {count_speedup:.2f}x"

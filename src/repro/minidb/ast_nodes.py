@@ -288,9 +288,13 @@ class RollbackStmt:
 
 @dataclass(frozen=True)
 class ExplainStmt:
-    """``EXPLAIN <statement>`` — returns the plan as text rows."""
+    """``EXPLAIN [ANALYZE] <statement>`` — returns the plan as text rows.
+
+    With ``analyze`` the statement (SELECT only) is executed and every
+    operator is annotated with the rows it actually produced."""
 
     statement: object
+    analyze: bool = False
 
 
 Statement = Union[

@@ -53,6 +53,7 @@ class BTree:
         self.order = order
         self.root: _Leaf | _Internal = _Leaf()
         self._n_entries = 0  # number of (key, rowid) pairs
+        self._n_keys = 0  # number of distinct keys (maintained incrementally)
 
     def __len__(self) -> int:
         """Number of (key, rowid) pairs stored."""
@@ -60,8 +61,9 @@ class BTree:
 
     @property
     def n_keys(self) -> int:
-        """Number of distinct keys currently stored."""
-        return sum(1 for _ in self.iter_items())
+        """Number of distinct keys currently stored (O(1); the planner's
+        statistics layer reads this as an exact distinct-value count)."""
+        return self._n_keys
 
     # -- mutation ------------------------------------------------------------
 
@@ -89,6 +91,7 @@ class BTree:
         if not bucket:
             del node.keys[index]
             del node.values[index]
+            self._n_keys -= 1
         return True
 
     # -- queries -------------------------------------------------------------
@@ -200,6 +203,7 @@ class BTree:
         all_keys = [key for leaf in leaves_via_tree for key in leaf.keys]
         assert all_keys == sorted(all_keys), "leaf keys not sorted"
         assert len(all_keys) == len(set(map(repr, all_keys))), "duplicate keys in leaves"
+        assert len(all_keys) == self._n_keys, "distinct-key counter drifted"
         total = sum(
             len(bucket) for leaf in leaves_via_tree for bucket in leaf.values
         )
@@ -257,6 +261,7 @@ class BTree:
             node.keys.insert(index, key)
             node.values.insert(index, {rowid})
             self._n_entries += 1
+            self._n_keys += 1
             if len(node.keys) > self.order:
                 return self._split_leaf(node)
             return None

@@ -20,6 +20,7 @@ from repro.minidb import executor
 from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema
 from repro.minidb.parser import parse
 from repro.minidb.results import ResultSet, StreamingResult
+from repro.minidb.stats import StatsManager
 from repro.minidb.storage import Table
 from repro.minidb.transactions import TransactionManager
 from repro.minidb.wal import WriteAheadLog
@@ -35,6 +36,11 @@ class Database:
         self.index_catalog: dict[str, IndexDef] = {}
         self.wal = wal
         self.txn = TransactionManager()
+        # cost-based planning knobs: per-table statistics (lazily rebuilt;
+        # see repro.minidb.stats) and the join-reordering switch — flip it
+        # off to force syntactic join order (benchmarks, debugging)
+        self.stats = StatsManager()
+        self.reorder_joins = True
         self._stmt_cache: dict[str, ast.Statement] = {}
 
     # -- public API ----------------------------------------------------------
@@ -97,10 +103,21 @@ class Database:
         table = self.table(table_name)
         return [table.insert(list(row)) for row in rows]
 
-    def explain(self, sql: str) -> str:
-        """The query plan for ``sql`` as newline-joined text."""
-        result = self.execute(f"EXPLAIN {sql}")
+    def explain(self, sql: str, params: tuple | list = (),
+                analyze: bool = False) -> str:
+        """The query plan for ``sql`` as newline-joined text.
+
+        ``analyze=True`` executes the statement (SELECT only) and shows
+        estimated vs. actual rows for every operator.
+        """
+        prefix = "EXPLAIN ANALYZE" if analyze else "EXPLAIN"
+        result = self.execute(f"{prefix} {sql}", params)
         return "\n".join(row[0] for row in result.rows)
+
+    def analyze(self) -> None:
+        """Force an immediate statistics rebuild for every table."""
+        for table in self.tables.values():
+            self.stats.analyze(table)
 
     def checkpoint(self) -> int:
         """Flush the WAL (no-op without one); returns records flushed."""
@@ -151,7 +168,8 @@ class Database:
             self.txn.rollback(self)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.ExplainStmt):
-            return executor.explain(self, statement.statement)
+            return executor.explain(self, statement.statement, params,
+                                    analyze=statement.analyze)
         raise DatabaseError(f"cannot execute {type(statement).__name__}")
 
     def _on_change(self, event: tuple) -> None:
@@ -207,6 +225,7 @@ class Database:
                 return ResultSet([], [], rowcount=0)
             raise CatalogError(f"no table {statement.name!r}")
         del self.tables[statement.name]
+        self.stats.forget(statement.name)
         for index_name in [
             n for n, meta in self.index_catalog.items() if meta.table == statement.name
         ]:

@@ -1,26 +1,33 @@
-"""Statement execution for minidb.
+"""Statement execution for minidb: a dispatcher over physical plan nodes.
 
-Rows flow through the pipeline as Python lists laid out as
-``[rowid, col0, col1, ...]`` (for joins, the segments are concatenated).
-SELECT is a chain of *streaming* operators: scan -> join -> filter ->
-aggregate/project -> distinct -> order -> limit, where every stage except
-aggregation and full sorts is a generator pulling rows one at a time.  The
-consequences the Table 1 benchmark relies on:
+The planner (:func:`repro.minidb.planner.plan_select`) compiles every
+SELECT into a tree of typed operators (:mod:`repro.minidb.plan_nodes`);
+this module walks that tree, mapping each node type to a streaming
+handler.  Rows flow through the pipeline as Python lists laid out as
+``[rowid, col0, col1, ...]`` — for joins, the segments of the joined
+tables are concatenated in *execution* order (the planner resolves all
+column references against that layout, so reordered joins need no row
+shuffling).
 
-* ``LIMIT``/``OFFSET`` short-circuit the scan — ``LIMIT 10`` over 100k rows
-  touches 10 rows (plus offset), not 100k;
-* ``ORDER BY col LIMIT k`` keeps a bounded heap (top-k) instead of sorting
-  the whole input, and skips even that when the planner answers with an
-  index-ordered scan;
-* every equi-join builds a hash table on the joined side and probes it as
-  left rows stream through — extra ``ON`` conjuncts become a residual
-  filter per candidate instead of forcing an O(n*m) nested loop;
-* ``WHERE`` conjuncts that touch only the base table are pushed below the
-  join into the scan, where the planner can turn them into index lookups.
+Every stage except hash builds, hash aggregation, and full sorts is a
+generator pulling rows one at a time, which is what the Table 1 benchmark
+relies on:
 
-UPDATE/DELETE plan their scans with the same planner, so indexed predicates
-touch only matching rows — the locality that makes the database backend
-fast in Table 1.
+* ``LIMIT``/``OFFSET`` short-circuit the scan — through filters, joins
+  (including the nested-loop fallback) and streaming aggregation;
+* ``ORDER BY col LIMIT k`` keeps a bounded heap (top-k) instead of
+  sorting the whole input, and skips even that when the planner answers
+  with an index-ordered scan;
+* a :class:`~repro.minidb.plan_nodes.MergeJoin` consumes pre-grouped
+  B+tree keys on the build side instead of materializing a hash table,
+  preserving the probe stream's order;
+* a :class:`~repro.minidb.plan_nodes.StreamAggregate` holds one group at
+  a time, emitting each as soon as the grouping key changes.
+
+UPDATE/DELETE plan their scans with the same access-path planner, so
+indexed predicates touch only matching rows.  ``EXPLAIN`` renders the
+plan tree with estimated rows; ``EXPLAIN ANALYZE`` executes the SELECT
+and shows estimated vs. actual rows per operator.
 """
 
 from __future__ import annotations
@@ -30,10 +37,10 @@ from itertools import islice
 
 from repro.errors import ExecutionError, PlanningError
 from repro.minidb import ast_nodes as ast
+from repro.minidb import plan_nodes as nodes
 from repro.minidb.expressions import (
     Resolver,
     compile_expr,
-    find_aggregates,
     sort_key,
     truthy,
 )
@@ -49,10 +56,9 @@ from repro.minidb.planner import (
     ROWID_EQ,
     ROWID_IN,
     ScanPlan,
-    conjoin,
-    partition_conjuncts,
+    output_name,
     plan_scan,
-    split_join_condition,
+    plan_select,
 )
 from repro.minidb.results import ResultSet, StreamingResult
 from repro.minidb.storage import Table
@@ -66,10 +72,18 @@ def _value_fn(expr: ast.Expr):
     return compile_expr(expr, resolver)
 
 
+def _eval_value(expr: ast.Expr, params: tuple):
+    return _value_fn(expr)(_EMPTY_ROW, params)
+
+
 def scan_rows(table: Table, plan: ScanPlan, params: tuple):
-    """Yield ``[rowid, *values]`` rows according to the chosen access path."""
+    """Yield ``[rowid, *values]`` rows according to the chosen access path.
+
+    The residual predicate is *not* applied here — the plan tree hangs a
+    Filter node above the scan (DML paths apply it themselves).
+    """
     if plan.kind == ROWID_EQ:
-        rowid = _value_fn(plan.eq_expr)(_EMPTY_ROW, params)
+        rowid = _eval_value(plan.eq_expr, params)
         values = table.rows.get(rowid)
         if values is not None:
             yield [rowid, *values]
@@ -77,7 +91,7 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
     if plan.kind == ROWID_IN:
         seen: set[int] = set()
         for item in plan.in_exprs:
-            rowid = _value_fn(item)(_EMPTY_ROW, params)
+            rowid = _eval_value(item, params)
             if rowid in seen:
                 continue
             seen.add(rowid)
@@ -87,7 +101,7 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
         return
     if plan.kind == INDEX_EQ:
         index = table.indexes[plan.index_name]
-        value = _value_fn(plan.eq_expr)(_EMPTY_ROW, params)
+        value = _eval_value(plan.eq_expr, params)
         for rowid in index.lookup(value):
             yield [rowid, *table.rows[rowid]]
         return
@@ -95,7 +109,7 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
         index = table.indexes[plan.index_name]
         seen: set[int] = set()
         for item in plan.in_exprs:
-            value = _value_fn(item)(_EMPTY_ROW, params)
+            value = _eval_value(item, params)
             for rowid in index.lookup(value):
                 if rowid not in seen:
                     seen.add(rowid)
@@ -104,15 +118,27 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
     if plan.kind == INDEX_PREFIX:
         index = table.indexes[plan.index_name]
         values = tuple(
-            _value_fn(expr)(_EMPTY_ROW, params) for expr in plan.prefix_exprs
+            _eval_value(expr, params) for expr in plan.prefix_exprs
         )
         rows = table.rows
         if index.kind == "hash":
             for rowid in index.lookup_values(values):
                 yield [rowid, *rows[rowid]]
-        else:
-            for rowid in index.prefix_scan(values, reverse=plan.descending):
-                yield [rowid, *rows[rowid]]
+            return
+        low = high = None
+        if plan.low_expr is not None:
+            low = _eval_value(plan.low_expr, params)
+            if low is None:
+                return  # a comparison with NULL matches nothing
+        if plan.high_expr is not None:
+            high = _eval_value(plan.high_expr, params)
+            if high is None:
+                return
+        for rowid in index.prefix_scan(
+            values, reverse=plan.descending, low=low, high=high,
+            include_low=plan.include_low, include_high=plan.include_high,
+        ):
+            yield [rowid, *rows[rowid]]
         return
     if plan.kind == INDEX_NULL:
         index = table.indexes[plan.index_name]
@@ -121,9 +147,17 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
         return
     if plan.kind == INDEX_RANGE:
         index = table.indexes[plan.index_name]
-        low = _value_fn(plan.low_expr)(_EMPTY_ROW, params) if plan.low_expr is not None else None
-        high = _value_fn(plan.high_expr)(_EMPTY_ROW, params) if plan.high_expr is not None else None
-        for rowid in index.range(low, high, plan.include_low, plan.include_high):
+        low = high = None
+        if plan.low_expr is not None:
+            low = _eval_value(plan.low_expr, params)
+            if low is None:
+                return  # a comparison with NULL matches nothing
+        if plan.high_expr is not None:
+            high = _eval_value(plan.high_expr, params)
+            if high is None:
+                return
+        for rowid in index.range(low, high, plan.include_low,
+                                 plan.include_high, reverse=plan.descending):
             yield [rowid, *table.rows[rowid]]
         return
     if plan.kind == INDEX_ORDER:
@@ -137,155 +171,7 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
 
 
 # ---------------------------------------------------------------------------
-# SELECT planning
-# ---------------------------------------------------------------------------
-
-
-class _JoinSpec:
-    """One join step: strategy plus the pieces of its decomposed ON clause."""
-
-    __slots__ = ("join", "table", "offset", "width", "pairs", "build_filter",
-                 "residual")
-
-    def __init__(self, join: ast.Join, table: Table, offset: int,
-                 resolver: Resolver):
-        self.join = join
-        self.table = table
-        self.offset = offset
-        self.width = 1 + len(table.schema.columns)
-        pairs, right_only, residual = split_join_condition(
-            join.on, resolver, offset, self.width
-        )
-        self.pairs = pairs
-        if not pairs:
-            self.build_filter = None
-            self.residual = None  # nested loop evaluates the full ON clause
-            return
-        if join.kind == "LEFT":
-            # prefiltering the build side of a LEFT join would turn matched
-            # rows into NULL-padded ones; keep right-only conjuncts residual
-            self.build_filter = None
-            self.residual = conjoin(right_only + residual)
-        else:
-            self.build_filter = conjoin(right_only)
-            self.residual = conjoin(residual)
-
-
-class _SelectInfo:
-    """Everything execute/explain need to know about one SELECT's plan."""
-
-    __slots__ = ("base_table", "bindings", "resolver", "items", "alias_map",
-                 "has_aggregates", "scan", "join_specs", "post_where",
-                 "order_mode")
-
-
-# how the non-aggregate pipeline satisfies ORDER BY
-_ORDER_NONE = "none"        # no ORDER BY
-_ORDER_INDEXED = "indexed"  # the scan already streams rows in order
-_ORDER_TOPK = "topk"        # bounded heap of the offset+limit smallest keys
-_ORDER_SORT = "sort"        # materialize and fully sort
-
-
-def _analyze_select(db, stmt: ast.SelectStmt) -> _SelectInfo:
-    """Bind tables, pick scan/join strategies, and classify the ordering."""
-    info = _SelectInfo()
-    base_table = db.table(stmt.table.name)
-    bindings: dict[str, dict[str, int]] = {}
-    bindings[stmt.table.binding] = _layout(base_table, 0)
-    offset = 1 + len(base_table.schema.columns)
-
-    join_tables: list[tuple[ast.Join, Table, int]] = []
-    for join in stmt.joins:
-        table = db.table(join.table.name)
-        bindings[join.table.binding] = _layout(table, offset)
-        join_tables.append((join, table, offset))
-        offset += 1 + len(table.schema.columns)
-    resolver = Resolver(bindings)
-
-    info.base_table = base_table
-    info.bindings = bindings
-    info.resolver = resolver
-    info.items = _expand_stars(stmt.items, bindings)
-    info.alias_map = {
-        item.alias: item.expr for item in info.items if item.alias is not None
-    }
-    info.has_aggregates = bool(stmt.group_by) or any(
-        item.expr is not None and find_aggregates(item.expr)
-        for item in info.items
-    ) or (stmt.having is not None and find_aggregates(stmt.having))
-
-    order_spec = (
-        None if info.has_aggregates
-        else _scan_order_spec(stmt, info, base_table, resolver)
-    )
-    boundary = 1 + len(base_table.schema.columns)
-    if join_tables:
-        pushed, info.post_where = partition_conjuncts(
-            stmt.where, resolver, boundary
-        )
-        info.scan = plan_scan(
-            base_table, pushed, binding=stmt.table.binding,
-            order_spec=order_spec,
-        )
-    else:
-        info.scan = plan_scan(
-            base_table, stmt.where, binding=stmt.table.binding,
-            order_spec=order_spec,
-        )
-        info.post_where = None
-    info.join_specs = [
-        _JoinSpec(join, table, join_offset, resolver)
-        for join, table, join_offset in join_tables
-    ]
-
-    if info.has_aggregates or not stmt.order_by:
-        info.order_mode = _ORDER_NONE
-    elif order_spec is not None and info.scan.order_satisfied:
-        # joins stream left rows through in order, so scan order survives
-        info.order_mode = _ORDER_INDEXED
-    elif stmt.limit is not None and not stmt.distinct:
-        info.order_mode = _ORDER_TOPK
-    else:
-        info.order_mode = _ORDER_SORT
-    return info
-
-
-def _scan_order_spec(stmt: ast.SelectStmt, info: _SelectInfo,
-                     base_table: Table, resolver: Resolver) -> list | None:
-    """The ORDER BY as ``(base-table column, ascending)`` pairs.
-
-    None when any order item is something a scan cannot produce directly —
-    an expression, a positional reference, or a joined table's column.
-    Directions may be mixed; the planner decides what it can serve.
-    """
-    if not stmt.order_by:
-        return None
-    spec: list = []
-    for order in stmt.order_by:
-        expr = order.expr
-        if (
-            isinstance(expr, ast.ColumnRef) and expr.table is None
-            and expr.name in info.alias_map
-        ):
-            expr = info.alias_map[expr.name]
-        if not isinstance(expr, ast.ColumnRef):
-            return None
-        if not base_table.schema.has_column(expr.name):
-            return None
-        if expr.table is not None and expr.table != stmt.table.binding:
-            return None
-        try:
-            position = resolver.resolve(expr)
-        except PlanningError:
-            return None  # ambiguous across joins; the sort path reports it
-        if not 1 <= position <= len(base_table.schema.columns):
-            return None
-        spec.append((expr.name, order.ascending))
-    return spec
-
-
-# ---------------------------------------------------------------------------
-# SELECT execution
+# SELECT execution: the node dispatcher
 # ---------------------------------------------------------------------------
 
 
@@ -302,39 +188,11 @@ def execute_select(db, stmt: ast.SelectStmt, params: tuple,
         if stream:
             return StreamingResult(result.columns, iter(result.rows))
         return result
-
-    info = _analyze_select(db, stmt)
-    rows = scan_rows(info.base_table, info.scan, params)
-    if info.scan.residual is not None:
-        # base-table positions coincide in the single-table and joined
-        # layouts, so the full resolver compiles residuals for both
-        residual_fn = compile_expr(info.scan.residual, info.resolver)
-        rows = (row for row in rows if truthy(residual_fn(row, params)))
-    for spec in info.join_specs:
-        rows = _stream_join(rows, spec, info.resolver, params)
-    if info.post_where is not None:
-        post_fn = compile_expr(info.post_where, info.resolver)
-        rows = (row for row in rows if truthy(post_fn(row, params)))
-
-    if info.has_aggregates:
-        names, out = _aggregate_pipeline(stmt, info.items, rows,
-                                         info.resolver, params)
-        if stmt.distinct:
-            out = _stream_distinct(out)
-        limit, offset = _limit_bounds(stmt, params)
-        out = _limit_stream(out, limit, offset)
-    else:
-        names, out = _project_order_limit(stmt, info, rows, params)
-
+    plan = plan_select(db, stmt)
+    out = _run_node(plan.root, params, None)
     if stream:
-        return StreamingResult(names, out)
-    return ResultSet(names, list(out))
-
-
-def _layout(table: Table, offset: int) -> dict[str, int]:
-    mapping = {name: offset + 1 + i for i, name in enumerate(table.schema.column_names)}
-    mapping.setdefault("rowid", offset)
-    return mapping
+        return StreamingResult(plan.names, out)
+    return ResultSet(plan.names, list(out))
 
 
 def _select_without_table(stmt: ast.SelectStmt, params: tuple) -> ResultSet:
@@ -343,63 +201,63 @@ def _select_without_table(stmt: ast.SelectStmt, params: tuple) -> ResultSet:
     if any(item.is_star for item in items):
         raise PlanningError("SELECT * requires a FROM clause")
     fns = [compile_expr(item.expr, resolver) for item in items]
-    names = [_output_name(item) for item in items]
+    names = [output_name(item) for item in items]
     row = tuple(fn(_EMPTY_ROW, params) for fn in fns)
     return ResultSet(names, [row])
 
 
-def _expand_stars(items, bindings) -> list[ast.SelectItem]:
-    expanded: list[ast.SelectItem] = []
-    for item in items:
-        if not item.is_star:
-            expanded.append(item)
-            continue
-        targets = [item.star_table] if item.star_table else list(bindings)
-        for binding in targets:
-            if binding not in bindings:
-                raise PlanningError(f"unknown table {binding!r} in select list")
-            for column, position in bindings[binding].items():
-                if column == "rowid":
-                    continue
-                expanded.append(
-                    ast.SelectItem(expr=ast.ColumnRef(binding, column), alias=column)
-                )
-    return expanded
+def _run_node(node: nodes.PlanNode, params: tuple, counters: dict | None):
+    """Dispatch one plan node to its handler, returning its output iterator.
+
+    With ``counters`` (an ANALYZE run), the iterator is wrapped to record
+    the number of rows the operator actually produced, keyed by node id.
+    """
+    handler = _NODE_HANDLERS[type(node)]
+    out = handler(node, params, counters)
+    if counters is not None:
+        out = _counted(out, node, counters)
+    return out
 
 
-# ---------------------------------------------------------------------------
-# joins
-# ---------------------------------------------------------------------------
+def _counted(rows, node, counters: dict):
+    counters.setdefault(id(node), 0)
+    for row in rows:
+        counters[id(node)] += 1
+        yield row
 
 
-def _stream_join(rows, spec: _JoinSpec, resolver: Resolver, params: tuple):
-    """Stream the combined rows of one join step, preserving left order."""
-    join, table, pad_width = spec.join, spec.table, spec.width
-    if spec.pairs:
-        left_positions = [lp for lp, _ in spec.pairs]
-        right_positions = [rp - spec.offset for _, rp in spec.pairs]
-        build_filter_fn = (
-            compile_expr(spec.build_filter, resolver)
-            if spec.build_filter is not None else None
-        )
-        residual_fn = (
-            compile_expr(spec.residual, resolver)
-            if spec.residual is not None else None
-        )
-        pad = [None] * spec.offset
+def _exec_scan(node: nodes.Scan, params, counters):
+    return scan_rows(node.table, node.plan, params)
+
+
+def _exec_filter(node: nodes.Filter, params, counters):
+    fn = node.fn
+    return (
+        row for row in _run_node(node.child, params, counters)
+        if truthy(fn(row, params))
+    )
+
+
+def _exec_hash_join(node: nodes.HashJoin, params, counters):
+    def run():
+        build_filter_fn = node.build_filter_fn
+        residual_fn = node.residual_fn
+        pad = [None] * node.offset
         buckets: dict = {}
-        for rowid, values in table.scan():
-            right = [rowid, *values]
+        for right in _run_node(node.right, params, counters):
             if build_filter_fn is not None and not truthy(
                 build_filter_fn(pad + right, params)
             ):
                 continue
-            key_values = [right[p] for p in right_positions]
+            key_values = [right[p] for p in node.right_positions]
             if any(v is None for v in key_values):
                 continue  # NULL join keys never match
             key = tuple(normalize_key(v) for v in key_values)
             buckets.setdefault(key, []).append(right)
-        for left in rows:
+        left_positions = node.left_positions
+        pad_width = node.pad_width
+        is_left = node.kind == "LEFT"
+        for left in _run_node(node.left, params, counters):
             key_values = [left[p] for p in left_positions]
             if any(v is None for v in key_values):
                 matches = ()
@@ -415,274 +273,181 @@ def _stream_join(rows, spec: _JoinSpec, resolver: Resolver, params: tuple):
                     continue
                 matched = True
                 yield candidate
-            if not matched and join.kind == "LEFT":
+            if not matched and is_left:
                 yield left + [None] * pad_width
-        return
-    right_rows = [[rowid, *values] for rowid, values in table.scan()]
-    predicate = compile_expr(join.on, resolver)
-    for left in rows:
-        matched = False
-        for right in right_rows:
-            candidate = left + right
-            if truthy(predicate(candidate, params)):
-                matched = True
+    return run()
+
+
+def _exec_merge_join(node: nodes.MergeJoin, params, counters):
+    def run():
+        right_filter = node.right_filter_fn
+        residual_fn = node.residual_fn
+        stored_rows = node.table.rows
+        groups = node.index.ordered_groups()
+        left_pos = node.left_pos
+        if counters is not None:
+            # the build subtree is walked here, not via _run_node; attribute
+            # the rows actually materialized to its display nodes
+            filter_node = (
+                node.right if isinstance(node.right, nodes.Filter) else None
+            )
+            scan_node = filter_node.child if filter_node is not None else node.right
+            counters.setdefault(id(scan_node), 0)
+            if filter_node is not None:
+                counters.setdefault(id(filter_node), 0)
+        cur_key = None
+        cur_rowids: set = set()
+        cur_rows: list | None = None
+        exhausted = False
+        for left in _run_node(node.left, params, counters):
+            value = left[left_pos]
+            if value is None:
+                continue  # NULL join keys never match
+            key = sort_key(value)
+            while not exhausted and (cur_key is None or cur_key < key):
+                try:
+                    cur_key, cur_rowids = next(groups)
+                    cur_rows = None
+                except StopIteration:
+                    exhausted = True
+            if exhausted and (cur_key is None or cur_key < key):
+                break  # INNER: left keys only grow, nothing more matches
+            if cur_key != key:
+                continue
+            if cur_rows is None:  # materialize the group once per key
+                cur_rows = []
+                for rowid in cur_rowids:
+                    right = [rowid, *stored_rows[rowid]]
+                    if counters is not None:
+                        counters[id(scan_node)] += 1
+                    if right_filter is None or truthy(right_filter(right, params)):
+                        cur_rows.append(right)
+                if counters is not None and filter_node is not None:
+                    counters[id(filter_node)] += len(cur_rows)
+            for right in cur_rows:
+                candidate = left + right
+                if residual_fn is not None and not truthy(
+                    residual_fn(candidate, params)
+                ):
+                    continue
                 yield candidate
-        if not matched and join.kind == "LEFT":
-            yield left + [None] * pad_width
+    return run()
 
 
-# ---------------------------------------------------------------------------
-# aggregation
-# ---------------------------------------------------------------------------
+def _exec_nested_loop(node: nodes.NestedLoopJoin, params, counters):
+    def run():
+        right_rows = list(_run_node(node.right, params, counters))
+        predicate = node.predicate_fn
+        is_left = node.kind == "LEFT"
+        pad_width = node.pad_width
+        for left in _run_node(node.left, params, counters):
+            matched = False
+            for right in right_rows:
+                candidate = left + right
+                if predicate is None or truthy(predicate(candidate, params)):
+                    matched = True
+                    yield candidate
+            if not matched and is_left:
+                yield left + [None] * pad_width
+    return run()
 
 
-class _AggregateRewriter:
-    """Rewrites expressions over base rows into expressions over
-    intermediate rows laid out as ``[group_key_0.., agg_0..]``."""
-
-    def __init__(self, group_exprs: tuple):
-        self.group_exprs = list(group_exprs)
-        self.agg_nodes: list[ast.FuncCall] = []
-        self._agg_slots: dict[ast.FuncCall, int] = {}
-
-    def rewrite(self, expr: ast.Expr) -> ast.Expr:
-        for i, group_expr in enumerate(self.group_exprs):
-            if _expr_matches(expr, group_expr):
-                return ast.SlotRef(i)
-        if isinstance(expr, ast.FuncCall) and find_aggregates(expr) and expr in self._agg_slots:
-            return ast.SlotRef(len(self.group_exprs) + self._agg_slots[expr])
-        if isinstance(expr, ast.FuncCall):
-            from repro.minidb.functions import is_aggregate
-
-            if is_aggregate(expr.name):
-                slot = self._agg_slots.get(expr)
-                if slot is None:
-                    slot = len(self.agg_nodes)
-                    self._agg_slots[expr] = slot
-                    self.agg_nodes.append(expr)
-                return ast.SlotRef(len(self.group_exprs) + slot)
-            return ast.FuncCall(
-                expr.name, tuple(self.rewrite(a) for a in expr.args),
-                expr.distinct, expr.is_star,
-            )
-        if isinstance(expr, ast.ColumnRef):
-            raise PlanningError(
-                f"column {expr.name!r} must appear in GROUP BY or inside an aggregate"
-            )
-        if isinstance(expr, ast.Unary):
-            return ast.Unary(expr.op, self.rewrite(expr.operand))
-        if isinstance(expr, ast.Binary):
-            return ast.Binary(expr.op, self.rewrite(expr.left), self.rewrite(expr.right))
-        if isinstance(expr, ast.Between):
-            return ast.Between(
-                self.rewrite(expr.expr), self.rewrite(expr.low),
-                self.rewrite(expr.high), expr.negated,
-            )
-        if isinstance(expr, ast.InList):
-            return ast.InList(
-                self.rewrite(expr.expr), tuple(self.rewrite(i) for i in expr.items),
-                expr.negated,
-            )
-        if isinstance(expr, ast.IsNull):
-            return ast.IsNull(self.rewrite(expr.expr), expr.negated)
-        if isinstance(expr, ast.Like):
-            return ast.Like(self.rewrite(expr.expr), self.rewrite(expr.pattern), expr.negated)
-        if isinstance(expr, ast.Cast):
-            return ast.Cast(self.rewrite(expr.expr), expr.type_name)
-        if isinstance(expr, ast.Case):
-            return ast.Case(
-                self.rewrite(expr.operand) if expr.operand is not None else None,
-                tuple((self.rewrite(w), self.rewrite(t)) for w, t in expr.whens),
-                self.rewrite(expr.else_result) if expr.else_result is not None else None,
-            )
-        return expr  # Literal, Param, SlotRef
+# -- aggregation -------------------------------------------------------------
 
 
-def _substitute_aliases(expr: ast.Expr, alias_map: dict) -> ast.Expr:
-    """Recursively replace select-list alias references with their expressions."""
-    if isinstance(expr, ast.ColumnRef):
-        if expr.table is None and expr.name in alias_map:
-            return alias_map[expr.name]
-        return expr
-    if isinstance(expr, ast.Unary):
-        return ast.Unary(expr.op, _substitute_aliases(expr.operand, alias_map))
-    if isinstance(expr, ast.Binary):
-        return ast.Binary(
-            expr.op,
-            _substitute_aliases(expr.left, alias_map),
-            _substitute_aliases(expr.right, alias_map),
-        )
-    if isinstance(expr, ast.Between):
-        return ast.Between(
-            _substitute_aliases(expr.expr, alias_map),
-            _substitute_aliases(expr.low, alias_map),
-            _substitute_aliases(expr.high, alias_map),
-            expr.negated,
-        )
-    if isinstance(expr, ast.InList):
-        return ast.InList(
-            _substitute_aliases(expr.expr, alias_map),
-            tuple(_substitute_aliases(i, alias_map) for i in expr.items),
-            expr.negated,
-        )
-    if isinstance(expr, ast.IsNull):
-        return ast.IsNull(_substitute_aliases(expr.expr, alias_map), expr.negated)
-    if isinstance(expr, ast.Like):
-        return ast.Like(
-            _substitute_aliases(expr.expr, alias_map),
-            _substitute_aliases(expr.pattern, alias_map),
-            expr.negated,
-        )
-    if isinstance(expr, ast.FuncCall):
-        return ast.FuncCall(
-            expr.name,
-            tuple(_substitute_aliases(a, alias_map) for a in expr.args),
-            expr.distinct, expr.is_star,
-        )
-    if isinstance(expr, ast.Cast):
-        return ast.Cast(_substitute_aliases(expr.expr, alias_map), expr.type_name)
-    if isinstance(expr, ast.Case):
-        return ast.Case(
-            _substitute_aliases(expr.operand, alias_map) if expr.operand is not None else None,
-            tuple(
-                (_substitute_aliases(w, alias_map), _substitute_aliases(t, alias_map))
-                for w, t in expr.whens
-            ),
-            _substitute_aliases(expr.else_result, alias_map)
-            if expr.else_result is not None else None,
-        )
-    return expr
+def _new_group(spec: nodes.AggregateSpec):
+    accumulators = [make_aggregate(fnode.name) for fnode, _ in spec.agg_specs]
+    seen = [set() if fnode.distinct else None for fnode, _ in spec.agg_specs]
+    return accumulators, seen
 
 
-def _expr_matches(expr: ast.Expr, group_expr: ast.Expr) -> bool:
-    if expr == group_expr:
-        return True
-    if isinstance(expr, ast.ColumnRef) and isinstance(group_expr, ast.ColumnRef):
-        return expr.name == group_expr.name and (
-            expr.table is None or group_expr.table is None or expr.table == group_expr.table
-        )
-    return False
+def _step_group(spec: nodes.AggregateSpec, accumulators, seen_list, row,
+                params) -> None:
+    for i, (fnode, arg_fn) in enumerate(spec.agg_specs):
+        if fnode.is_star:
+            accumulators[i].step_star()
+            continue
+        value = arg_fn(row, params)
+        seen = seen_list[i]
+        if seen is not None:
+            marker = normalize_key(value) if value is not None else None
+            if marker in seen:
+                continue
+            seen.add(marker)
+        accumulators[i].step(value)
 
 
-def _aggregate_pipeline(stmt: ast.SelectStmt, items, rows, resolver: Resolver,
-                        params: tuple):
-    """Consume the row stream into hash groups; returns (names, row iter)."""
-    alias_map = {item.alias: item.expr for item in items if item.alias is not None}
-
-    def _substitute_alias(expr: ast.Expr) -> ast.Expr:
-        return _substitute_aliases(expr, alias_map)
-
-    group_exprs = tuple(_substitute_alias(expr) for expr in stmt.group_by)
-    rewriter = _AggregateRewriter(group_exprs)
-    rewritten_items = [
-        ast.SelectItem(rewriter.rewrite(item.expr), item.alias) for item in items
-    ]
-
-    rewritten_having = (
-        rewriter.rewrite(_substitute_alias(stmt.having))
-        if stmt.having is not None else None
-    )
-    rewritten_order = [
-        ast.OrderItem(rewriter.rewrite(_substitute_alias(order.expr)), order.ascending)
-        for order in stmt.order_by
-    ]
-
-    group_fns = [compile_expr(expr, resolver) for expr in group_exprs]
-    agg_specs = []
-    for node in rewriter.agg_nodes:
-        if node.is_star:
-            agg_specs.append((node, None))
-        else:
-            if len(node.args) != 1:
-                raise PlanningError(f"{node.name}() takes exactly one argument")
-            agg_specs.append((node, compile_expr(node.args[0], resolver)))
-
+def _agg_groups_hash(node: nodes.HashAggregate, params, counters):
+    """Consume the whole input into hash groups; yield intermediate rows."""
+    spec = node.spec
     groups: dict = {}
     group_values: dict = {}
     distinct_seen: dict = {}
-    for row in rows:
-        key_values = tuple(fn(row, params) for fn in group_fns)
+    for row in _run_node(node.child, params, counters):
+        key_values = tuple(fn(row, params) for fn in spec.group_fns)
         key = tuple(normalize_key(v) if v is not None else None for v in key_values)
         accumulators = groups.get(key)
         if accumulators is None:
-            accumulators = [make_aggregate(node.name) for node, _ in agg_specs]
+            accumulators, seen = _new_group(spec)
             groups[key] = accumulators
             group_values[key] = key_values
-            distinct_seen[key] = [set() if node.distinct else None for node, _ in agg_specs]
-        for i, (node, arg_fn) in enumerate(agg_specs):
-            if node.is_star:
-                accumulators[i].step_star()
-                continue
-            value = arg_fn(row, params)
-            seen = distinct_seen[key][i]
-            if seen is not None:
-                marker = normalize_key(value) if value is not None else None
-                if marker in seen:
-                    continue
-                seen.add(marker)
-            accumulators[i].step(value)
-
-    if not groups and not stmt.group_by:
+            distinct_seen[key] = seen
+        _step_group(spec, accumulators, distinct_seen[key], row, params)
+    if not groups and not spec.group_exprs:
         # aggregate over an empty input still yields one row
-        accumulators = [make_aggregate(node.name) for node, _ in agg_specs]
+        accumulators, _seen = _new_group(spec)
         groups[()] = accumulators
         group_values[()] = ()
-
-    slot_resolver = Resolver({})
-    having_fn = (
-        compile_expr(rewritten_having, slot_resolver)
-        if rewritten_having is not None else None
-    )
-    item_fns = [compile_expr(item.expr, slot_resolver) for item in rewritten_items]
-    names = [_output_name(original) for original in items]
-
-    inter_rows = []
     for key, accumulators in groups.items():
-        inter = list(group_values[key]) + [acc.final() for acc in accumulators]
-        if having_fn is not None and not truthy(having_fn(inter, params)):
+        yield list(group_values[key]) + [acc.final() for acc in accumulators]
+
+
+def _agg_groups_stream(node: nodes.StreamAggregate, params, counters):
+    """Group-ordered input: finalize and emit each group on key change,
+    holding exactly one group's state at a time."""
+    spec = node.spec
+    cur_key = None
+    cur_values: tuple = ()
+    accumulators = None
+    seen = None
+    for row in _run_node(node.child, params, counters):
+        key_values = tuple(fn(row, params) for fn in spec.group_fns)
+        key = tuple(normalize_key(v) if v is not None else None for v in key_values)
+        if accumulators is None or key != cur_key:
+            if accumulators is not None:
+                yield list(cur_values) + [acc.final() for acc in accumulators]
+            cur_key = key
+            cur_values = key_values
+            accumulators, seen = _new_group(spec)
+        _step_group(spec, accumulators, seen, row, params)
+    if accumulators is not None:
+        yield list(cur_values) + [acc.final() for acc in accumulators]
+    elif not spec.group_exprs:  # defensive: planner only streams GROUP BY
+        acc, _seen = _new_group(spec)
+        yield [a.final() for a in acc]
+
+
+def _agg_output(node, params, counters, with_inter: bool = False):
+    """Post-process intermediate group rows: HAVING, then projection."""
+    spec = node.spec
+    inter_fn = (
+        _agg_groups_stream if isinstance(node, nodes.StreamAggregate)
+        else _agg_groups_hash
+    )
+    for inter in inter_fn(node, params, counters):
+        if spec.having_fn is not None and not truthy(
+            spec.having_fn(inter, params)
+        ):
             continue
-        inter_rows.append(inter)
-
-    projected = [
-        tuple(fn(inter, params) for fn in item_fns) for inter in inter_rows
-    ]
-
-    if rewritten_order:
-        # positional ORDER BY (e.g. ORDER BY 2) refers to the projected
-        # output row, everything else to the intermediate group row
-        specs = []
-        for original, order in zip(stmt.order_by, rewritten_order):
-            if isinstance(original.expr, ast.Literal) and isinstance(
-                original.expr.value, int
-            ):
-                specs.append(("position", original.expr.value - 1, order.ascending))
-            else:
-                specs.append(
-                    ("expr", compile_expr(order.expr, slot_resolver), order.ascending)
-                )
-        keyed = []
-        for inter, out_row in zip(inter_rows, projected):
-            keys = []
-            for kind, spec, ascending in specs:
-                if kind == "position":
-                    if not 0 <= spec < len(out_row):
-                        raise PlanningError(
-                            f"ORDER BY position {spec + 1} out of range"
-                        )
-                    value = out_row[spec]
-                else:
-                    value = spec(inter, params)
-                keys.append(_direction_key(value, ascending))
-            keyed.append((tuple(keys), out_row))
-        keyed.sort(key=lambda pair: pair[0])
-        projected = [row for _, row in keyed]
-
-    return names, iter(projected)
+        out_row = tuple(fn(inter, params) for fn in spec.item_fns)
+        yield (inter, out_row) if with_inter else out_row
 
 
-# ---------------------------------------------------------------------------
-# ordering / distinct / limit
-# ---------------------------------------------------------------------------
+def _exec_aggregate(node, params, counters):
+    return _agg_output(node, params, counters)
+
+
+# -- ordering / projection / distinct / limit --------------------------------
 
 
 class _Reversed:
@@ -705,56 +470,6 @@ def _direction_key(value, ascending: bool):
     return key if ascending else _Reversed(key)
 
 
-def _project_order_limit(stmt: ast.SelectStmt, info: _SelectInfo, rows,
-                         params: tuple):
-    """Project the row stream and satisfy ORDER BY/DISTINCT/LIMIT.
-
-    Returns ``(names, iterator of output tuples)``.  Streaming modes
-    (``none``/``indexed``) never materialize; top-k keeps ``offset+limit``
-    rows; only the full-sort fallback holds the whole input.
-    """
-    item_fns = [compile_expr(item.expr, info.resolver) for item in info.items]
-    names = [_output_name(item) for item in info.items]
-    limit, offset = _limit_bounds(stmt, params)
-
-    if info.order_mode in (_ORDER_NONE, _ORDER_INDEXED):
-        out = (tuple(fn(row, params) for fn in item_fns) for row in rows)
-        if stmt.distinct:
-            out = _stream_distinct(out)
-        return names, _limit_stream(out, limit, offset)
-
-    order_specs = _order_specs(stmt, info.alias_map, info.resolver)
-
-    def keyed():
-        for row in rows:
-            out_row = tuple(fn(row, params) for fn in item_fns)
-            yield _order_key(order_specs, row, out_row, params), out_row
-
-    if info.order_mode == _ORDER_TOPK and limit is not None:
-        n = max(offset, 0) + max(int(limit), 0)
-        top = heapq.nsmallest(n, keyed(), key=lambda pair: pair[0])
-        return names, iter([pair[1] for pair in top[offset:]])
-
-    pairs = sorted(keyed(), key=lambda pair: pair[0])
-    out = iter([pair[1] for pair in pairs])
-    if stmt.distinct:
-        out = _stream_distinct(out)
-    return names, _limit_stream(out, limit, offset)
-
-
-def _order_specs(stmt: ast.SelectStmt, alias_map: dict, resolver: Resolver):
-    specs = []
-    for order in stmt.order_by:
-        expr = order.expr
-        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-            specs.append(("position", expr.value - 1, order.ascending))
-            continue
-        if isinstance(expr, ast.ColumnRef) and expr.table is None and expr.name in alias_map:
-            expr = alias_map[expr.name]
-        specs.append(("expr", compile_expr(expr, resolver), order.ascending))
-    return specs
-
-
 def _order_key(specs, base_row, out_row, params: tuple) -> tuple:
     keys = []
     for kind, spec, ascending in specs:
@@ -766,6 +481,88 @@ def _order_key(specs, base_row, out_row, params: tuple) -> tuple:
             value = spec(base_row, params)
         keys.append(_direction_key(value, ascending))
     return tuple(keys)
+
+
+def _keyed_rows(project: nodes.Project, specs, params, counters):
+    """Project the input stream, yielding ``(sort_key, output_row)``.
+
+    Sort/TopK consume the projection here rather than through
+    :func:`_run_node`, so ANALYZE counts are attributed explicitly."""
+    item_fns = project.item_fns
+    if counters is not None:
+        counters.setdefault(id(project), 0)
+    for row in _run_node(project.child, params, counters):
+        out_row = tuple(fn(row, params) for fn in item_fns)
+        if counters is not None:
+            counters[id(project)] += 1
+        yield _order_key(specs, row, out_row, params), out_row
+
+
+def _exec_project(node: nodes.Project, params, counters):
+    item_fns = node.item_fns
+    return (
+        tuple(fn(row, params) for fn in item_fns)
+        for row in _run_node(node.child, params, counters)
+    )
+
+
+def _exec_sort(node: nodes.Sort, params, counters):
+    def run():
+        if node.mode == "groups":
+            # ordering an aggregate: positional keys refer to the projected
+            # output row, everything else to the intermediate group row
+            keyed = []
+            n_groups = 0
+            for inter, out_row in _agg_output(node.child, params, counters,
+                                              with_inter=True):
+                n_groups += 1
+                keys = []
+                for kind, spec, ascending in node.specs:
+                    if kind == "position":
+                        if not 0 <= spec < len(out_row):
+                            raise PlanningError(
+                                f"ORDER BY position {spec + 1} out of range"
+                            )
+                        value = out_row[spec]
+                    else:
+                        value = spec(inter, params)
+                    keys.append(_direction_key(value, ascending))
+                keyed.append((tuple(keys), out_row))
+            if counters is not None:
+                counters[id(node.child)] = n_groups
+            keyed.sort(key=lambda pair: pair[0])
+            for _keys, out_row in keyed:
+                yield out_row
+            return
+        pairs = sorted(
+            _keyed_rows(node.child, node.specs, params, counters),
+            key=lambda pair: pair[0],
+        )
+        for _keys, out_row in pairs:
+            yield out_row
+    return run()
+
+
+def _exec_topk(node: nodes.TopK, params, counters):
+    def run():
+        limit = _eval_value(node.limit_expr, params)
+        offset = 0
+        if node.offset_expr is not None:
+            offset = _eval_value(node.offset_expr, params) or 0
+        keyed = _keyed_rows(node.child, node.specs, params, counters)
+        if limit is None:  # LIMIT NULL: degrade to a full sort
+            for _keys, out_row in sorted(keyed, key=lambda pair: pair[0]):
+                yield out_row
+            return
+        n = max(int(offset), 0) + max(int(limit), 0)
+        top = heapq.nsmallest(n, keyed, key=lambda pair: pair[0])
+        for _keys, out_row in top:
+            yield out_row
+    return run()
+
+
+def _exec_distinct(node: nodes.Distinct, params, counters):
+    return _stream_distinct(_run_node(node.child, params, counters))
 
 
 def _stream_distinct(rows):
@@ -790,15 +587,16 @@ def _stream_distinct(rows):
         yield row
 
 
-def _limit_bounds(stmt: ast.SelectStmt, params: tuple):
-    """Evaluate LIMIT/OFFSET to ``(limit or None, offset >= 0)``."""
-    if stmt.limit is None:
-        return None, 0
-    limit = _value_fn(stmt.limit)(_EMPTY_ROW, params)
+def _exec_limit(node: nodes.Limit, params, counters):
+    limit = (
+        _eval_value(node.limit_expr, params)
+        if node.limit_expr is not None else None
+    )
     offset = 0
-    if stmt.offset is not None:
-        offset = _value_fn(stmt.offset)(_EMPTY_ROW, params) or 0
-    return limit, max(int(offset), 0)
+    if node.offset_expr is not None:
+        offset = _eval_value(node.offset_expr, params) or 0
+    rows = _run_node(node.child, params, counters)
+    return _limit_stream(rows, limit, max(int(offset), 0))
 
 
 def _limit_stream(rows, limit, offset: int):
@@ -808,31 +606,20 @@ def _limit_stream(rows, limit, offset: int):
     return islice(rows, offset, stop)
 
 
-def _output_name(item: ast.SelectItem) -> str:
-    if item.alias:
-        return item.alias
-    expr = item.expr
-    if isinstance(expr, ast.ColumnRef):
-        return expr.name
-    if isinstance(expr, ast.FuncCall):
-        inner = "*" if expr.is_star else ", ".join(_render(a) for a in expr.args)
-        return f"{expr.name.lower()}({inner})"
-    return _render(expr)
-
-
-def _render(expr: ast.Expr) -> str:
-    if isinstance(expr, ast.Literal):
-        return repr(expr.value)
-    if isinstance(expr, ast.ColumnRef):
-        return expr.name if expr.table is None else f"{expr.table}.{expr.name}"
-    if isinstance(expr, ast.Binary):
-        return f"{_render(expr.left)} {expr.op} {_render(expr.right)}"
-    if isinstance(expr, ast.Unary):
-        return f"{expr.op}{_render(expr.operand)}"
-    if isinstance(expr, ast.FuncCall):
-        inner = "*" if expr.is_star else ", ".join(_render(a) for a in expr.args)
-        return f"{expr.name.lower()}({inner})"
-    return type(expr).__name__.lower()
+_NODE_HANDLERS = {
+    nodes.Scan: _exec_scan,
+    nodes.Filter: _exec_filter,
+    nodes.HashJoin: _exec_hash_join,
+    nodes.MergeJoin: _exec_merge_join,
+    nodes.NestedLoopJoin: _exec_nested_loop,
+    nodes.HashAggregate: _exec_aggregate,
+    nodes.StreamAggregate: _exec_aggregate,
+    nodes.Project: _exec_project,
+    nodes.Sort: _exec_sort,
+    nodes.TopK: _exec_topk,
+    nodes.Distinct: _exec_distinct,
+    nodes.Limit: _exec_limit,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -856,7 +643,7 @@ def execute_insert(db, stmt: ast.InsertStmt, params: tuple) -> ResultSet:
             )
         full = [None] * len(schema.columns)
         for position, expr in zip(positions, value_row):
-            full[position] = _value_fn(expr)(_EMPTY_ROW, params)
+            full[position] = _eval_value(expr, params)
         last = table.insert(full)
     return ResultSet([], [], rowcount=len(stmt.rows), lastrowid=last)
 
@@ -902,44 +689,32 @@ def execute_delete(db, stmt: ast.DeleteStmt, params: tuple) -> ResultSet:
     return ResultSet([], [], rowcount=len(doomed))
 
 
-def explain(db, stmt) -> ResultSet:
-    """Produce a one-column plan description for SELECT/UPDATE/DELETE."""
+# ---------------------------------------------------------------------------
+# EXPLAIN
+# ---------------------------------------------------------------------------
+
+
+def explain(db, stmt, params: tuple = (), analyze: bool = False) -> ResultSet:
+    """Render the plan for SELECT/UPDATE/DELETE, one tree line per row.
+
+    ``analyze=True`` (``EXPLAIN ANALYZE``, SELECT only) runs the query and
+    annotates every operator with the rows it actually produced.
+    """
     lines: list[str] = []
     if isinstance(stmt, ast.SelectStmt):
         if stmt.table is None:
             lines.append("ConstantScan")
         else:
-            info = _analyze_select(db, stmt)
-            lines.append(info.scan.describe())
-            for spec in info.join_specs:
-                if spec.pairs:
-                    line = (
-                        f"HashJoin({spec.join.table.binding}, "
-                        f"keys={len(spec.pairs)})"
-                    )
-                    if spec.build_filter is not None:
-                        line += " + BuildFilter"
-                    if spec.residual is not None:
-                        line += " + Filter"
-                else:
-                    line = f"NestedLoopJoin({spec.join.table.binding})"
-                lines.append(line)
-            if info.post_where is not None:
-                lines.append("Filter")
-            if info.has_aggregates:
-                lines.append(f"HashAggregate(keys={len(stmt.group_by)})")
-                if stmt.order_by:
-                    lines.append(f"Sort(keys={len(stmt.order_by)})")
-            elif info.order_mode == _ORDER_TOPK:
-                lines.append(f"TopK(keys={len(stmt.order_by)})")
-            elif info.order_mode == _ORDER_SORT:
-                lines.append(f"Sort(keys={len(stmt.order_by)})")
-            # _ORDER_INDEXED: the IndexOrderScan line already covers it
-        if stmt.distinct:
-            lines.append("Distinct")
-        if stmt.limit is not None:
-            lines.append("Limit")
+            plan = plan_select(db, stmt)
+            counters = None
+            if analyze:
+                counters = {}
+                for _row in _run_node(plan.root, tuple(params), counters):
+                    pass
+            lines.extend(nodes.render_tree(plan.root, counters))
     elif isinstance(stmt, (ast.UpdateStmt, ast.DeleteStmt)):
+        if analyze:
+            raise PlanningError("EXPLAIN ANALYZE supports SELECT statements only")
         table = db.table(stmt.table)
         plan = plan_scan(table, stmt.where)
         verb = "Update" if isinstance(stmt, ast.UpdateStmt) else "Delete"

@@ -423,6 +423,22 @@ def _compile_case(expr: ast.Case, resolver: Resolver) -> RowFn:
     return case
 
 
+def render_expr(expr: ast.Expr) -> str:
+    """Compact one-line rendering (EXPLAIN labels, output column names)."""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name if expr.table is None else f"{expr.table}.{expr.name}"
+    if isinstance(expr, ast.Binary):
+        return f"{render_expr(expr.left)} {expr.op} {render_expr(expr.right)}"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{render_expr(expr.operand)}"
+    if isinstance(expr, ast.FuncCall):
+        inner = "*" if expr.is_star else ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.name.lower()}({inner})"
+    return type(expr).__name__.lower()
+
+
 def find_aggregates(expr: ast.Expr) -> list[ast.FuncCall]:
     """All aggregate function calls in ``expr`` (in tree order)."""
     return [

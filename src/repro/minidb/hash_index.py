@@ -248,24 +248,59 @@ class BTreeIndex(_IndexBase):
         """Rowids whose indexed key contains a NULL (``IS NULL`` scans)."""
         return set(self.null_rowids)
 
-    def prefix_scan(self, values: tuple, reverse: bool = False) -> Iterator[int]:
+    def prefix_scan(self, values: tuple, reverse: bool = False,
+                    low=None, high=None, include_low: bool = True,
+                    include_high: bool = True) -> Iterator[int]:
         """Rowids whose first ``len(values)`` columns equal ``values``,
         ordered (asc, or desc with ``reverse``) by the remaining columns.
 
-        Any NULL component yields nothing — this implements SQL equality.
+        ``low``/``high`` additionally bound the *next* index column after
+        the equality prefix, so ``WHERE cat = ? AND val > ? ORDER BY val``
+        on a ``(cat, val)`` index seeds the leaf walk at the range bound
+        instead of filtering a residual.  A bounded walk never yields NULL
+        suffix values (SQL comparisons never match NULL); an unbounded one
+        keeps them (ORDER BY includes NULLs).
+
+        Any NULL prefix component yields nothing — this implements SQL
+        equality.
         """
         if any(v is None for v in values):
             return
         k = len(values)
-        if k == self.n_columns:
+        if k == self.n_columns and low is None and high is None:
             # full-key equality: order among duplicates is unconstrained
             yield from self.lookup_values(values)
             return
-        low = tuple(sort_key(v) for v in values)
-        high = low + (_ABOVE_ANY_COMPONENT,)
+        prefix = tuple(sort_key(v) for v in values)
+        # synthesized bounds compare against real keys without ever equaling
+        # one, so the tree scan always runs [low_key, high_key)
+        if low is not None:
+            if include_low:
+                low_key = prefix + (sort_key(low),)
+            else:  # skip every key whose suffix component equals the bound
+                low_key = prefix + (sort_key(low), _ABOVE_ANY_COMPONENT)
+        elif high is not None:
+            # range conjuncts exclude NULL suffix values; start past them
+            low_key = prefix + (sort_key(None), _ABOVE_ANY_COMPONENT)
+        else:
+            low_key = prefix
+        if high is not None:
+            if include_high:
+                high_key = prefix + (sort_key(high), _ABOVE_ANY_COMPONENT)
+            else:
+                high_key = prefix + (sort_key(high),)
+        else:
+            high_key = prefix + (_ABOVE_ANY_COMPONENT,)
         scan = self._tree.range_scan_desc if reverse else self._tree.range_scan
-        for _key, rowids in scan(low, high, True, False):
+        for _key, rowids in scan(low_key, high_key, True, False):
             yield from rowids
+
+    def ordered_groups(self) -> Iterator[tuple]:
+        """``(sort_key, rowids)`` groups in ascending key order, skipping the
+        NULL-key group — the pre-grouped stream a merge join consumes."""
+        self._require_single("ordered_groups")
+        for key, rowids in self._tree.range_scan(sort_key(None), None, False):
+            yield key, rowids
 
     # -- ordered walks ---------------------------------------------------------
 
@@ -280,8 +315,10 @@ class BTreeIndex(_IndexBase):
     # -- legacy single-value range API ------------------------------------------
 
     def range(self, low=None, high=None, include_low: bool = True,
-              include_high: bool = True) -> Iterator[int]:
-        """Yield rowids with column values in the given range, in key order.
+              include_high: bool = True, reverse: bool = False) -> Iterator[int]:
+        """Yield rowids with column values in the given range, in key order
+        (descending with ``reverse`` — the walk behind
+        ``WHERE col > ? ORDER BY col DESC``).
 
         NULLs never satisfy a comparison, so an unbounded-low scan starts
         just past the NULL key instead of sweeping it up.
@@ -292,7 +329,8 @@ class BTreeIndex(_IndexBase):
         else:
             low_key = sort_key(low)
         high_key = sort_key(high) if high is not None else None
-        for _, rowids in self._tree.range_scan(low_key, high_key, include_low, include_high):
+        scan = self._tree.range_scan_desc if reverse else self._tree.range_scan
+        for _, rowids in scan(low_key, high_key, include_low, include_high):
             yield from rowids
 
     def numeric_range(self, low=None, high=None, include_low: bool = True,

@@ -132,6 +132,7 @@ class _Parser:
 
     def _explain(self) -> ast.ExplainStmt:
         self._expect_keyword("EXPLAIN")
+        analyze = self._accept_keyword("ANALYZE")
         keyword = self._peek().upper()
         inner = {
             "SELECT": self._select,
@@ -140,7 +141,7 @@ class _Parser:
         }.get(keyword)
         if inner is None:
             raise SQLSyntaxError("EXPLAIN supports SELECT/UPDATE/DELETE only")
-        return ast.ExplainStmt(inner())
+        return ast.ExplainStmt(inner(), analyze=analyze)
 
     def _begin(self) -> ast.BeginStmt:
         self._expect_keyword("BEGIN")

@@ -1,0 +1,296 @@
+"""Table statistics and the selectivity model behind cost-based planning.
+
+The planner (``repro.minidb.planner``) asks two questions this module
+answers from lightweight, lazily maintained statistics:
+
+* *How many rows will this scan produce?* — per-table row counts are
+  always exact (read live off the table); per-column distinct-value and
+  NULL-fraction estimates feed a classic System-R-style selectivity
+  model (``1/distinct`` for equality, fixed fractions for ranges).
+* *How large is this join?* — ``|L| * |R| / max(d_L, d_R)`` per equi
+  pair, the estimate that drives greedy join reordering and build-side
+  selection.
+
+Maintenance contract: every table mutation bumps ``Table.version`` (one
+integer increment on INSERT/UPDATE/DELETE — nothing per-column happens
+on the write path), and column estimates are **rebuilt on demand** the
+first time the planner asks after the version has drifted past a
+staleness threshold.  Rebuilds read exact distinct counts from covering
+single-column indexes when available (hash buckets and the B+tree's O(1)
+distinct-key counter) and otherwise scan a bounded sample of rows.
+``Database.analyze()`` forces an immediate rebuild.
+"""
+
+from __future__ import annotations
+
+from repro.minidb import ast_nodes as ast
+from repro.minidb.hash_index import normalize_key
+from repro.minidb.storage import Table
+
+#: rebuild when at least this many mutations landed since the last build...
+REBUILD_FLOOR = 64
+#: ...and they amount to this fraction of the rows seen at build time
+REBUILD_FRACTION = 0.2
+#: rebuild scans at most this many rows; larger tables are extrapolated
+SAMPLE_CAP = 20_000
+
+# default selectivities when a conjunct's shape gives nothing better
+EQ_DEFAULT = 0.1
+RANGE_DEFAULT = 0.3
+BETWEEN_DEFAULT = 0.25
+LIKE_DEFAULT = 0.25
+OTHER_DEFAULT = 0.5
+
+
+class ColumnStats:
+    """Distinct-value and NULL-fraction estimates for one column."""
+
+    __slots__ = ("distinct", "null_fraction")
+
+    def __init__(self, distinct: float, null_fraction: float):
+        self.distinct = max(1.0, float(distinct))
+        self.null_fraction = min(1.0, max(0.0, float(null_fraction)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnStats(distinct={self.distinct:.0f}, "
+            f"null_fraction={self.null_fraction:.3f})"
+        )
+
+
+class TableStats:
+    """Lazily rebuilt per-column statistics for one table."""
+
+    __slots__ = ("table", "_columns", "_built_version", "_built_rows")
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._columns: dict[str, ColumnStats] | None = None
+        self._built_version = -1
+        self._built_rows = 0
+
+    @property
+    def n_rows(self) -> int:
+        """Exact live row count (never estimated)."""
+        return self.table.n_rows
+
+    def stale(self) -> bool:
+        if self._columns is None:
+            return True
+        drift = self.table.version - self._built_version
+        return drift > max(REBUILD_FLOOR, self._built_rows * REBUILD_FRACTION)
+
+    def refresh(self, force: bool = False) -> None:
+        if force or self.stale():
+            self._rebuild()
+
+    def column(self, name: str) -> ColumnStats | None:
+        self.refresh()
+        return self._columns.get(name)
+
+    def distinct(self, column: str) -> float:
+        """Estimated distinct non-NULL values in ``column`` (>= 1)."""
+        if column == "rowid" and not self.table.schema.has_column("rowid"):
+            return float(max(1, self.n_rows))
+        stats = self.column(column)
+        if stats is None:
+            return float(max(1, self.n_rows))  # unknown: assume unique
+        return stats.distinct
+
+    def null_fraction(self, column: str) -> float:
+        stats = self.column(column)
+        return 0.0 if stats is None else stats.null_fraction
+
+    # -- rebuild ------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        table = self.table
+        n = table.n_rows
+        columns: dict[str, ColumnStats] = {}
+        exact = self._from_indexes(n)
+        names = table.schema.column_names
+        pending = [
+            (i, name) for i, name in enumerate(names) if name not in exact
+        ]
+        if pending and n:
+            sampled = 0
+            seen: list[set] = [set() for _ in pending]
+            nulls = [0] * len(pending)
+            for row in table.rows.values():
+                for j, (i, _name) in enumerate(pending):
+                    value = row[i]
+                    if value is None:
+                        nulls[j] += 1
+                        continue
+                    try:
+                        seen[j].add(normalize_key(value))
+                    except TypeError:  # unhashable cell: key it by repr
+                        seen[j].add(repr(value))
+                sampled += 1
+                if sampled >= SAMPLE_CAP:
+                    break
+            for j, (_i, name) in enumerate(pending):
+                columns[name] = ColumnStats(
+                    _extrapolate_distinct(len(seen[j]), sampled, n),
+                    nulls[j] / sampled,
+                )
+        else:
+            for _i, name in pending:
+                columns[name] = ColumnStats(1.0, 0.0)
+        columns.update(exact)
+        self._columns = columns
+        self._built_version = table.version
+        self._built_rows = n
+
+    def _from_indexes(self, n_rows: int) -> dict[str, ColumnStats]:
+        """Exact column stats read straight off single-column indexes."""
+        out: dict[str, ColumnStats] = {}
+        for index in self.table.indexes.values():
+            if index.n_columns != 1 or index.column in out:
+                continue
+            if index.kind == "btree" and index.covers(n_rows):
+                n_null = len(index.null_rowids)
+                distinct = index.n_keys - (1 if n_null else 0)
+                out[index.column] = ColumnStats(
+                    max(1, distinct), n_null / n_rows if n_rows else 0.0
+                )
+            elif index.kind == "hash" and n_rows:
+                # NULLs are not indexed; infer their share from the bucket sum
+                n_null = max(0, n_rows - len(index))
+                out[index.column] = ColumnStats(
+                    max(1, index.n_keys), n_null / n_rows
+                )
+        return out
+
+
+def _extrapolate_distinct(d_sample: float, sampled: int, n_rows: int) -> float:
+    """Scale a sampled distinct count to the full table.
+
+    Near-unique samples are assumed unique overall; low-cardinality samples
+    are assumed to have shown every value (the usual case for categorical
+    columns); in between, scale linearly.  Coarse, but it only has to rank
+    join orders, not price them.
+    """
+    if sampled <= 0:
+        return 1.0
+    if sampled >= n_rows:
+        return float(max(1, d_sample))
+    ratio = d_sample / sampled
+    if ratio > 0.9:
+        return float(n_rows) * ratio
+    if ratio < 0.1:
+        return float(max(1, d_sample))
+    return float(d_sample) * (n_rows / sampled) ** 0.5
+
+
+class StatsManager:
+    """Per-database registry of :class:`TableStats`, keyed by table name."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableStats] = {}
+
+    def for_table(self, table: Table) -> TableStats:
+        entry = self._tables.get(table.name)
+        if entry is None or entry.table is not table:  # dropped + recreated
+            entry = TableStats(table)
+            self._tables[table.name] = entry
+        return entry
+
+    def forget(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def analyze(self, table: Table | None = None) -> None:
+        """Force an immediate rebuild (all registered tables, or one)."""
+        if table is not None:
+            self.for_table(table).refresh(force=True)
+            return
+        for entry in self._tables.values():
+            entry.refresh(force=True)
+
+
+# ---------------------------------------------------------------------------
+# selectivity model
+# ---------------------------------------------------------------------------
+
+
+def _stats_column(expr: ast.Expr, table: Table, binding: str | None) -> str | None:
+    """Column of ``table`` that ``expr`` references (rowid included)."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if expr.table is not None and expr.table not in (table.name, binding):
+        return None
+    if table.schema.has_column(expr.name) or expr.name == "rowid":
+        return expr.name
+    return None
+
+
+def conjunct_selectivity(stats: TableStats, conjunct: ast.Expr,
+                         binding: str | None = None) -> float:
+    """Estimated fraction of rows satisfying one conjunct."""
+    table = stats.table
+    if isinstance(conjunct, ast.Binary):
+        op = conjunct.op
+        if op == "AND":
+            return (
+                conjunct_selectivity(stats, conjunct.left, binding)
+                * conjunct_selectivity(stats, conjunct.right, binding)
+            )
+        if op == "OR":
+            a = conjunct_selectivity(stats, conjunct.left, binding)
+            b = conjunct_selectivity(stats, conjunct.right, binding)
+            return min(1.0, a + b - a * b)
+        column = (
+            _stats_column(conjunct.left, table, binding)
+            or _stats_column(conjunct.right, table, binding)
+        )
+        if op == "=":
+            if column is not None:
+                return 1.0 / stats.distinct(column)
+            return EQ_DEFAULT
+        if op in ("<", "<=", ">", ">="):
+            return RANGE_DEFAULT
+        if op == "<>":
+            if column is not None:
+                return 1.0 - 1.0 / stats.distinct(column)
+            return 1.0 - EQ_DEFAULT
+        return OTHER_DEFAULT
+    if isinstance(conjunct, ast.Between):
+        return 1.0 - BETWEEN_DEFAULT if conjunct.negated else BETWEEN_DEFAULT
+    if isinstance(conjunct, ast.InList):
+        column = _stats_column(conjunct.expr, table, binding)
+        if column is not None:
+            inside = min(1.0, len(conjunct.items) / stats.distinct(column))
+        else:
+            inside = min(1.0, EQ_DEFAULT * len(conjunct.items))
+        return 1.0 - inside if conjunct.negated else inside
+    if isinstance(conjunct, ast.IsNull):
+        column = _stats_column(conjunct.expr, table, binding)
+        fraction = stats.null_fraction(column) if column is not None else 0.1
+        return 1.0 - fraction if conjunct.negated else fraction
+    if isinstance(conjunct, ast.Like):
+        return 1.0 - LIKE_DEFAULT if conjunct.negated else LIKE_DEFAULT
+    if isinstance(conjunct, ast.Unary) and conjunct.op == "NOT":
+        return 1.0 - conjunct_selectivity(stats, conjunct.operand, binding)
+    return OTHER_DEFAULT
+
+
+def estimate_filtered_rows(stats: TableStats, conjuncts,
+                           binding: str | None = None) -> float:
+    """Estimated rows of the table surviving ``conjuncts`` (>= 0)."""
+    rows = float(stats.n_rows)
+    for conjunct in conjuncts:
+        rows *= conjunct_selectivity(stats, conjunct, binding)
+    return rows
+
+
+def estimate_join_rows(left_rows: float, right_rows: float,
+                       key_distincts) -> float:
+    """Classic equi-join estimate: ``|L|*|R| / prod(max(d_l, d_r))``.
+
+    ``key_distincts`` is an iterable of ``(left_distinct, right_distinct)``
+    pairs, one per equi-join key; empty means a cross product.
+    """
+    rows = left_rows * right_rows
+    for d_left, d_right in key_distincts:
+        rows /= max(d_left, d_right, 1.0)
+    return rows

@@ -31,6 +31,10 @@ class Table:
         self.rows: dict[int, list] = {}
         self.indexes: dict[str, object] = {}
         self.next_rowid = 1
+        # monotonically increasing mutation counter; the statistics layer
+        # (repro.minidb.stats) compares it against the version its estimates
+        # were built at to decide when a rebuild is due
+        self.version = 0
         self.on_change: Callable[[ChangeEvent], None] | None = None
         # additional subscribers (e.g. the backend's incremental stats
         # cache, §3.2) — notified after on_change for every mutation,
@@ -135,6 +139,7 @@ class Table:
         return old
 
     def _notify(self, event: ChangeEvent) -> None:
+        self.version += 1
         if self.on_change is not None:
             self.on_change(event)
         for observer in self.observers:

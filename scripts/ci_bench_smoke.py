@@ -42,6 +42,7 @@ SMOKE_ENV = {
     "REPRO_BENCH_SCALE": "0.02",
     "REPRO_STREAM_ROWS": "5000",
     "REPRO_COMPOSITE_ROWS": "5000",
+    "REPRO_PREPARED_ROWS": "5000",
 }
 
 # benchmark files that must produce an artifact named after the payload
@@ -49,6 +50,7 @@ EXPECTED_ARTIFACTS = {
     "bench_composite_index.py": "composite_index",
     "bench_indexes.py": "indexes",
     "bench_pipeline.py": "pipeline",
+    "bench_prepared.py": "prepared",
     "bench_streaming.py": "streaming",
     "bench_table1.py": "table1",
 }

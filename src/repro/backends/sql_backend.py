@@ -40,6 +40,22 @@ class SQLBackend(Backend):
         self.table_name = table
         self._table = db.table(table)
         self.stats_cache = GroupStatsCache(self._table)
+        # the hot interactive queries (per-group, per-column shapes) run as
+        # prepared statements: parse + plan once, rebind per call.  Keyed
+        # by SQL text locally so backend statements never feel LRU pressure
+        # from unrelated queries in the database-level cache.
+        self._prepared: dict[str, object] = {}
+
+    def _prepare(self, sql: str):
+        prepared = self._prepared.get(sql)
+        if prepared is None:
+            prepared = self.db.prepare(sql)
+            self._prepared[sql] = prepared
+        return prepared
+
+    def _query(self, sql: str, params: tuple = ()):
+        """Execute ``sql`` through a backend-cached prepared statement."""
+        return self._prepare(sql).execute(params)
 
     def register_chart_columns(self, cat_cols, num_cols) -> None:
         """Start incremental stats/error caching for the chart attributes.
@@ -94,17 +110,17 @@ class SQLBackend(Backend):
         distinct values have been seen instead of aggregating the whole
         table just to learn "too many".
         """
-        cursor = self.db.stream(
+        prepared = self._prepare(
             f'SELECT DISTINCT "{column}" FROM {self.table_name} '
-            f'WHERE "{column}" IS NOT NULL LIMIT {cap + 1}'
+            f'WHERE "{column}" IS NOT NULL LIMIT ?'
         )
-        return sum(1 for _ in cursor)
+        return sum(1 for _ in prepared.stream((cap + 1,)))
 
     def numerical_columns(self) -> list[str]:
         result = []
         for coldef in self._table.schema.columns:
             if coldef.affinity in ("integer", "real"):
-                counts = self.db.execute(
+                counts = self._query(
                     f'SELECT COUNT("{coldef.name}"), '
                     f'SUM(CASE WHEN typeof("{coldef.name}") = \'text\' '
                     f"THEN 1 ELSE 0 END) FROM {self.table_name}"
@@ -134,7 +150,7 @@ class SQLBackend(Backend):
         return [rows[row_id][position] for row_id in row_ids]
 
     def distinct_values(self, column: str) -> list:
-        result = self.db.execute(
+        result = self._query(
             f'SELECT DISTINCT "{column}" FROM {self.table_name} '
             f'WHERE "{column}" IS NOT NULL'
         )
@@ -142,18 +158,18 @@ class SQLBackend(Backend):
 
     def group_row_ids(self, cat_col: str, category) -> list[int]:
         if category is None:
-            result = self.db.execute(
+            result = self._query(
                 f'SELECT rowid FROM {self.table_name} WHERE "{cat_col}" IS NULL'
             )
         else:
-            result = self.db.execute(
+            result = self._query(
                 f'SELECT rowid FROM {self.table_name} WHERE "{cat_col}" = ?',
                 (category,),
             )
         return result.scalars()
 
     def group_sizes(self, cat_col: str) -> dict:
-        result = self.db.execute(
+        result = self._query(
             f'SELECT "{cat_col}", COUNT(*) FROM {self.table_name} GROUP BY "{cat_col}"'
         )
         return {key: count for key, count in result.rows}
@@ -163,7 +179,7 @@ class SQLBackend(Backend):
         if self.stats_cache.tracks_pair(num_col, cat_col):
             return self.stats_cache.stats(num_col, cat_col, category)
         where, params = self._numeric_scope(num_col, cat_col, category)
-        row = self.db.execute(
+        row = self._query(
             f'SELECT COUNT("{num_col}"), AVG("{num_col}"), STDDEV("{num_col}"), '
             f'MIN("{num_col}"), MAX("{num_col}") FROM {self.table_name} WHERE {where}',
             params,
@@ -183,7 +199,7 @@ class SQLBackend(Backend):
             f'SELECT rowid FROM {self.table_name} '
             f'WHERE "{num_col}" IS NULL{where}'
         )
-        return self.db.execute(sql, params).scalars()
+        return self._query(sql, params).scalars()
 
     def mismatch_row_ids(self, num_col: str, cat_col: Optional[str] = None,
                          category=None) -> list[int]:
@@ -195,7 +211,7 @@ class SQLBackend(Backend):
             f'SELECT rowid FROM {self.table_name} '
             f'WHERE typeof("{num_col}") = \'text\'{where}'
         )
-        return self.db.execute(sql, params).scalars()
+        return self._query(sql, params).scalars()
 
     def out_of_range_row_ids(self, num_col: str, low: float, high: float,
                              cat_col: Optional[str] = None,
@@ -215,7 +231,7 @@ class SQLBackend(Backend):
             f'WHERE typeof("{num_col}") <> \'text\' AND "{num_col}" IS NOT NULL '
             f'AND ("{num_col}" < ? OR "{num_col}" > ?){where}'
         )
-        return self.db.execute(sql, (low, high, *params)).scalars()
+        return self._query(sql, (low, high, *params)).scalars()
 
     def _filter_by_group(self, row_ids, cat_col: Optional[str],
                          category) -> list[int]:

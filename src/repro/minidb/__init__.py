@@ -15,6 +15,8 @@ from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema, affinity_of
 from repro.minidb.database import Database
 from repro.minidb.hash_index import BTreeIndex, HashIndex
 from repro.minidb.parser import parse, parse_expression
+from repro.minidb.plan_cache import PlanCache
+from repro.minidb.prepared import Cursor, PreparedStatement
 from repro.minidb.results import ResultSet, StreamingResult
 from repro.minidb.wal import WriteAheadLog
 
@@ -22,9 +24,12 @@ __all__ = [
     "BTree",
     "BTreeIndex",
     "ColumnDef",
+    "Cursor",
     "Database",
     "HashIndex",
     "IndexDef",
+    "PlanCache",
+    "PreparedStatement",
     "ResultSet",
     "StreamingResult",
     "TableSchema",

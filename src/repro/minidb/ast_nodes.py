@@ -14,11 +14,28 @@ from typing import Optional, Union
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Literal:
-    """A constant value (int, float, str or None)."""
+    """A constant value (int, float, str or None).
+
+    Equality and hashing are *type-aware* (``1 != 1.0 != True``), unlike
+    plain Python numeric equality — literals of different storage classes
+    behave differently at runtime (``typeof``, stored affinity), and the
+    plan cache and value-compiler memo key on structural equality, so
+    numerically-equal literals must not collide.
+    """
 
     value: object
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Literal)
+            and type(other.value) is type(self.value)
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self.value).__name__, self.value))
 
 
 @dataclass(frozen=True)
@@ -302,6 +319,59 @@ Statement = Union[
     CreateIndexStmt, DropTableStmt, DropIndexStmt, AlterAddColumnStmt,
     BeginStmt, CommitStmt, RollbackStmt, ExplainStmt,
 ]
+
+
+def statement_exprs(stmt: Statement):
+    """Yield every top-level expression tree embedded in a statement.
+
+    The prepared-statement layer walks these (via :func:`walk`) to count
+    parameter slots, so bind-arity errors surface at ``execute()`` time
+    with a clear message instead of an ``IndexError`` mid-scan.
+    """
+    if isinstance(stmt, ExplainStmt):
+        yield from statement_exprs(stmt.statement)
+        return
+    if isinstance(stmt, SelectStmt):
+        for item in stmt.items:
+            if item.expr is not None:
+                yield item.expr
+        for join in stmt.joins:
+            yield join.on
+        if stmt.where is not None:
+            yield stmt.where
+        yield from stmt.group_by
+        if stmt.having is not None:
+            yield stmt.having
+        for order in stmt.order_by:
+            yield order.expr
+        if stmt.limit is not None:
+            yield stmt.limit
+        if stmt.offset is not None:
+            yield stmt.offset
+        return
+    if isinstance(stmt, InsertStmt):
+        for row in stmt.rows:
+            yield from row
+        return
+    if isinstance(stmt, UpdateStmt):
+        for _column, expr in stmt.assignments:
+            yield expr
+        if stmt.where is not None:
+            yield stmt.where
+        return
+    if isinstance(stmt, DeleteStmt):
+        if stmt.where is not None:
+            yield stmt.where
+
+
+def n_params(stmt: Statement) -> int:
+    """Number of parameter slots a statement binds (max ``?`` index + 1)."""
+    highest = 0
+    for root in statement_exprs(stmt):
+        for node in walk(root):
+            if isinstance(node, Param):
+                highest = max(highest, node.index + 1)
+    return highest
 
 
 def walk(expr: Expr):

@@ -8,17 +8,31 @@ Usage::
     db.execute("CREATE INDEX idx_age ON people(age)")
     rows = db.execute("SELECT name FROM people WHERE age > ?", (30,)).rows
 
-Statements are parsed once and cached by SQL text, so the hot path of the
-interactive workload (the same parameterized lookup per group) skips parsing.
+    stmt = db.prepare("SELECT name FROM people WHERE age > ?")
+    rows = stmt.execute((30,)).rows   # parse + plan paid once
+
+The execution surface is prepared-statement shaped (PEP 249-flavored):
+``prepare()`` returns a :class:`~repro.minidb.prepared.PreparedStatement`
+holding the parsed AST and a cached physical plan whose parameter slots
+bind at execution time; ``execute``/``stream``/``executemany`` are thin
+wrappers over it, and ``cursor()`` opens a DB-API-shaped
+:class:`~repro.minidb.prepared.Cursor`.  Prepared statements are cached
+by SQL text and compiled plans by statement AST (both LRU), keyed by the
+``(schema_epoch, stats_version)`` pair so DDL, ``analyze()`` and
+mutation-driven statistics rebuilds transparently re-plan.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 from repro.errors import CatalogError, DatabaseError
 from repro.minidb import ast_nodes as ast
 from repro.minidb import executor
 from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema
 from repro.minidb.parser import parse
+from repro.minidb.plan_cache import PlanCache
+from repro.minidb.prepared import Cursor, PreparedStatement
 from repro.minidb.results import ResultSet, StreamingResult
 from repro.minidb.stats import StatsManager
 from repro.minidb.storage import Table
@@ -41,14 +55,37 @@ class Database:
         # off to force syntactic join order (benchmarks, debugging)
         self.stats = StatsManager()
         self.reorder_joins = True
-        self._stmt_cache: dict[str, ast.Statement] = {}
+        # advances on every DDL statement; one half of the plan-cache key
+        self.schema_epoch = 0
+        self.plan_cache = PlanCache()
+        self._stmt_cache: OrderedDict[str, PreparedStatement] = OrderedDict()
 
     # -- public API ----------------------------------------------------------
 
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse ``sql`` once and return its prepared statement.
+
+        Statements are cached by SQL text with LRU eviction, so repeated
+        ``prepare`` (and therefore ``execute``) calls with the same shape
+        return the same object — plan included.
+        """
+        prepared = self._stmt_cache.get(sql)
+        if prepared is None:
+            prepared = PreparedStatement(self, sql, parse(sql))
+            while len(self._stmt_cache) >= _STMT_CACHE_LIMIT:
+                self._stmt_cache.popitem(last=False)
+            self._stmt_cache[sql] = prepared
+        else:
+            self._stmt_cache.move_to_end(sql)
+        return prepared
+
+    def cursor(self) -> Cursor:
+        """A PEP 249-shaped cursor over this database."""
+        return Cursor(self)
+
     def execute(self, sql: str, params: tuple | list = ()) -> ResultSet:
-        """Parse (with caching) and run one SQL statement."""
-        statement = self._parse_cached(sql)
-        return self._dispatch(statement, tuple(params), sql)
+        """Prepare (with caching) and run one SQL statement."""
+        return self.prepare(sql).execute(params)
 
     def stream(self, sql: str, params: tuple | list = ()) -> StreamingResult:
         """Run a SELECT lazily, returning a :class:`StreamingResult` cursor.
@@ -58,22 +95,16 @@ class Database:
         scan instead of paying for the full result.  Do not mutate the
         database while the cursor is open.
         """
-        statement = self._parse_cached(sql)
-        if not isinstance(statement, ast.SelectStmt):
-            raise DatabaseError("stream() supports SELECT statements only")
-        return executor.execute_select(self, statement, tuple(params), stream=True)
+        return self.prepare(sql).stream(params)
 
     def executemany(self, sql: str, param_rows) -> int:
         """Run one parameterized statement for each params tuple.
 
-        Returns the total rowcount.  Parsing happens once.
+        Returns the total rowcount.  Parsing and planning happen once —
+        bulk INSERT/UPDATE/DELETE re-executes one compiled plan per
+        binding instead of re-planning per row.
         """
-        statement = self._parse_cached(sql)
-        total = 0
-        for params in param_rows:
-            result = self._dispatch(statement, tuple(params), sql)
-            total += max(result.rowcount, 0)
-        return total
+        return self.prepare(sql).executemany(param_rows)
 
     def table(self, name: str) -> Table:
         """The storage object for ``name`` (raises CatalogError when absent)."""
@@ -127,15 +158,6 @@ class Database:
 
     # -- internals -------------------------------------------------------------
 
-    def _parse_cached(self, sql: str) -> ast.Statement:
-        statement = self._stmt_cache.get(sql)
-        if statement is None:
-            statement = parse(sql)
-            if len(self._stmt_cache) >= _STMT_CACHE_LIMIT:
-                self._stmt_cache.clear()
-            self._stmt_cache[sql] = statement
-        return statement
-
     def _dispatch(self, statement: ast.Statement, params: tuple, sql: str) -> ResultSet:
         if isinstance(statement, ast.SelectStmt):
             return executor.execute_select(self, statement, params)
@@ -150,9 +172,9 @@ class Database:
         if isinstance(statement, ast.CreateIndexStmt):
             return self._create_index(statement, sql)
         if isinstance(statement, ast.DropTableStmt):
-            return self._drop_table(statement)
+            return self._drop_table(statement, sql)
         if isinstance(statement, ast.DropIndexStmt):
-            return self._drop_index(statement)
+            return self._drop_index(statement, sql)
         if isinstance(statement, ast.AlterAddColumnStmt):
             return self._alter_add_column(statement, sql)
         if isinstance(statement, ast.BeginStmt):
@@ -195,6 +217,7 @@ class Database:
         table = Table(schema)
         table.on_change = self._on_change
         self.tables[statement.name] = table
+        self.schema_epoch += 1
         if self.wal is not None and not self.txn.replaying:
             self.wal.log_ddl(sql)
         return ResultSet([], [], rowcount=0)
@@ -215,11 +238,12 @@ class Database:
             statement.name, statement.table, statement.columns,
             statement.kind, statement.unique,
         )
+        self.schema_epoch += 1
         if self.wal is not None and not self.txn.replaying:
             self.wal.log_ddl(sql)
         return ResultSet([], [], rowcount=0)
 
-    def _drop_table(self, statement: ast.DropTableStmt) -> ResultSet:
+    def _drop_table(self, statement: ast.DropTableStmt, sql: str) -> ResultSet:
         if statement.name not in self.tables:
             if statement.if_exists:
                 return ResultSet([], [], rowcount=0)
@@ -230,9 +254,14 @@ class Database:
             n for n, meta in self.index_catalog.items() if meta.table == statement.name
         ]:
             del self.index_catalog[index_name]
+        self.schema_epoch += 1
+        # drops must be WAL-logged like every other DDL, or replay
+        # resurrects the dropped table (and its rows) after recovery
+        if self.wal is not None and not self.txn.replaying:
+            self.wal.log_ddl(sql)
         return ResultSet([], [], rowcount=0)
 
-    def _drop_index(self, statement: ast.DropIndexStmt) -> ResultSet:
+    def _drop_index(self, statement: ast.DropIndexStmt, sql: str) -> ResultSet:
         meta = self.index_catalog.get(statement.name)
         if meta is None:
             if statement.if_exists:
@@ -240,11 +269,15 @@ class Database:
             raise CatalogError(f"no index {statement.name!r}")
         self.table(meta.table).drop_index(statement.name)
         del self.index_catalog[statement.name]
+        self.schema_epoch += 1
+        if self.wal is not None and not self.txn.replaying:
+            self.wal.log_ddl(sql)
         return ResultSet([], [], rowcount=0)
 
     def _alter_add_column(self, statement: ast.AlterAddColumnStmt, sql: str) -> ResultSet:
         table = self.table(statement.table)
         table.add_column(ColumnDef.make(statement.column.name, statement.column.type_name))
+        self.schema_epoch += 1
         if self.wal is not None and not self.txn.replaying:
             self.wal.log_ddl(sql)
         return ResultSet([], [], rowcount=0)

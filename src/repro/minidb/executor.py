@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import islice
+from time import perf_counter
 
 from repro.errors import ExecutionError, PlanningError
 from repro.minidb import ast_nodes as ast
@@ -41,11 +42,13 @@ from repro.minidb import plan_nodes as nodes
 from repro.minidb.expressions import (
     Resolver,
     compile_expr,
+    compile_value,
     sort_key,
     truthy,
 )
 from repro.minidb.functions import make_aggregate
 from repro.minidb.hash_index import normalize_key
+from repro.minidb.plan_cache import select_plan
 from repro.minidb.planner import (
     INDEX_EQ,
     INDEX_IN,
@@ -58,7 +61,6 @@ from repro.minidb.planner import (
     ScanPlan,
     output_name,
     plan_scan,
-    plan_select,
 )
 from repro.minidb.results import ResultSet, StreamingResult
 from repro.minidb.storage import Table
@@ -66,14 +68,9 @@ from repro.minidb.storage import Table
 _EMPTY_ROW: tuple = ()
 
 
-def _value_fn(expr: ast.Expr):
-    """Compile an expression that must not reference any column."""
-    resolver = Resolver({})
-    return compile_expr(expr, resolver)
-
-
 def _eval_value(expr: ast.Expr, params: tuple):
-    return _value_fn(expr)(_EMPTY_ROW, params)
+    """Evaluate a row-independent expression (a plan's parameter slot)."""
+    return compile_value(expr)(_EMPTY_ROW, params)
 
 
 def scan_rows(table: Table, plan: ScanPlan, params: tuple):
@@ -188,7 +185,12 @@ def execute_select(db, stmt: ast.SelectStmt, params: tuple,
         if stream:
             return StreamingResult(result.columns, iter(result.rows))
         return result
-    plan = plan_select(db, stmt)
+    plan, _hit = select_plan(db, stmt)
+    return run_select_plan(plan, params, stream=stream)
+
+
+def run_select_plan(plan, params: tuple, stream: bool = False):
+    """Execute a compiled (possibly cached) plan under one params binding."""
     out = _run_node(plan.root, params, None)
     if stream:
         return StreamingResult(plan.names, out)
@@ -206,6 +208,23 @@ def _select_without_table(stmt: ast.SelectStmt, params: tuple) -> ResultSet:
     return ResultSet(names, [row])
 
 
+class AnalyzeCounters(dict):
+    """Per-node actual row counts (``{id(node): rows}``) plus wall clock.
+
+    Behaves as the plain counter dict the handlers have always threaded
+    through; ``times`` additionally maps ``id(node)`` to the *inclusive*
+    seconds spent producing that node's output (operator + its subtree),
+    measured inside the iterator — consumer time between pulls is not
+    attributed.
+    """
+
+    __slots__ = ("times",)
+
+    def __init__(self):
+        super().__init__()
+        self.times: dict[int, float] = {}
+
+
 def _run_node(node: nodes.PlanNode, params: tuple, counters: dict | None):
     """Dispatch one plan node to its handler, returning its output iterator.
 
@@ -221,8 +240,24 @@ def _run_node(node: nodes.PlanNode, params: tuple, counters: dict | None):
 
 def _counted(rows, node, counters: dict):
     counters.setdefault(id(node), 0)
-    for row in rows:
-        counters[id(node)] += 1
+    times = getattr(counters, "times", None)
+    if times is None:
+        for row in rows:
+            counters[id(node)] += 1
+            yield row
+        return
+    times.setdefault(id(node), 0.0)
+    iterator = iter(rows)
+    node_id = id(node)
+    while True:
+        started = perf_counter()
+        try:
+            row = next(iterator)
+        except StopIteration:
+            times[node_id] += perf_counter() - started
+            return
+        times[node_id] += perf_counter() - started
+        counters[node_id] += 1
         yield row
 
 
@@ -623,70 +658,155 @@ _NODE_HANDLERS = {
 
 
 # ---------------------------------------------------------------------------
-# DML
+# DML: compiled plans, cached and rebound per execution
 # ---------------------------------------------------------------------------
 
 
-def execute_insert(db, stmt: ast.InsertStmt, params: tuple) -> ResultSet:
-    """Run an INSERT; result carries rowcount and lastrowid."""
-    table = db.table(stmt.table)
-    schema = table.schema
-    if stmt.columns:
-        positions = [schema.position(c) for c in stmt.columns]
-    else:
-        positions = list(range(len(schema.columns)))
-    last = None
-    for value_row in stmt.rows:
-        if len(value_row) != len(positions):
-            raise ExecutionError(
-                f"INSERT has {len(value_row)} values for {len(positions)} columns"
-            )
-        full = [None] * len(schema.columns)
-        for position, expr in zip(positions, value_row):
-            full[position] = _eval_value(expr, params)
-        last = table.insert(full)
-    return ResultSet([], [], rowcount=len(stmt.rows), lastrowid=last)
+class CompiledInsert:
+    """An INSERT compiled once: column positions plus per-row value fns."""
+
+    __slots__ = ("table_name", "n_columns", "positions", "row_fns")
+
+    def __init__(self, table_name, n_columns, positions, row_fns):
+        self.table_name = table_name
+        self.n_columns = n_columns
+        self.positions = positions
+        self.row_fns = row_fns
 
 
-def execute_update(db, stmt: ast.UpdateStmt, params: tuple) -> ResultSet:
-    """Run an UPDATE; rowcount is the number of rows modified."""
+class CompiledUpdate:
+    """An UPDATE compiled once: scan plan, residual, assignment closures."""
+
+    __slots__ = ("table_name", "plan", "residual_fn", "assignment_fns")
+
+    def __init__(self, table_name, plan, residual_fn, assignment_fns):
+        self.table_name = table_name
+        self.plan = plan
+        self.residual_fn = residual_fn
+        self.assignment_fns = assignment_fns
+
+
+class CompiledDelete:
+    """A DELETE compiled once: scan plan plus residual closure."""
+
+    __slots__ = ("table_name", "plan", "residual_fn")
+
+    def __init__(self, table_name, plan, residual_fn):
+        self.table_name = table_name
+        self.plan = plan
+        self.residual_fn = residual_fn
+
+
+def compile_dml(db, stmt) -> CompiledInsert | CompiledUpdate | CompiledDelete:
+    """Compile a DML statement against the current catalog.
+
+    The compiled object holds only names (table, index) and closures —
+    never storage objects — so executing it always resolves live state;
+    the schema epoch guards against layout drift.
+    """
+    if isinstance(stmt, ast.InsertStmt):
+        table = db.table(stmt.table)
+        schema = table.schema
+        if stmt.columns:
+            positions = [schema.position(c) for c in stmt.columns]
+        else:
+            positions = list(range(len(schema.columns)))
+        for value_row in stmt.rows:
+            if len(value_row) != len(positions):
+                raise ExecutionError(
+                    f"INSERT has {len(value_row)} values for "
+                    f"{len(positions)} columns"
+                )
+        row_fns = [
+            [compile_value(expr) for expr in value_row] for value_row in stmt.rows
+        ]
+        return CompiledInsert(
+            stmt.table, len(schema.columns), positions, row_fns
+        )
     table = db.table(stmt.table)
     resolver = Resolver.for_table(stmt.table, table.schema.column_names)
     plan = plan_scan(table, stmt.where)
     residual_fn = (
         compile_expr(plan.residual, resolver) if plan.residual is not None else None
     )
-    assignment_fns = [
-        (table.schema.position(column), compile_expr(expr, resolver))
-        for column, expr in stmt.assignments
-    ]
-    pending: list[tuple[int, dict[int, object]]] = []
-    for row in scan_rows(table, plan, params):
-        if residual_fn is not None and not truthy(residual_fn(row, params)):
-            continue
-        changes = {position: fn(row, params) for position, fn in assignment_fns}
-        pending.append((row[0], changes))
-    for rowid, changes in pending:
-        table.update(rowid, changes)
-    return ResultSet([], [], rowcount=len(pending))
+    if isinstance(stmt, ast.UpdateStmt):
+        assignment_fns = [
+            (table.schema.position(column), compile_expr(expr, resolver))
+            for column, expr in stmt.assignments
+        ]
+        return CompiledUpdate(stmt.table, plan, residual_fn, assignment_fns)
+    return CompiledDelete(stmt.table, plan, residual_fn)
 
 
-def execute_delete(db, stmt: ast.DeleteStmt, params: tuple) -> ResultSet:
-    """Run a DELETE; rowcount is the number of rows removed."""
-    table = db.table(stmt.table)
-    resolver = Resolver.for_table(stmt.table, table.schema.column_names)
-    plan = plan_scan(table, stmt.where)
-    residual_fn = (
-        compile_expr(plan.residual, resolver) if plan.residual is not None else None
-    )
+def cached_dml(db, stmt):
+    """``(compiled, cache_hit)`` for a DML statement via the plan cache.
+
+    DML access paths never consult statistics, so entries validate on the
+    schema epoch alone (``check_stats=False``).
+    """
+    cache = getattr(db, "plan_cache", None)
+    if cache is None:
+        return compile_dml(db, stmt), False
+    compiled = cache.lookup(db, stmt)
+    if compiled is not None:
+        return compiled, True
+    compiled = compile_dml(db, stmt)
+    cache.store(db, stmt, compiled, (compiled.table_name,), check_stats=False)
+    return compiled, False
+
+
+def run_dml(db, compiled, params: tuple) -> ResultSet:
+    """Execute a compiled DML plan under one params binding."""
+    table = db.table(compiled.table_name)
+    if isinstance(compiled, CompiledInsert):
+        positions = compiled.positions
+        last = None
+        for fns in compiled.row_fns:
+            full = [None] * compiled.n_columns
+            for position, fn in zip(positions, fns):
+                full[position] = fn(_EMPTY_ROW, params)
+            last = table.insert(full)
+        return ResultSet([], [], rowcount=len(compiled.row_fns), lastrowid=last)
+    residual_fn = compiled.residual_fn
+    if isinstance(compiled, CompiledUpdate):
+        assignment_fns = compiled.assignment_fns
+        pending: list[tuple[int, dict[int, object]]] = []
+        for row in scan_rows(table, compiled.plan, params):
+            if residual_fn is not None and not truthy(residual_fn(row, params)):
+                continue
+            changes = {
+                position: fn(row, params) for position, fn in assignment_fns
+            }
+            pending.append((row[0], changes))
+        for rowid, changes in pending:
+            table.update(rowid, changes)
+        return ResultSet([], [], rowcount=len(pending))
     doomed: list[int] = []
-    for row in scan_rows(table, plan, params):
+    for row in scan_rows(table, compiled.plan, params):
         if residual_fn is not None and not truthy(residual_fn(row, params)):
             continue
         doomed.append(row[0])
     for rowid in doomed:
         table.delete(rowid)
     return ResultSet([], [], rowcount=len(doomed))
+
+
+def execute_insert(db, stmt: ast.InsertStmt, params: tuple) -> ResultSet:
+    """Run an INSERT; result carries rowcount and lastrowid."""
+    compiled, _hit = cached_dml(db, stmt)
+    return run_dml(db, compiled, params)
+
+
+def execute_update(db, stmt: ast.UpdateStmt, params: tuple) -> ResultSet:
+    """Run an UPDATE; rowcount is the number of rows modified."""
+    compiled, _hit = cached_dml(db, stmt)
+    return run_dml(db, compiled, params)
+
+
+def execute_delete(db, stmt: ast.DeleteStmt, params: tuple) -> ResultSet:
+    """Run a DELETE; rowcount is the number of rows removed."""
+    compiled, _hit = cached_dml(db, stmt)
+    return run_dml(db, compiled, params)
 
 
 # ---------------------------------------------------------------------------
@@ -697,26 +817,38 @@ def execute_delete(db, stmt: ast.DeleteStmt, params: tuple) -> ResultSet:
 def explain(db, stmt, params: tuple = (), analyze: bool = False) -> ResultSet:
     """Render the plan for SELECT/UPDATE/DELETE, one tree line per row.
 
-    ``analyze=True`` (``EXPLAIN ANALYZE``, SELECT only) runs the query and
-    annotates every operator with the rows it actually produced.
+    The first line reports whether the plan came from the shared plan
+    cache (``cache: hit`` / ``cache: miss``) — EXPLAIN resolves its plan
+    through the same cache as execution, so explaining a statement that
+    just ran (or preparing, then explaining) shows a hit.  ``analyze=True``
+    (``EXPLAIN ANALYZE``, SELECT only) runs the query and annotates every
+    operator with the rows it actually produced and the inclusive
+    wall-clock time spent producing them.
     """
     lines: list[str] = []
     if isinstance(stmt, ast.SelectStmt):
         if stmt.table is None:
+            # constant selects are never cached, but the first-line
+            # contract (cache status, then the tree) holds regardless
+            lines.append("cache: miss")
             lines.append("ConstantScan")
         else:
-            plan = plan_select(db, stmt)
+            plan, hit = select_plan(db, stmt)
+            lines.append(f"cache: {'hit' if hit else 'miss'}")
             counters = None
             if analyze:
-                counters = {}
+                counters = AnalyzeCounters()
                 for _row in _run_node(plan.root, tuple(params), counters):
                     pass
-            lines.extend(nodes.render_tree(plan.root, counters))
+            lines.extend(nodes.render_tree(
+                plan.root, counters,
+                counters.times if counters is not None else None,
+            ))
     elif isinstance(stmt, (ast.UpdateStmt, ast.DeleteStmt)):
         if analyze:
             raise PlanningError("EXPLAIN ANALYZE supports SELECT statements only")
-        table = db.table(stmt.table)
-        plan = plan_scan(table, stmt.where)
+        compiled, hit = cached_dml(db, stmt)
         verb = "Update" if isinstance(stmt, ast.UpdateStmt) else "Delete"
-        lines.append(f"{verb} <- {plan.describe()}")
+        lines.append(f"cache: {'hit' if hit else 'miss'}")
+        lines.append(f"{verb} <- {compiled.plan.describe()}")
     return ResultSet(["plan"], [(line,) for line in lines])

@@ -16,6 +16,7 @@ Semantics:
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Callable
 
 from repro.errors import ExecutionError, PlanningError
@@ -113,6 +114,27 @@ def compile_expr(expr: ast.Expr, resolver: Resolver) -> RowFn:
     if isinstance(expr, ast.Case):
         return _compile_case(expr, resolver)
     raise PlanningError(f"cannot compile expression node {type(expr).__name__}")
+
+
+@lru_cache(maxsize=1024)
+def _compile_value_cached(expr: ast.Expr) -> RowFn:
+    return compile_expr(expr, Resolver({}))
+
+
+def compile_value(expr: ast.Expr) -> RowFn:
+    """Compile a row-independent expression — the parameter-slot binder.
+
+    These are the expressions a cached plan re-evaluates per execution
+    (eq/range bounds, prefix values, LIMIT/OFFSET): pure literals and
+    ``?`` slots, never column references.  Compilation is memoized by the
+    expression's structural equality (AST nodes are frozen dataclasses),
+    so rebinding a cached plan costs one dict hit per slot instead of a
+    fresh closure build.
+    """
+    try:
+        return _compile_value_cached(expr)
+    except TypeError:  # unhashable literal payload: compile uncached
+        return compile_expr(expr, Resolver({}))
 
 
 def truthy(value) -> bool:

@@ -354,12 +354,16 @@ class Limit(PlanNode):
         return "Limit"
 
 
-def render_tree(root: PlanNode, actual_rows: dict | None = None) -> list[str]:
+def render_tree(root: PlanNode, actual_rows: dict | None = None,
+                actual_times: dict | None = None) -> list[str]:
     """Indented text rendering of a plan tree.
 
     Every line shows the operator label and its estimated output rows;
     with ``actual_rows`` (``{id(node): count}`` from an ANALYZE run) the
-    observed count is shown next to the estimate.
+    observed count is shown next to the estimate, and with
+    ``actual_times`` (``{id(node): seconds}``) the inclusive wall-clock
+    time the operator spent producing its output — operator plus its
+    subtree — turning the estimate-vs-actual view into a profiler.
     """
     lines: list[str] = []
 
@@ -371,6 +375,10 @@ def render_tree(root: PlanNode, actual_rows: dict | None = None) -> list[str]:
                 observed = actual_rows.get(id(node))
                 if observed is not None:
                     text += f" rows={observed}"
+            if actual_times is not None:
+                seconds = actual_times.get(id(node))
+                if seconds is not None:
+                    text += f" time={seconds * 1000:.3f}ms"
             text += "]"
         lines.append(text)
         for child in node.children():

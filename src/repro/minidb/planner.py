@@ -632,16 +632,22 @@ MERGE_STEER_RATIO = 0.25
 
 
 class SelectPlan:
-    """A compiled physical plan for one SELECT statement."""
+    """A compiled physical plan for one SELECT statement.
 
-    __slots__ = ("stmt", "root", "names", "resolver", "items")
+    ``tables`` names every base table the plan reads — the plan cache
+    pokes their lazy statistics before reuse so a pending rebuild
+    invalidates the plan rather than executing against drifted estimates.
+    """
 
-    def __init__(self, stmt, root, names, resolver, items):
+    __slots__ = ("stmt", "root", "names", "resolver", "items", "tables")
+
+    def __init__(self, stmt, root, names, resolver, items, tables=()):
         self.stmt = stmt
         self.root = root
         self.names = names
         self.resolver = resolver
         self.items = items
+        self.tables = tables
 
 
 class _TableSlot:
@@ -1595,7 +1601,8 @@ def plan_select(db, stmt: ast.SelectStmt) -> SelectPlan:
         stmt, items, alias_map, resolver, node, current_est, has_aggregates,
         stream_group, order_served, slots,
     )
-    return SelectPlan(stmt, root, names, resolver, items)
+    tables = tuple(dict.fromkeys(slot.table.name for slot in slots))
+    return SelectPlan(stmt, root, names, resolver, items, tables)
 
 
 def _finish_select(stmt: ast.SelectStmt, items, alias_map: dict,

@@ -59,12 +59,19 @@ class ColumnStats:
 
 
 class TableStats:
-    """Lazily rebuilt per-column statistics for one table."""
+    """Lazily rebuilt per-column statistics for one table.
 
-    __slots__ = ("table", "_columns", "_built_version", "_built_rows")
+    ``on_rebuild`` (set by :class:`StatsManager`) is invoked after every
+    rebuild so the manager can advance its global ``version`` — the half
+    of the plan-cache invalidation key that tracks statistics churn.
+    """
 
-    def __init__(self, table: Table):
+    __slots__ = ("table", "on_rebuild", "_columns", "_built_version",
+                 "_built_rows")
+
+    def __init__(self, table: Table, on_rebuild=None):
         self.table = table
+        self.on_rebuild = on_rebuild
         self._columns: dict[str, ColumnStats] | None = None
         self._built_version = -1
         self._built_rows = 0
@@ -141,6 +148,8 @@ class TableStats:
         self._columns = columns
         self._built_version = table.version
         self._built_rows = n
+        if self.on_rebuild is not None:
+            self.on_rebuild()
 
     def _from_indexes(self, n_rows: int) -> dict[str, ColumnStats]:
         """Exact column stats read straight off single-column indexes."""
@@ -184,15 +193,25 @@ def _extrapolate_distinct(d_sample: float, sampled: int, n_rows: int) -> float:
 
 
 class StatsManager:
-    """Per-database registry of :class:`TableStats`, keyed by table name."""
+    """Per-database registry of :class:`TableStats`, keyed by table name.
+
+    ``version`` increments whenever any registered table's statistics are
+    rebuilt (lazily past the drift threshold, or forced by ``analyze()``).
+    Cached plans record the version they were costed against and re-plan
+    when it moves — the ``stats_version`` half of the plan-cache key.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, TableStats] = {}
+        self.version = 0
+
+    def _bump(self) -> None:
+        self.version += 1
 
     def for_table(self, table: Table) -> TableStats:
         entry = self._tables.get(table.name)
         if entry is None or entry.table is not table:  # dropped + recreated
-            entry = TableStats(table)
+            entry = TableStats(table, on_rebuild=self._bump)
             self._tables[table.name] = entry
         return entry
 

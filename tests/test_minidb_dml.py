@@ -165,6 +165,29 @@ class TestWal:
         wal.replay_into(fresh)
         assert fresh.execute("SELECT a, b FROM t").rows == [(1, "z")]
 
+    def test_replay_honors_drop_table(self):
+        """DROP TABLE is WAL-logged, so replay never resurrects it."""
+        wal = WriteAheadLog()
+        db = Database(wal=wal)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("DROP TABLE t")
+
+        fresh = Database()
+        wal.replay_into(fresh)
+        assert fresh.table_names() == []
+
+    def test_replay_honors_drop_index(self):
+        wal = WriteAheadLog()
+        db = Database(wal=wal)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE INDEX idx_a ON t (a)")
+        db.execute("DROP INDEX idx_a")
+
+        fresh = Database()
+        wal.replay_into(fresh)
+        assert fresh.index_names() == []
+
     def test_checkpoint_truncates_and_counts(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "db.wal")
         db = Database(wal=wal)

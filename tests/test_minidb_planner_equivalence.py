@@ -82,6 +82,32 @@ def test_property_dml_equivalence(rows, sql):
 
 @settings(max_examples=40, deadline=None)
 @given(_dataset())
+def test_property_prepared_rebound_equals_cold(rows):
+    """Cached, rebound plans answer exactly like cold plans.
+
+    Each query runs three times through one prepared statement: the first
+    execution plans cold, the later ones rebind the cached physical tree
+    (the third after a mutation burst, exercising revalidation).  Every
+    run must match a fresh unindexed database's answer.
+    """
+    indexed, plain = _pair_of_dbs(rows)
+    statements = [(indexed.prepare(sql), sql, params) for sql, params in QUERIES]
+    for prepared, sql, params in statements:
+        cold = prepared.execute(params).rows
+        rebound = prepared.execute(params).rows
+        slow = plain.execute(sql, params).rows
+        assert sorted(map(repr, cold)) == sorted(map(repr, slow)), sql
+        assert sorted(map(repr, rebound)) == sorted(map(repr, slow)), sql
+    for db in (indexed, plain):
+        db.execute("UPDATE t SET val = val + 1 WHERE val IS NOT NULL AND typeof(val) <> 'text'")
+    for prepared, sql, params in statements:
+        fast = prepared.execute(params).rows
+        slow = plain.execute(sql, params).rows
+        assert sorted(map(repr, fast)) == sorted(map(repr, slow)), sql
+
+
+@settings(max_examples=40, deadline=None)
+@given(_dataset())
 def test_property_index_maintenance_after_mutations(rows):
     """Indexes stay correct through a delete/update/insert churn."""
     indexed, plain = _pair_of_dbs(rows)

@@ -43,11 +43,14 @@ SMOKE_ENV = {
     "REPRO_STREAM_ROWS": "5000",
     "REPRO_COMPOSITE_ROWS": "5000",
     "REPRO_PREPARED_ROWS": "5000",
+    "REPRO_CONC_ROWS": "5000",
+    "REPRO_CONC_SECONDS": "0.3",
 }
 
 # benchmark files that must produce an artifact named after the payload
 EXPECTED_ARTIFACTS = {
     "bench_composite_index.py": "composite_index",
+    "bench_concurrency.py": "concurrency",
     "bench_indexes.py": "indexes",
     "bench_pipeline.py": "pipeline",
     "bench_prepared.py": "prepared",

@@ -79,6 +79,14 @@ class TransactionError(DatabaseError):
     """Invalid transaction state transition (nested BEGIN, stray COMMIT...)."""
 
 
+class SerializationError(TransactionError):
+    """A write-write conflict under snapshot isolation.
+
+    Two transactions tried to modify the same row concurrently; the first
+    updater wins and the loser receives this error (retry the transaction).
+    """
+
+
 class IntegrityError(DatabaseError):
     """A constraint violation (duplicate rowid, wrong arity insert...)."""
 

@@ -18,12 +18,14 @@ from repro.minidb.parser import parse, parse_expression
 from repro.minidb.plan_cache import PlanCache
 from repro.minidb.prepared import Cursor, PreparedStatement
 from repro.minidb.results import ResultSet, StreamingResult
+from repro.minidb.session import Connection
 from repro.minidb.wal import WriteAheadLog
 
 __all__ = [
     "BTree",
     "BTreeIndex",
     "ColumnDef",
+    "Connection",
     "Cursor",
     "Database",
     "HashIndex",

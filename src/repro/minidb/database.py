@@ -11,22 +11,38 @@ Usage::
     stmt = db.prepare("SELECT name FROM people WHERE age > ?")
     rows = stmt.execute((30,)).rows   # parse + plan paid once
 
+    with db.connect() as conn:        # a second, isolated session
+        conn.execute("BEGIN")
+        conn.execute("UPDATE people SET age = age + 1")
+        conn.commit()
+
 The execution surface is prepared-statement shaped (PEP 249-flavored):
 ``prepare()`` returns a :class:`~repro.minidb.prepared.PreparedStatement`
 holding the parsed AST and a cached physical plan whose parameter slots
 bind at execution time; ``execute``/``stream``/``executemany`` are thin
 wrappers over it, and ``cursor()`` opens a DB-API-shaped
 :class:`~repro.minidb.prepared.Cursor`.  Prepared statements are cached
-by SQL text and compiled plans by statement AST (both LRU), keyed by the
-``(schema_epoch, stats_version)`` pair so DDL, ``analyze()`` and
-mutation-driven statistics rebuilds transparently re-plan.
+by SQL text and compiled plans by statement AST (both LRU, behind locks —
+they are shared across connections), keyed by the ``(schema_epoch,
+stats_version)`` pair so DDL, ``analyze()`` and mutation-driven
+statistics rebuilds transparently re-plan.
+
+Concurrency: :meth:`connect` opens an isolated
+:class:`~repro.minidb.session.Connection` with snapshot-isolation reads
+and first-updater-wins write conflicts (MVCC — see
+``src/repro/minidb/ARCHITECTURE.md``).  The plain ``db.execute(...)``
+surface *is* a session too (the default one): single-session use keeps
+the legacy fast path, and the moment connections, transactions or
+streaming cursors are live, its statements read through snapshots like
+everyone else's.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
-from repro.errors import CatalogError, DatabaseError
+from repro.errors import CatalogError, DatabaseError, TransactionError
 from repro.minidb import ast_nodes as ast
 from repro.minidb import executor
 from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema
@@ -34,6 +50,7 @@ from repro.minidb.parser import parse
 from repro.minidb.plan_cache import PlanCache
 from repro.minidb.prepared import Cursor, PreparedStatement
 from repro.minidb.results import ResultSet, StreamingResult
+from repro.minidb.session import Connection, Session
 from repro.minidb.stats import StatsManager
 from repro.minidb.storage import Table
 from repro.minidb.transactions import TransactionManager
@@ -41,15 +58,25 @@ from repro.minidb.wal import WriteAheadLog
 
 _STMT_CACHE_LIMIT = 512
 
+_DDL_STMTS = (
+    ast.CreateTableStmt,
+    ast.CreateIndexStmt,
+    ast.DropTableStmt,
+    ast.DropIndexStmt,
+    ast.AlterAddColumnStmt,
+)
+
 
 class Database:
-    """An in-process relational database with SQL, indexes and a WAL."""
+    """An in-process relational database with SQL, MVCC, indexes and a WAL."""
 
     def __init__(self, wal: WriteAheadLog | None = None):
         self.tables: dict[str, Table] = {}
         self.index_catalog: dict[str, IndexDef] = {}
         self.wal = wal
         self.txn = TransactionManager()
+        self.txn.gc_hook = self._gc_locked
+        self.default_session = Session(self)
         # cost-based planning knobs: per-table statistics (lazily rebuilt;
         # see repro.minidb.stats) and the join-reordering switch — flip it
         # off to force syntactic join order (benchmarks, debugging)
@@ -59,28 +86,42 @@ class Database:
         self.schema_epoch = 0
         self.plan_cache = PlanCache()
         self._stmt_cache: OrderedDict[str, PreparedStatement] = OrderedDict()
+        self._stmt_lock = threading.Lock()
+        self._gc_thread: threading.Thread | None = None
+        self._gc_stop: threading.Event | None = None
 
     # -- public API ----------------------------------------------------------
+
+    def connect(self) -> Connection:
+        """Open an isolated session: own transactions, own cursors,
+        snapshot-isolation reads (see ``ARCHITECTURE.md``)."""
+        return Connection(self)
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Parse ``sql`` once and return its prepared statement.
 
         Statements are cached by SQL text with LRU eviction, so repeated
         ``prepare`` (and therefore ``execute``) calls with the same shape
-        return the same object — plan included.
+        return the same object — plan included.  The cache is shared by
+        every connection and guarded by a lock.
         """
-        prepared = self._stmt_cache.get(sql)
-        if prepared is None:
-            prepared = PreparedStatement(self, sql, parse(sql))
+        with self._stmt_lock:
+            prepared = self._stmt_cache.get(sql)
+            if prepared is not None:
+                self._stmt_cache.move_to_end(sql)
+                return prepared
+        prepared = PreparedStatement(self, sql, parse(sql))
+        with self._stmt_lock:
+            existing = self._stmt_cache.get(sql)
+            if existing is not None:
+                return existing
             while len(self._stmt_cache) >= _STMT_CACHE_LIMIT:
                 self._stmt_cache.popitem(last=False)
             self._stmt_cache[sql] = prepared
-        else:
-            self._stmt_cache.move_to_end(sql)
         return prepared
 
     def cursor(self) -> Cursor:
-        """A PEP 249-shaped cursor over this database."""
+        """A PEP 249-shaped cursor over this database (default session)."""
         return Cursor(self)
 
     def execute(self, sql: str, params: tuple | list = ()) -> ResultSet:
@@ -92,8 +133,10 @@ class Database:
 
         Rows are computed as the cursor is consumed, so early termination
         (pagination, first-match probes, capped distinct counts) stops the
-        scan instead of paying for the full result.  Do not mutate the
-        database while the cursor is open.
+        scan instead of paying for the full result.  The cursor reads a
+        snapshot taken when it was opened: interleaved DML — this
+        session's or a concurrent connection's — does not change what it
+        yields.
         """
         return self.prepare(sql).stream(params)
 
@@ -156,52 +199,153 @@ class Database:
             return 0
         return self.wal.checkpoint()
 
+    # -- MVCC lifecycle ---------------------------------------------------------
+
+    def mvcc_engaged(self) -> bool:
+        """True when statements must read through snapshots: transactions,
+        registered snapshots or connections are live, or version chains
+        are still awaiting garbage collection.  False is the quiescent
+        single-session fast path."""
+        manager = self.txn
+        if (manager.active or manager.open_connections
+                or manager.outstanding_snapshots):
+            return True
+        for table in self.tables.values():
+            if table.versions:
+                return True
+        return False
+
+    def commit_transaction(self, txn) -> None:
+        """Commit ``txn``: flip visibility, flush its events to the WAL
+        (one atomic commit record for explicit transactions, flat records
+        for implicit per-statement ones), then let GC advance."""
+        manager = self.txn
+        with manager.lock:
+            events = manager.commit(txn)
+            if self.wal is not None and events:
+                if txn.implicit:
+                    for event in events:
+                        self.wal.log_event(event)
+                else:
+                    self.wal.log_commit(txn.txid, events)
+        self.maybe_gc()
+
+    def maybe_gc(self) -> None:
+        """Reclaim dead versions if the horizon allows (cheap when clean)."""
+        manager = self.txn
+        with manager.lock:
+            self._gc_locked()
+
+    def _gc_locked(self) -> None:
+        manager = self.txn
+        dirty = [t for t in self.tables.values() if t.versions]
+        if not dirty:
+            return
+        horizon = manager.horizon()
+        for table in dirty:
+            table.gc(horizon, manager.is_active)
+
+    def vacuum(self) -> int:
+        """Force a full garbage-collection pass; returns chains retired."""
+        manager = self.txn
+        with manager.lock:
+            horizon = manager.horizon()
+            return sum(
+                table.gc(horizon, manager.is_active)
+                for table in self.tables.values()
+                if table.versions
+            )
+
+    def start_background_gc(self, interval: float = 0.25) -> None:
+        """Run :meth:`maybe_gc` on a daemon thread every ``interval``
+        seconds — for long-lived multi-connection workloads, so dead
+        versions are reclaimed even between commits."""
+        if self._gc_thread is not None:
+            return
+        stop = threading.Event()
+
+        def loop() -> None:
+            while not stop.wait(interval):
+                self.maybe_gc()
+
+        thread = threading.Thread(target=loop, name="minidb-gc", daemon=True)
+        self._gc_stop = stop
+        self._gc_thread = thread
+        thread.start()
+
+    def stop_background_gc(self) -> None:
+        if self._gc_thread is None:
+            return
+        self._gc_stop.set()
+        self._gc_thread.join(timeout=5.0)
+        self._gc_thread = None
+        self._gc_stop = None
+
     # -- internals -------------------------------------------------------------
 
-    def _dispatch(self, statement: ast.Statement, params: tuple, sql: str) -> ResultSet:
+    def _ambient_txn(self):
+        """The default session's open transaction (direct storage
+        mutations made without an explicit ``txn=`` join it)."""
+        return self.default_session.txn
+
+    def _dispatch(self, statement: ast.Statement, params: tuple, sql: str,
+                  session: Session | None = None) -> ResultSet:
+        if session is None:
+            session = self.default_session
         if isinstance(statement, ast.SelectStmt):
-            return executor.execute_select(self, statement, params)
+            return executor.execute_select(self, statement, params,
+                                           session=session)
         if isinstance(statement, ast.InsertStmt):
-            return executor.execute_insert(self, statement, params)
+            return executor.execute_insert(self, statement, params, session)
         if isinstance(statement, ast.UpdateStmt):
-            return executor.execute_update(self, statement, params)
+            return executor.execute_update(self, statement, params, session)
         if isinstance(statement, ast.DeleteStmt):
-            return executor.execute_delete(self, statement, params)
-        if isinstance(statement, ast.CreateTableStmt):
-            return self._create_table(statement, sql)
-        if isinstance(statement, ast.CreateIndexStmt):
-            return self._create_index(statement, sql)
-        if isinstance(statement, ast.DropTableStmt):
-            return self._drop_table(statement, sql)
-        if isinstance(statement, ast.DropIndexStmt):
-            return self._drop_index(statement, sql)
-        if isinstance(statement, ast.AlterAddColumnStmt):
-            return self._alter_add_column(statement, sql)
+            return executor.execute_delete(self, statement, params, session)
+        if isinstance(statement, _DDL_STMTS):
+            if session.in_transaction:
+                # DDL is not transactional: logging it from inside a
+                # transaction that later rolls back would leave the WAL
+                # claiming schema that never survived (see ISSUE 5)
+                raise TransactionError(
+                    "DDL is not allowed inside an explicit transaction; "
+                    "COMMIT or ROLLBACK first"
+                )
+            with self.txn.lock:
+                if isinstance(statement, ast.CreateTableStmt):
+                    return self._create_table(statement, sql)
+                if isinstance(statement, ast.CreateIndexStmt):
+                    return self._create_index(statement, sql)
+                if isinstance(statement, ast.DropTableStmt):
+                    return self._drop_table(statement, sql)
+                if isinstance(statement, ast.DropIndexStmt):
+                    return self._drop_index(statement, sql)
+                return self._alter_add_column(statement, sql)
         if isinstance(statement, ast.BeginStmt):
-            self.txn.begin()
+            session.begin()
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.CommitStmt):
-            events = self.txn.commit()
-            if self.wal is not None:
-                for event in events:
-                    self.wal.log_event(event)
+            session.commit()
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.RollbackStmt):
-            self.txn.rollback(self)
+            session.rollback()
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.ExplainStmt):
             return executor.explain(self, statement.statement, params,
-                                    analyze=statement.analyze)
+                                    analyze=statement.analyze, session=session)
         raise DatabaseError(f"cannot execute {type(statement).__name__}")
 
     def _on_change(self, event: tuple) -> None:
+        """Change hook for mutations outside any transaction (transaction
+        writes buffer their events on the transaction itself)."""
         if self.txn.replaying:
-            return
-        if self.txn.in_transaction:
-            self.txn.active.record(event)
             return
         if self.wal is not None:
             self.wal.log_event(event)
+
+    def _attach(self, table: Table) -> None:
+        table.on_change = self._on_change
+        table.manager = self.txn
+        table.ambient_txn = self._ambient_txn
 
     # -- DDL -----------------------------------------------------------------
 
@@ -215,7 +359,7 @@ class Database:
             [ColumnDef.make(c.name, c.type_name) for c in statement.columns],
         )
         table = Table(schema)
-        table.on_change = self._on_change
+        self._attach(table)
         self.tables[statement.name] = table
         self.schema_epoch += 1
         if self.wal is not None and not self.txn.replaying:

@@ -24,8 +24,21 @@ relies on:
 * a :class:`~repro.minidb.plan_nodes.StreamAggregate` holds one group at
   a time, emitting each as soon as the grouping key changes.
 
+Every read path takes an optional MVCC ``snapshot``.  ``None`` is the
+single-session fast path — byte-for-byte the pre-MVCC code reading the
+live ``Table.rows`` dict.  With a snapshot, rows resolve through version
+chains (:func:`repro.minidb.storage.visible_version`), heap scans
+capture their rowid set atomically up front, and index walks run in
+short re-seeking batches under the write lock with a per-version key
+re-check — so a streaming SELECT reads its snapshot to completion
+regardless of interleaved DML, and ``IndexOrderScan``/``MergeJoin`` stay
+correct under concurrent writers.
+
 UPDATE/DELETE plan their scans with the same access-path planner, so
-indexed predicates touch only matching rows.  ``EXPLAIN`` renders the
+indexed predicates touch only matching rows; under a transaction they
+read through its snapshot and stamp version chains (first-updater-wins
+conflicts surface as :class:`~repro.errors.SerializationError`, and a
+failed statement unwinds to its savepoint).  ``EXPLAIN`` renders the
 plan tree with estimated rows; ``EXPLAIN ANALYZE`` executes the SELECT
 and shows estimated vs. actual rows per operator.
 """
@@ -63,7 +76,7 @@ from repro.minidb.planner import (
     plan_scan,
 )
 from repro.minidb.results import ResultSet, StreamingResult
-from repro.minidb.storage import Table
+from repro.minidb.storage import Table, visible_version
 
 _EMPTY_ROW: tuple = ()
 
@@ -73,12 +86,17 @@ def _eval_value(expr: ast.Expr, params: tuple):
     return compile_value(expr)(_EMPTY_ROW, params)
 
 
-def scan_rows(table: Table, plan: ScanPlan, params: tuple):
+def scan_rows(table: Table, plan: ScanPlan, params: tuple, snapshot=None):
     """Yield ``[rowid, *values]`` rows according to the chosen access path.
 
     The residual predicate is *not* applied here — the plan tree hangs a
-    Filter node above the scan (DML paths apply it themselves).
+    Filter node above the scan (DML paths apply it themselves).  With a
+    ``snapshot``, every row resolves through its version chain and index
+    hits are re-checked against the visible version's key.
     """
+    if snapshot is not None:
+        yield from _scan_rows_snapshot(table, plan, params, snapshot)
+        return
     if plan.kind == ROWID_EQ:
         rowid = _eval_value(plan.eq_expr, params)
         values = table.rows.get(rowid)
@@ -167,18 +185,184 @@ def scan_rows(table: Table, plan: ScanPlan, params: tuple):
         yield [rowid, *values]
 
 
+def _fetch_version(table: Table, rowid: int, snapshot, index=None,
+                   expected_key=None):
+    """The values of ``rowid`` visible to ``snapshot``, or None.
+
+    With ``index``/``expected_key`` the visible version's key is
+    re-checked against the entry it was reached through — an index keeps
+    entries for *all* live versions until GC, so a probe can surface a
+    rowid whose visible version lives under a different key (skip it:
+    the walk meets that version at its own entry, exactly once).
+    """
+    # rows is read BEFORE versions: writers publish the chain first, so a
+    # reader that finds no chain holds a pre-mutation row value (the entry
+    # and the live row are in sync — the current values are the version)
+    row = table.rows.get(rowid)
+    chain = table.versions.get(rowid)
+    if chain is None:
+        return row
+    version = visible_version(chain, snapshot)
+    if version is None:
+        return None
+    if expected_key is not None and index.entry_key(version.values) != expected_key:
+        return None
+    return version.values
+
+
+def _walk_groups(index, bounds, reverse, table, snapshot):
+    """Resolve a batched B+tree group walk through the snapshot."""
+    if bounds is None:
+        return
+    for key, rowids in index.group_walk(bounds, reverse=reverse,
+                                        lock=snapshot.lock):
+        for rowid in rowids:
+            values = table.rows.get(rowid)   # rows before versions (see
+            chain = table.versions.get(rowid)  # _fetch_version)
+            if chain is not None:
+                version = visible_version(chain, snapshot)
+                if version is None:
+                    continue
+                values = version.values
+                if index.entry_key(values) != key:
+                    continue  # stale entry: this version lives elsewhere
+            if values is not None:
+                yield [rowid, *values]
+
+
+def _scan_rows_snapshot(table: Table, plan: ScanPlan, params: tuple, snapshot):
+    """The MVCC twin of :func:`scan_rows`: same access paths, version-
+    chain resolution, concurrent-mutation-safe iteration."""
+    kind = plan.kind
+    if kind == ROWID_EQ:
+        rowid = _eval_value(plan.eq_expr, params)
+        values = table.read_visible(rowid, snapshot)
+        if values is not None:
+            yield [rowid, *values]
+        return
+    if kind == ROWID_IN:
+        seen: set[int] = set()
+        for item in plan.in_exprs:
+            rowid = _eval_value(item, params)
+            if rowid in seen:
+                continue
+            seen.add(rowid)
+            values = table.read_visible(rowid, snapshot)
+            if values is not None:
+                yield [rowid, *values]
+        return
+    if kind == INDEX_EQ:
+        index = table.indexes[plan.index_name]
+        value = _eval_value(plan.eq_expr, params)
+        expected = index.probe_key((value,)) if value is not None else None
+        with snapshot.lock:
+            # B+tree point probes are Python-level walks; a concurrent
+            # GC/writer restructuring the tree could tear them, so the
+            # rowid set is pulled under the write lock (O(log n) hold)
+            rowids = tuple(index.lookup(value))
+        for rowid in rowids:
+            values = _fetch_version(table, rowid, snapshot, index, expected)
+            if values is not None:
+                yield [rowid, *values]
+        return
+    if kind == INDEX_IN:
+        index = table.indexes[plan.index_name]
+        seen = set()
+        for item in plan.in_exprs:
+            value = _eval_value(item, params)
+            if value is None:
+                continue
+            expected = index.probe_key((value,))
+            with snapshot.lock:
+                rowids = tuple(index.lookup(value))
+            for rowid in rowids:
+                if rowid in seen:
+                    continue
+                seen.add(rowid)
+                values = _fetch_version(table, rowid, snapshot, index, expected)
+                if values is not None:
+                    yield [rowid, *values]
+        return
+    if kind == INDEX_PREFIX:
+        index = table.indexes[plan.index_name]
+        values = tuple(
+            _eval_value(expr, params) for expr in plan.prefix_exprs
+        )
+        if index.kind == "hash":
+            if any(v is None for v in values):
+                return
+            expected = index.probe_key(values)
+            with snapshot.lock:
+                rowids = tuple(index.lookup_values(values))
+            for rowid in rowids:
+                row = _fetch_version(table, rowid, snapshot, index, expected)
+                if row is not None:
+                    yield [rowid, *row]
+            return
+        low = high = None
+        if plan.low_expr is not None:
+            low = _eval_value(plan.low_expr, params)
+            if low is None:
+                return
+        if plan.high_expr is not None:
+            high = _eval_value(plan.high_expr, params)
+            if high is None:
+                return
+        bounds = index.prefix_bounds(
+            values, low=low, high=high,
+            include_low=plan.include_low, include_high=plan.include_high,
+        )
+        yield from _walk_groups(index, bounds, plan.descending, table, snapshot)
+        return
+    if kind == INDEX_NULL:
+        index = table.indexes[plan.index_name]
+        for rowid in index.lookup_null():
+            values = table.rows.get(rowid)   # rows before versions (see
+            chain = table.versions.get(rowid)  # _fetch_version)
+            if chain is not None:
+                version = visible_version(chain, snapshot)
+                if version is None or not index.null_match(version.values):
+                    continue
+                values = version.values
+            if values is not None:
+                yield [rowid, *values]
+        return
+    if kind == INDEX_RANGE:
+        index = table.indexes[plan.index_name]
+        low = high = None
+        if plan.low_expr is not None:
+            low = _eval_value(plan.low_expr, params)
+            if low is None:
+                return
+        if plan.high_expr is not None:
+            high = _eval_value(plan.high_expr, params)
+            if high is None:
+                return
+        bounds = index.range_bounds(low, high, plan.include_low,
+                                    plan.include_high)
+        yield from _walk_groups(index, bounds, plan.descending, table, snapshot)
+        return
+    if kind == INDEX_ORDER:
+        index = table.indexes[plan.index_name]
+        yield from _walk_groups(index, index.order_bounds(), plan.descending,
+                                table, snapshot)
+        return
+    for rowid, values in table.snapshot_scan(snapshot):
+        yield [rowid, *values]
+
+
 # ---------------------------------------------------------------------------
 # SELECT execution: the node dispatcher
 # ---------------------------------------------------------------------------
 
 
 def execute_select(db, stmt: ast.SelectStmt, params: tuple,
-                   stream: bool = False):
+                   stream: bool = False, session=None):
     """Run a SELECT.
 
     Returns a materialized :class:`ResultSet`, or — with ``stream=True`` — a
-    lazy :class:`StreamingResult` whose rows are produced on demand (the
-    underlying table must not be mutated while it is being consumed).
+    lazy :class:`StreamingResult` whose rows are produced on demand under
+    the session's snapshot (consistent regardless of interleaved DML).
     """
     if stmt.table is None:
         result = _select_without_table(stmt, params)
@@ -186,15 +370,43 @@ def execute_select(db, stmt: ast.SelectStmt, params: tuple,
             return StreamingResult(result.columns, iter(result.rows))
         return result
     plan, _hit = select_plan(db, stmt)
-    return run_select_plan(plan, params, stream=stream)
+    snapshot, release = _read_context(db, session, stream)
+    return run_select_plan(plan, params, stream=stream,
+                           snapshot=snapshot, release=release)
 
 
-def run_select_plan(plan, params: tuple, stream: bool = False):
-    """Execute a compiled (possibly cached) plan under one params binding."""
-    out = _run_node(plan.root, params, None)
-    if stream:
-        return StreamingResult(plan.names, out)
-    return ResultSet(plan.names, list(out))
+def _read_context(db, session, stream: bool):
+    session = session if session is not None else db.default_session
+    return session.read_context(stream=stream)
+
+
+def _with_release(rows, release):
+    try:
+        for row in rows:
+            yield row
+    finally:
+        release()
+
+
+def run_select_plan(plan, params: tuple, stream: bool = False,
+                    snapshot=None, release=None):
+    """Execute a compiled (possibly cached) plan under one params binding.
+
+    ``release`` (the snapshot release callback) is guaranteed to run —
+    on materialization, on stream exhaustion/close, or on any error —
+    so a registered snapshot can never leak and pin the GC horizon.
+    """
+    try:
+        out = _run_node(plan.root, params, snapshot, None)
+        if stream:
+            if release is not None:
+                out = _with_release(out, release)
+                release = None
+            return StreamingResult(plan.names, out)
+        return ResultSet(plan.names, list(out))
+    finally:
+        if release is not None:
+            release()
 
 
 def _select_without_table(stmt: ast.SelectStmt, params: tuple) -> ResultSet:
@@ -225,14 +437,15 @@ class AnalyzeCounters(dict):
         self.times: dict[int, float] = {}
 
 
-def _run_node(node: nodes.PlanNode, params: tuple, counters: dict | None):
+def _run_node(node: nodes.PlanNode, params: tuple, snapshot,
+              counters: dict | None):
     """Dispatch one plan node to its handler, returning its output iterator.
 
     With ``counters`` (an ANALYZE run), the iterator is wrapped to record
     the number of rows the operator actually produced, keyed by node id.
     """
     handler = _NODE_HANDLERS[type(node)]
-    out = handler(node, params, counters)
+    out = handler(node, params, snapshot, counters)
     if counters is not None:
         out = _counted(out, node, counters)
     return out
@@ -261,25 +474,25 @@ def _counted(rows, node, counters: dict):
         yield row
 
 
-def _exec_scan(node: nodes.Scan, params, counters):
-    return scan_rows(node.table, node.plan, params)
+def _exec_scan(node: nodes.Scan, params, snapshot, counters):
+    return scan_rows(node.table, node.plan, params, snapshot)
 
 
-def _exec_filter(node: nodes.Filter, params, counters):
+def _exec_filter(node: nodes.Filter, params, snapshot, counters):
     fn = node.fn
     return (
-        row for row in _run_node(node.child, params, counters)
+        row for row in _run_node(node.child, params, snapshot, counters)
         if truthy(fn(row, params))
     )
 
 
-def _exec_hash_join(node: nodes.HashJoin, params, counters):
+def _exec_hash_join(node: nodes.HashJoin, params, snapshot, counters):
     def run():
         build_filter_fn = node.build_filter_fn
         residual_fn = node.residual_fn
         pad = [None] * node.offset
         buckets: dict = {}
-        for right in _run_node(node.right, params, counters):
+        for right in _run_node(node.right, params, snapshot, counters):
             if build_filter_fn is not None and not truthy(
                 build_filter_fn(pad + right, params)
             ):
@@ -292,7 +505,7 @@ def _exec_hash_join(node: nodes.HashJoin, params, counters):
         left_positions = node.left_positions
         pad_width = node.pad_width
         is_left = node.kind == "LEFT"
-        for left in _run_node(node.left, params, counters):
+        for left in _run_node(node.left, params, snapshot, counters):
             key_values = [left[p] for p in left_positions]
             if any(v is None for v in key_values):
                 matches = ()
@@ -313,12 +526,41 @@ def _exec_hash_join(node: nodes.HashJoin, params, counters):
     return run()
 
 
-def _exec_merge_join(node: nodes.MergeJoin, params, counters):
+def _merge_groups(node: nodes.MergeJoin, snapshot):
+    """The build side's ``(key, [right_row, ...])`` stream for a merge join.
+
+    Fast path: raw B+tree groups over live rows.  Snapshot path: batched
+    re-seeking walk with per-version key re-checks, so the ordered stream
+    stays correct under concurrent writers.
+    """
+    if snapshot is None:
+        stored_rows = node.table.rows
+        for key, rowids in node.index.ordered_groups():
+            yield key, rowids, stored_rows
+        return
+    table = node.table
+    index = node.index
+    for key, rowids in index.group_walk(index.merge_bounds(),
+                                        lock=snapshot.lock):
+        resolved = []
+        for rowid in rowids:
+            values = table.rows.get(rowid)   # rows before versions (see
+            chain = table.versions.get(rowid)  # _fetch_version)
+            if chain is not None:
+                version = visible_version(chain, snapshot)
+                if version is None or index.entry_key(version.values) != key:
+                    continue
+                values = version.values
+            if values is not None:
+                resolved.append((rowid, values))
+        yield key, resolved, None
+
+
+def _exec_merge_join(node: nodes.MergeJoin, params, snapshot, counters):
     def run():
         right_filter = node.right_filter_fn
         residual_fn = node.residual_fn
-        stored_rows = node.table.rows
-        groups = node.index.ordered_groups()
+        groups = _merge_groups(node, snapshot)
         left_pos = node.left_pos
         if counters is not None:
             # the build subtree is walked here, not via _run_node; attribute
@@ -331,17 +573,18 @@ def _exec_merge_join(node: nodes.MergeJoin, params, counters):
             if filter_node is not None:
                 counters.setdefault(id(filter_node), 0)
         cur_key = None
-        cur_rowids: set = set()
+        cur_rowids = ()
+        cur_stored = None
         cur_rows: list | None = None
         exhausted = False
-        for left in _run_node(node.left, params, counters):
+        for left in _run_node(node.left, params, snapshot, counters):
             value = left[left_pos]
             if value is None:
                 continue  # NULL join keys never match
             key = sort_key(value)
             while not exhausted and (cur_key is None or cur_key < key):
                 try:
-                    cur_key, cur_rowids = next(groups)
+                    cur_key, cur_rowids, cur_stored = next(groups)
                     cur_rows = None
                 except StopIteration:
                     exhausted = True
@@ -351,8 +594,12 @@ def _exec_merge_join(node: nodes.MergeJoin, params, counters):
                 continue
             if cur_rows is None:  # materialize the group once per key
                 cur_rows = []
-                for rowid in cur_rowids:
-                    right = [rowid, *stored_rows[rowid]]
+                if cur_stored is not None:
+                    pairs = ((rowid, cur_stored[rowid]) for rowid in cur_rowids)
+                else:
+                    pairs = iter(cur_rowids)
+                for rowid, values in pairs:
+                    right = [rowid, *values]
                     if counters is not None:
                         counters[id(scan_node)] += 1
                     if right_filter is None or truthy(right_filter(right, params)):
@@ -369,13 +616,13 @@ def _exec_merge_join(node: nodes.MergeJoin, params, counters):
     return run()
 
 
-def _exec_nested_loop(node: nodes.NestedLoopJoin, params, counters):
+def _exec_nested_loop(node: nodes.NestedLoopJoin, params, snapshot, counters):
     def run():
-        right_rows = list(_run_node(node.right, params, counters))
+        right_rows = list(_run_node(node.right, params, snapshot, counters))
         predicate = node.predicate_fn
         is_left = node.kind == "LEFT"
         pad_width = node.pad_width
-        for left in _run_node(node.left, params, counters):
+        for left in _run_node(node.left, params, snapshot, counters):
             matched = False
             for right in right_rows:
                 candidate = left + right
@@ -412,13 +659,13 @@ def _step_group(spec: nodes.AggregateSpec, accumulators, seen_list, row,
         accumulators[i].step(value)
 
 
-def _agg_groups_hash(node: nodes.HashAggregate, params, counters):
+def _agg_groups_hash(node: nodes.HashAggregate, params, snapshot, counters):
     """Consume the whole input into hash groups; yield intermediate rows."""
     spec = node.spec
     groups: dict = {}
     group_values: dict = {}
     distinct_seen: dict = {}
-    for row in _run_node(node.child, params, counters):
+    for row in _run_node(node.child, params, snapshot, counters):
         key_values = tuple(fn(row, params) for fn in spec.group_fns)
         key = tuple(normalize_key(v) if v is not None else None for v in key_values)
         accumulators = groups.get(key)
@@ -437,7 +684,7 @@ def _agg_groups_hash(node: nodes.HashAggregate, params, counters):
         yield list(group_values[key]) + [acc.final() for acc in accumulators]
 
 
-def _agg_groups_stream(node: nodes.StreamAggregate, params, counters):
+def _agg_groups_stream(node: nodes.StreamAggregate, params, snapshot, counters):
     """Group-ordered input: finalize and emit each group on key change,
     holding exactly one group's state at a time."""
     spec = node.spec
@@ -445,7 +692,7 @@ def _agg_groups_stream(node: nodes.StreamAggregate, params, counters):
     cur_values: tuple = ()
     accumulators = None
     seen = None
-    for row in _run_node(node.child, params, counters):
+    for row in _run_node(node.child, params, snapshot, counters):
         key_values = tuple(fn(row, params) for fn in spec.group_fns)
         key = tuple(normalize_key(v) if v is not None else None for v in key_values)
         if accumulators is None or key != cur_key:
@@ -462,14 +709,14 @@ def _agg_groups_stream(node: nodes.StreamAggregate, params, counters):
         yield [a.final() for a in acc]
 
 
-def _agg_output(node, params, counters, with_inter: bool = False):
+def _agg_output(node, params, snapshot, counters, with_inter: bool = False):
     """Post-process intermediate group rows: HAVING, then projection."""
     spec = node.spec
     inter_fn = (
         _agg_groups_stream if isinstance(node, nodes.StreamAggregate)
         else _agg_groups_hash
     )
-    for inter in inter_fn(node, params, counters):
+    for inter in inter_fn(node, params, snapshot, counters):
         if spec.having_fn is not None and not truthy(
             spec.having_fn(inter, params)
         ):
@@ -478,8 +725,8 @@ def _agg_output(node, params, counters, with_inter: bool = False):
         yield (inter, out_row) if with_inter else out_row
 
 
-def _exec_aggregate(node, params, counters):
-    return _agg_output(node, params, counters)
+def _exec_aggregate(node, params, snapshot, counters):
+    return _agg_output(node, params, snapshot, counters)
 
 
 # -- ordering / projection / distinct / limit --------------------------------
@@ -518,7 +765,7 @@ def _order_key(specs, base_row, out_row, params: tuple) -> tuple:
     return tuple(keys)
 
 
-def _keyed_rows(project: nodes.Project, specs, params, counters):
+def _keyed_rows(project: nodes.Project, specs, params, snapshot, counters):
     """Project the input stream, yielding ``(sort_key, output_row)``.
 
     Sort/TopK consume the projection here rather than through
@@ -526,30 +773,30 @@ def _keyed_rows(project: nodes.Project, specs, params, counters):
     item_fns = project.item_fns
     if counters is not None:
         counters.setdefault(id(project), 0)
-    for row in _run_node(project.child, params, counters):
+    for row in _run_node(project.child, params, snapshot, counters):
         out_row = tuple(fn(row, params) for fn in item_fns)
         if counters is not None:
             counters[id(project)] += 1
         yield _order_key(specs, row, out_row, params), out_row
 
 
-def _exec_project(node: nodes.Project, params, counters):
+def _exec_project(node: nodes.Project, params, snapshot, counters):
     item_fns = node.item_fns
     return (
         tuple(fn(row, params) for fn in item_fns)
-        for row in _run_node(node.child, params, counters)
+        for row in _run_node(node.child, params, snapshot, counters)
     )
 
 
-def _exec_sort(node: nodes.Sort, params, counters):
+def _exec_sort(node: nodes.Sort, params, snapshot, counters):
     def run():
         if node.mode == "groups":
             # ordering an aggregate: positional keys refer to the projected
             # output row, everything else to the intermediate group row
             keyed = []
             n_groups = 0
-            for inter, out_row in _agg_output(node.child, params, counters,
-                                              with_inter=True):
+            for inter, out_row in _agg_output(node.child, params, snapshot,
+                                              counters, with_inter=True):
                 n_groups += 1
                 keys = []
                 for kind, spec, ascending in node.specs:
@@ -570,7 +817,7 @@ def _exec_sort(node: nodes.Sort, params, counters):
                 yield out_row
             return
         pairs = sorted(
-            _keyed_rows(node.child, node.specs, params, counters),
+            _keyed_rows(node.child, node.specs, params, snapshot, counters),
             key=lambda pair: pair[0],
         )
         for _keys, out_row in pairs:
@@ -578,13 +825,13 @@ def _exec_sort(node: nodes.Sort, params, counters):
     return run()
 
 
-def _exec_topk(node: nodes.TopK, params, counters):
+def _exec_topk(node: nodes.TopK, params, snapshot, counters):
     def run():
         limit = _eval_value(node.limit_expr, params)
         offset = 0
         if node.offset_expr is not None:
             offset = _eval_value(node.offset_expr, params) or 0
-        keyed = _keyed_rows(node.child, node.specs, params, counters)
+        keyed = _keyed_rows(node.child, node.specs, params, snapshot, counters)
         if limit is None:  # LIMIT NULL: degrade to a full sort
             for _keys, out_row in sorted(keyed, key=lambda pair: pair[0]):
                 yield out_row
@@ -596,8 +843,8 @@ def _exec_topk(node: nodes.TopK, params, counters):
     return run()
 
 
-def _exec_distinct(node: nodes.Distinct, params, counters):
-    return _stream_distinct(_run_node(node.child, params, counters))
+def _exec_distinct(node: nodes.Distinct, params, snapshot, counters):
+    return _stream_distinct(_run_node(node.child, params, snapshot, counters))
 
 
 def _stream_distinct(rows):
@@ -622,7 +869,7 @@ def _stream_distinct(rows):
         yield row
 
 
-def _exec_limit(node: nodes.Limit, params, counters):
+def _exec_limit(node: nodes.Limit, params, snapshot, counters):
     limit = (
         _eval_value(node.limit_expr, params)
         if node.limit_expr is not None else None
@@ -630,7 +877,7 @@ def _exec_limit(node: nodes.Limit, params, counters):
     offset = 0
     if node.offset_expr is not None:
         offset = _eval_value(node.offset_expr, params) or 0
-    rows = _run_node(node.child, params, counters)
+    rows = _run_node(node.child, params, snapshot, counters)
     return _limit_stream(rows, limit, max(int(offset), 0))
 
 
@@ -755,9 +1002,42 @@ def cached_dml(db, stmt):
     return compiled, False
 
 
-def run_dml(db, compiled, params: tuple) -> ResultSet:
-    """Execute a compiled DML plan under one params binding."""
+def run_dml(db, compiled, params: tuple, session=None) -> ResultSet:
+    """Execute a compiled DML plan under one params binding.
+
+    Outside any transaction (and with the database quiescent) this is
+    the legacy in-place path.  Otherwise the statement runs under the
+    session's transaction — implicit one-statement transactions are
+    begun and committed here — holding the global write lock, reading
+    through the transaction's snapshot, and unwinding to a savepoint on
+    failure so a half-applied statement never leaks.
+    """
+    session = session if session is not None else db.default_session
+    manager = db.txn
+    # the whole statement — including the fast-path-vs-transaction decision
+    # — runs under the write lock, so a reader registering a snapshot (or
+    # another thread opening a connection) cannot race this statement into
+    # unversioned in-place mutation after observing a quiescent database
+    with manager.lock:
+        txn, implicit = session.write_context()
+        if txn is None:
+            return _apply_dml(db, compiled, params, None)
+        mark = txn.savepoint()
+        try:
+            result = _apply_dml(db, compiled, params, txn)
+        except BaseException:
+            manager.undo_to(txn, mark, db)
+            if implicit:
+                manager.rollback(txn, db)
+            raise
+        if implicit:
+            db.commit_transaction(txn)
+        return result
+
+
+def _apply_dml(db, compiled, params: tuple, txn) -> ResultSet:
     table = db.table(compiled.table_name)
+    snapshot = txn.snapshot if txn is not None else None
     if isinstance(compiled, CompiledInsert):
         positions = compiled.positions
         last = None
@@ -765,13 +1045,13 @@ def run_dml(db, compiled, params: tuple) -> ResultSet:
             full = [None] * compiled.n_columns
             for position, fn in zip(positions, fns):
                 full[position] = fn(_EMPTY_ROW, params)
-            last = table.insert(full)
+            last = table.insert(full, txn=txn)
         return ResultSet([], [], rowcount=len(compiled.row_fns), lastrowid=last)
     residual_fn = compiled.residual_fn
     if isinstance(compiled, CompiledUpdate):
         assignment_fns = compiled.assignment_fns
         pending: list[tuple[int, dict[int, object]]] = []
-        for row in scan_rows(table, compiled.plan, params):
+        for row in scan_rows(table, compiled.plan, params, snapshot):
             if residual_fn is not None and not truthy(residual_fn(row, params)):
                 continue
             changes = {
@@ -779,34 +1059,37 @@ def run_dml(db, compiled, params: tuple) -> ResultSet:
             }
             pending.append((row[0], changes))
         for rowid, changes in pending:
-            table.update(rowid, changes)
+            table.update(rowid, changes, txn=txn)
         return ResultSet([], [], rowcount=len(pending))
     doomed: list[int] = []
-    for row in scan_rows(table, compiled.plan, params):
+    for row in scan_rows(table, compiled.plan, params, snapshot):
         if residual_fn is not None and not truthy(residual_fn(row, params)):
             continue
         doomed.append(row[0])
     for rowid in doomed:
-        table.delete(rowid)
+        table.delete(rowid, txn=txn)
     return ResultSet([], [], rowcount=len(doomed))
 
 
-def execute_insert(db, stmt: ast.InsertStmt, params: tuple) -> ResultSet:
+def execute_insert(db, stmt: ast.InsertStmt, params: tuple,
+                   session=None) -> ResultSet:
     """Run an INSERT; result carries rowcount and lastrowid."""
     compiled, _hit = cached_dml(db, stmt)
-    return run_dml(db, compiled, params)
+    return run_dml(db, compiled, params, session)
 
 
-def execute_update(db, stmt: ast.UpdateStmt, params: tuple) -> ResultSet:
+def execute_update(db, stmt: ast.UpdateStmt, params: tuple,
+                   session=None) -> ResultSet:
     """Run an UPDATE; rowcount is the number of rows modified."""
     compiled, _hit = cached_dml(db, stmt)
-    return run_dml(db, compiled, params)
+    return run_dml(db, compiled, params, session)
 
 
-def execute_delete(db, stmt: ast.DeleteStmt, params: tuple) -> ResultSet:
+def execute_delete(db, stmt: ast.DeleteStmt, params: tuple,
+                   session=None) -> ResultSet:
     """Run a DELETE; rowcount is the number of rows removed."""
     compiled, _hit = cached_dml(db, stmt)
-    return run_dml(db, compiled, params)
+    return run_dml(db, compiled, params, session)
 
 
 # ---------------------------------------------------------------------------
@@ -814,16 +1097,18 @@ def execute_delete(db, stmt: ast.DeleteStmt, params: tuple) -> ResultSet:
 # ---------------------------------------------------------------------------
 
 
-def explain(db, stmt, params: tuple = (), analyze: bool = False) -> ResultSet:
+def explain(db, stmt, params: tuple = (), analyze: bool = False,
+            session=None) -> ResultSet:
     """Render the plan for SELECT/UPDATE/DELETE, one tree line per row.
 
     The first line reports whether the plan came from the shared plan
     cache (``cache: hit`` / ``cache: miss``) — EXPLAIN resolves its plan
     through the same cache as execution, so explaining a statement that
     just ran (or preparing, then explaining) shows a hit.  ``analyze=True``
-    (``EXPLAIN ANALYZE``, SELECT only) runs the query and annotates every
-    operator with the rows it actually produced and the inclusive
-    wall-clock time spent producing them.
+    (``EXPLAIN ANALYZE``, SELECT only) runs the query — under the
+    session's snapshot — and annotates every operator with the rows it
+    actually produced and the inclusive wall-clock time spent producing
+    them.
     """
     lines: list[str] = []
     if isinstance(stmt, ast.SelectStmt):
@@ -838,8 +1123,14 @@ def explain(db, stmt, params: tuple = (), analyze: bool = False) -> ResultSet:
             counters = None
             if analyze:
                 counters = AnalyzeCounters()
-                for _row in _run_node(plan.root, tuple(params), counters):
-                    pass
+                snapshot, release = _read_context(db, session, stream=False)
+                try:
+                    for _row in _run_node(plan.root, tuple(params), snapshot,
+                                          counters):
+                        pass
+                finally:
+                    if release is not None:
+                        release()
             lines.extend(nodes.render_tree(
                 plan.root, counters,
                 counters.times if counters is not None else None,

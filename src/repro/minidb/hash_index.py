@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from repro.errors import IntegrityError
+from repro.errors import IntegrityError, SerializationError
 from repro.minidb.btree import BTree
 from repro.minidb.expressions import sort_key
 
@@ -68,6 +68,10 @@ class _IndexBase:
                 f"{len(self.positions)} positions"
             )
         self.unique = unique
+        # back-reference to the owning Table (set by Table.create_index);
+        # lets UNIQUE enforcement distinguish live rows from dead MVCC
+        # versions whose stale entries await garbage collection
+        self.owner = None
 
     @property
     def n_columns(self) -> int:
@@ -91,6 +95,33 @@ class _IndexBase:
         """This index's key components extracted from a stored row."""
         return tuple(row[p] for p in self.positions)
 
+    def entry_key(self, row: Sequence):
+        """The normalized key this index files ``row`` under.
+
+        Used by MVCC readers to re-check that a row *version* still
+        matches the index entry it was reached through (stale entries of
+        superseded versions stay until GC), and by GC itself to decide
+        which entries died with a version.
+        """
+        return self._key(self.key_values(row))
+
+    def probe_key(self, values: tuple):
+        """The normalized key a probe for ``values`` targets (the expected
+        entry key for an MVCC visible-version re-check)."""
+        return self._key(values)
+
+    def null_match(self, row: Sequence) -> bool:
+        """True when ``row`` carries a NULL in any indexed column."""
+        return any(row[p] is None for p in self.positions)
+
+    def reindex_null(self, row: Sequence, rowid: int) -> None:
+        """Re-assert NULL tracking for ``row`` (no-op for hash indexes).
+
+        ``remove_values`` clears a rowid from the B+tree's NULL set even
+        when another live version of the row still has a NULL key; undo
+        and GC call this for each survivor to restore it.
+        """
+
     def _values_of(self, value) -> tuple:
         """Normalize the legacy single-value API to a component tuple."""
         if self.n_columns == 1:
@@ -102,6 +133,62 @@ class _IndexBase:
                 f"got {len(values)} values"
             )
         return values
+
+    def _unique_conflict(self, existing, rowid: int, key):
+        """Classify a UNIQUE key collision against MVCC liveness.
+
+        ``existing`` are the rowids already filed under ``key``.  Returns
+        None (every other entry belongs to a dead version awaiting GC —
+        no violation), ``"dup"`` (another *current* row really holds the
+        key), or ``"race"`` (the key is held or freed by another live
+        transaction whose outcome is unknown — retryable).  Without an
+        ``owner`` back-reference there is no liveness information and any
+        other rowid is a duplicate (the strict pre-MVCC rule).
+        """
+        owner = self.owner
+        if owner is None:
+            return "dup" if any(r != rowid for r in existing) else None
+        manager = owner.manager
+        verdict = None
+        own = owner.writing_txid
+        for other in existing:
+            if other == rowid:
+                continue
+            chain = owner.versions.get(other) if manager is not None else None
+            if not chain:
+                row = owner.rows.get(other)
+                if row is not None and self.entry_key(row) == key:
+                    return "dup"
+                continue
+            head = chain[-1]
+            created, deleted = head.created, head.deleted
+            if (created != own and manager.is_active(created)) or (
+                deleted is not None and deleted != own
+                and manager.is_active(deleted)
+            ):
+                # in flux by another live transaction: its abort could
+                # resurface (or keep) the key — first-updater-wins
+                verdict = "race"
+                continue
+            if deleted is not None:
+                continue  # deleted by us, or committed-deleted: dead entry
+            if self.entry_key(head.values) == key:
+                return "dup"
+        return verdict
+
+    def _check_unique(self, existing, rowid: int, values: tuple, key) -> None:
+        verdict = self._unique_conflict(existing, rowid, key)
+        if verdict == "dup":
+            raise IntegrityError(
+                f"UNIQUE index {self.name}: duplicate value "
+                f"{values[0] if self.n_columns == 1 else values!r}"
+            )
+        if verdict == "race":
+            raise SerializationError(
+                f"UNIQUE index {self.name}: value "
+                f"{values[0] if self.n_columns == 1 else values!r} is held "
+                f"by a concurrent transaction"
+            )
 
     # -- row-level maintenance (called by Table on every mutation) ----------
 
@@ -149,10 +236,11 @@ class HashIndex(_IndexBase):
         if bucket is None:
             self._buckets[key] = {rowid}
             return
-        if self.unique and bucket:
-            raise IntegrityError(
-                f"UNIQUE index {self.name}: duplicate value {values!r}"
-            )
+        if self.unique and bucket and bucket != {rowid}:
+            # re-indexing the same rowid under its own key is never a
+            # violation (MVCC updates may file a row twice transiently);
+            # other rowids' entries count only if their version is live
+            self._check_unique(bucket, rowid, values, key)
         bucket.add(rowid)
 
     def remove_values(self, values: tuple, rowid: int) -> None:
@@ -221,12 +309,13 @@ class BTreeIndex(_IndexBase):
         """Index ``rowid`` under the component tuple (NULLs included)."""
         has_null = any(v is None for v in values)
         key = self._key(values)
-        if self.unique and not has_null and self._tree.search(key):
-            # SQL semantics: NULLs never collide under UNIQUE
-            raise IntegrityError(
-                f"UNIQUE index {self.name}: duplicate value "
-                f"{values[0] if self.n_columns == 1 else values!r}"
-            )
+        if self.unique and not has_null:
+            existing = self._tree.search(key)
+            if existing and existing != {rowid}:
+                # SQL semantics: NULLs never collide under UNIQUE; a rowid
+                # re-filed under its own key (MVCC re-index) is fine, and
+                # dead versions' stale entries do not count
+                self._check_unique(existing, rowid, values, key)
         self._tree.insert(key, rowid)
         if has_null:
             self.null_rowids.add(rowid)
@@ -235,6 +324,10 @@ class BTreeIndex(_IndexBase):
         """Drop the pair if present."""
         self._tree.remove(self._key(values), rowid)
         self.null_rowids.discard(rowid)
+
+    def reindex_null(self, row: Sequence, rowid: int) -> None:
+        if any(row[p] is None for p in self.positions):
+            self.null_rowids.add(rowid)
 
     # -- point and prefix lookups --------------------------------------------
 
@@ -301,6 +394,98 @@ class BTreeIndex(_IndexBase):
         self._require_single("ordered_groups")
         for key, rowids in self._tree.range_scan(sort_key(None), None, False):
             yield key, rowids
+
+    # -- snapshot-safe bounded walks (MVCC read path) -------------------------
+
+    def order_bounds(self) -> tuple:
+        """Tree-key bounds of a full ordered walk."""
+        return (None, None, True, True)
+
+    def merge_bounds(self) -> tuple:
+        """Tree-key bounds of :meth:`ordered_groups` (NULL group skipped)."""
+        self._require_single("merge_bounds")
+        return (sort_key(None), None, False, True)
+
+    def range_bounds(self, low=None, high=None, include_low: bool = True,
+                     include_high: bool = True) -> tuple:
+        """Tree-key bounds equivalent to :meth:`range`'s walk."""
+        self._require_single("range_bounds")
+        if low is None:
+            low_key, include_low = sort_key(None), False
+        else:
+            low_key = sort_key(low)
+        high_key = sort_key(high) if high is not None else None
+        return (low_key, high_key, include_low, include_high)
+
+    def prefix_bounds(self, values: tuple, low=None, high=None,
+                      include_low: bool = True,
+                      include_high: bool = True) -> tuple | None:
+        """Tree-key bounds equivalent to :meth:`prefix_scan`'s walk, or
+        None when the scan can match nothing (a NULL component)."""
+        if any(v is None for v in values):
+            return None
+        if len(values) == self.n_columns and low is None and high is None:
+            key = self._key(values)
+            return (key, key, True, True)
+        prefix = tuple(sort_key(v) for v in values)
+        if low is not None:
+            if include_low:
+                low_key = prefix + (sort_key(low),)
+            else:
+                low_key = prefix + (sort_key(low), _ABOVE_ANY_COMPONENT)
+        elif high is not None:
+            low_key = prefix + (sort_key(None), _ABOVE_ANY_COMPONENT)
+        else:
+            low_key = prefix
+        if high is not None:
+            if include_high:
+                high_key = prefix + (sort_key(high), _ABOVE_ANY_COMPONENT)
+            else:
+                high_key = prefix + (sort_key(high),)
+        else:
+            high_key = prefix + (_ABOVE_ANY_COMPONENT,)
+        return (low_key, high_key, True, False)
+
+    def group_walk(self, bounds: tuple, reverse: bool = False, lock=None,
+                   batch: int = 64) -> Iterator[tuple]:
+        """``(tree_key, rowids_tuple)`` groups between ``bounds``, safe
+        under concurrent mutation.
+
+        Up to ``batch`` groups are pulled per ``lock`` acquisition (the
+        database's write lock), then the walk *re-seeks* past the last
+        key with a fresh root descent — a writer splitting leaves between
+        batches cannot tear the iteration, and the lock is never held
+        while the consumer processes rows.  Snapshot readers pair this
+        with a per-version key re-check, so duplicate or stale entries
+        encountered across batches resolve to exactly-once results.
+        """
+        low_key, high_key, include_low, include_high = bounds
+        while True:
+            got: list[tuple] = []
+            if lock is not None:
+                lock.acquire()
+            try:
+                scan = (
+                    self._tree.range_scan_desc if reverse
+                    else self._tree.range_scan
+                )
+                for key, rowids in scan(low_key, high_key,
+                                        include_low, include_high):
+                    got.append((key, tuple(rowids)))
+                    if len(got) >= batch:
+                        break
+            finally:
+                if lock is not None:
+                    lock.release()
+            for item in got:
+                yield item
+            if len(got) < batch:
+                return
+            last_key = got[-1][0]
+            if reverse:
+                high_key, include_high = last_key, False
+            else:
+                low_key, include_low = last_key, False
 
     # -- ordered walks ---------------------------------------------------------
 

@@ -36,6 +36,7 @@ overflow pops the head.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.minidb.planner import SelectPlan, plan_select
@@ -87,7 +88,7 @@ class PlanCache:
     """
 
     __slots__ = ("limit", "_enabled", "hits", "misses", "invalidations",
-                 "_entries")
+                 "_entries", "_lock")
 
     def __init__(self, limit: int = DEFAULT_PLAN_CACHE_LIMIT):
         self.limit = max(0, int(limit))
@@ -96,6 +97,9 @@ class PlanCache:
         self.misses = 0
         self.invalidations = 0
         self._entries: OrderedDict = OrderedDict()
+        # plans are shared across connections; lookups/stores must not
+        # tear the LRU dict under concurrent sessions
+        self._lock = threading.RLock()
 
     @property
     def enabled(self) -> bool:
@@ -109,7 +113,8 @@ class PlanCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def info(self) -> dict:
         """Counters for introspection and tests."""
@@ -123,21 +128,22 @@ class PlanCache:
         """The cached payload for ``stmt``, or None (miss / stale / off)."""
         if not self.enabled:
             return None
-        try:
-            entry = self._entries.get(stmt)
-        except TypeError:  # unhashable statement: never cached
-            return None
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.key != validation_key(db, entry.tables, entry.check_stats):
-            del self._entries[stmt]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(stmt)
-        self.hits += 1
-        return entry.payload
+        with self._lock:
+            try:
+                entry = self._entries.get(stmt)
+            except TypeError:  # unhashable statement: never cached
+                return None
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.key != validation_key(db, entry.tables, entry.check_stats):
+                del self._entries[stmt]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(stmt)
+            self.hits += 1
+            return entry.payload
 
     def store(self, db, stmt, payload, tables, check_stats: bool) -> None:
         """Insert ``payload``, evicting the least recently used overflow.
@@ -148,15 +154,16 @@ class PlanCache:
         """
         if not self.enabled:
             return
-        key = validation_key(db, tables, check_stats)
-        entry = _Entry(payload, tuple(tables), key, check_stats)
-        try:
-            self._entries[stmt] = entry
-        except TypeError:
-            return
-        self._entries.move_to_end(stmt)
-        while len(self._entries) > self.limit:
-            self._entries.popitem(last=False)
+        with self._lock:
+            key = validation_key(db, tables, check_stats)
+            entry = _Entry(payload, tuple(tables), key, check_stats)
+            try:
+                self._entries[stmt] = entry
+            except TypeError:
+                return
+            self._entries.move_to_end(stmt)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
 
 
 def select_plan(db, stmt) -> tuple[SelectPlan, bool]:

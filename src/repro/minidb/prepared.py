@@ -10,9 +10,18 @@ mutation-driven statistics rebuild.  ``Database.execute`` / ``stream`` /
 ``executemany`` are thin wrappers over prepared statements, so every
 caller shares one plan cache and one invalidation story.
 
+Prepared statements are **shared across connections** (one statement
+cache per database): session state never lives on the statement.  Every
+execution method takes an optional ``session`` — the caller's
+transaction/snapshot context — defaulting to the database's default
+session; :class:`~repro.minidb.session.Connection` passes its own.  The
+private plan slot is a single atomically-swapped tuple, so concurrent
+executions at worst re-plan redundantly, never execute a torn entry.
+
 :class:`Cursor` is the DB-API-shaped veneer (``execute`` /
 ``description`` / ``fetchone`` / ``fetchmany`` / ``fetchall`` /
-iteration) for code written against that idiom.
+iteration) for code written against that idiom — open it from a
+``Database`` (default session) or a ``Connection`` (its session).
 """
 
 from __future__ import annotations
@@ -35,17 +44,15 @@ class PreparedStatement:
     of executing a stale tree.
     """
 
-    __slots__ = ("db", "sql", "statement", "n_params", "_payload", "_tables",
-                 "_key", "_check_stats")
+    __slots__ = ("db", "sql", "statement", "n_params", "_slot", "_check_stats")
 
     def __init__(self, db, sql: str, statement: ast.Statement):
         self.db = db
         self.sql = sql
         self.statement = statement
         self.n_params = ast.n_params(statement)
-        self._payload = None
-        self._tables: tuple = ()
-        self._key = None
+        # (payload, tables, validation_key) — swapped atomically
+        self._slot: tuple | None = None
         # SELECT plans are costed from statistics; DML scans are not
         self._check_stats = isinstance(statement, ast.SelectStmt)
 
@@ -77,11 +84,11 @@ class PreparedStatement:
         """
         caching = self.db.plan_cache.enabled
         if caching:
-            payload = self._payload
-            if payload is not None and self._key == validation_key(
-                self.db, self._tables, self._check_stats
+            slot = self._slot
+            if slot is not None and slot[2] == validation_key(
+                self.db, slot[1], self._check_stats
             ):
-                return payload
+                return slot[0]
         statement = self.statement
         if isinstance(statement, ast.SelectStmt):
             payload, _hit = select_plan(self.db, statement)
@@ -90,63 +97,91 @@ class PreparedStatement:
             payload, _hit = executor.cached_dml(self.db, statement)
             tables = (payload.table_name,)
         if caching:
-            self._tables = tables
-            self._payload = payload
-            self._key = validation_key(self.db, tables, self._check_stats)
+            self._slot = (
+                payload, tables,
+                validation_key(self.db, tables, self._check_stats),
+            )
         return payload
 
-    def execute(self, params: tuple | list = ()) -> ResultSet:
-        """Run the statement under one parameter binding."""
+    def execute(self, params: tuple | list = (), session=None) -> ResultSet:
+        """Run the statement under one parameter binding.
+
+        ``session`` carries the caller's transaction/snapshot context
+        (a connection's session); None means the default session.
+        """
         bound = self._bind(params)
         statement = self.statement
         if isinstance(statement, ast.SelectStmt) and statement.table is not None:
-            return executor.run_select_plan(self._plan(), bound)
+            plan = self._plan()  # plan BEFORE acquiring the snapshot: a
+            # planning error must not leak a registered snapshot (which
+            # would pin the GC horizon forever)
+            snapshot, release = executor._read_context(
+                self.db, session, stream=False
+            )
+            return executor.run_select_plan(
+                plan, bound, snapshot=snapshot, release=release
+            )
         if isinstance(statement, _DML_TYPES):
-            return executor.run_dml(self.db, self._plan(), bound)
+            return executor.run_dml(self.db, self._plan(), bound, session)
         # DDL, transactions, EXPLAIN, constant SELECTs: dispatch directly
-        return self.db._dispatch(statement, bound, self.sql)
+        return self.db._dispatch(statement, bound, self.sql, session)
 
-    def stream(self, params: tuple | list = ()) -> StreamingResult:
-        """Run a SELECT lazily, returning a streaming cursor."""
+    def stream(self, params: tuple | list = (), session=None) -> StreamingResult:
+        """Run a SELECT lazily, returning a streaming cursor.
+
+        The cursor holds a snapshot taken now and reads it to
+        completion: DML interleaved while it is open — by this session
+        or any other — does not change what it yields.
+        """
         statement = self.statement
         if not isinstance(statement, ast.SelectStmt):
             raise DatabaseError("stream() supports SELECT statements only")
         bound = self._bind(params)
         if statement.table is None:
-            return executor.execute_select(self.db, statement, bound, stream=True)
-        return executor.run_select_plan(self._plan(), bound, stream=True)
+            return executor.execute_select(self.db, statement, bound,
+                                           stream=True, session=session)
+        plan = self._plan()  # before the snapshot — see execute()
+        snapshot, release = executor._read_context(self.db, session, stream=True)
+        return executor.run_select_plan(
+            plan, bound, stream=True, snapshot=snapshot, release=release
+        )
 
-    def executemany(self, param_rows) -> int:
+    def executemany(self, param_rows, session=None) -> int:
         """Run once per binding; parse and plan are paid exactly once.
 
         Returns the total rowcount.
         """
         total = 0
         for params in param_rows:
-            result = self.execute(params)
+            result = self.execute(params, session=session)
             total += max(result.rowcount, 0)
         return total
 
-    def explain(self, params: tuple | list = (), analyze: bool = False) -> str:
+    def explain(self, params: tuple | list = (), analyze: bool = False,
+                session=None) -> str:
         """The plan as newline-joined text (first line: cache hit/miss)."""
         result = executor.explain(
-            self.db, self.statement, tuple(params), analyze=analyze
+            self.db, self.statement, tuple(params), analyze=analyze,
+            session=session,
         )
         return "\n".join(row[0] for row in result.rows)
 
 
 class Cursor:
-    """A PEP 249-shaped cursor over a :class:`Database`.
+    """A PEP 249-shaped cursor over a :class:`Database` or ``Connection``.
 
     Results are materialized on ``execute`` (minidb results are small or
     explicitly streamed via ``Database.stream``); ``description`` carries
-    the standard 7-tuples with the column name populated.
+    the standard 7-tuples with the column name populated.  Statements run
+    in the owner's session — cursors from the same connection share its
+    transaction state.
     """
 
     arraysize = 1
 
-    def __init__(self, db):
-        self.connection = db
+    def __init__(self, owner):
+        self.connection = owner
+        self._session = getattr(owner, "_session", None)
         self.description: list[tuple] | None = None
         self.rowcount = -1
         self.lastrowid: int | None = None
@@ -159,12 +194,12 @@ class Cursor:
     def execute(self, sql, params: tuple | list = ()) -> "Cursor":
         """Run one statement (SQL text or a :class:`PreparedStatement`)."""
         prepared = self._prepared(sql)
-        self._load(prepared.execute(params))
+        self._load(prepared.execute(params, session=self._session))
         return self
 
     def executemany(self, sql, param_rows) -> "Cursor":
         prepared = self._prepared(sql)
-        total = prepared.executemany(param_rows)
+        total = prepared.executemany(param_rows, session=self._session)
         self.description = None
         self.rowcount = total
         self.lastrowid = None

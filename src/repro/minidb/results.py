@@ -74,8 +74,11 @@ class StreamingResult:
 
     Rows come straight out of the executor's generator pipeline: nothing is
     computed until the consumer asks, and abandoning the cursor abandons the
-    remaining work.  The underlying table must not be mutated while the
-    cursor is open — materialize first when in doubt.
+    remaining work.  The cursor reads the MVCC snapshot taken when it was
+    opened, so mutating the database while it is open is safe — it keeps
+    yielding the rows that were committed at open time.  ``close()`` (or
+    exhausting / abandoning the cursor) releases that snapshot so garbage
+    collection can reclaim superseded row versions.
     """
 
     __slots__ = ("columns", "_rows")
@@ -89,6 +92,18 @@ class StreamingResult:
 
     def __repr__(self) -> str:
         return f"StreamingResult(columns={self.columns})"
+
+    def close(self) -> None:
+        """Abandon the remaining rows and release the snapshot now."""
+        close = getattr(self._rows, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "StreamingResult":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def fetchone(self) -> tuple | None:
         """The next row, or None once exhausted."""

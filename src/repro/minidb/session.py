@@ -1,0 +1,221 @@
+"""Sessions and connections: per-caller transaction state over one Database.
+
+A :class:`Session` owns one caller's transaction state — the open
+explicit transaction, if any — and decides how each statement reads and
+writes:
+
+* **reads** — inside an explicit transaction, every statement reads the
+  transaction's BEGIN-time snapshot (repeatable reads).  Outside one,
+  the statement takes its own registered snapshot when the database has
+  concurrent state to shield against, and skips snapshots entirely when
+  it is quiescent (the single-session fast path).  Streaming cursors
+  retain their snapshot until exhausted or closed, even across COMMIT.
+* **writes** — inside an explicit transaction, statements stamp its
+  txid.  Outside one, each statement runs as an implicit single-
+  statement transaction (begin → execute → commit), which is SQL
+  autocommit; on the quiescent fast path the implicit transaction is
+  skipped and the legacy in-place mutation runs.
+
+:class:`Connection` is the public PEP 249-flavored wrapper ``
+Database.connect()`` returns: its own :class:`Session`, its own cursors,
+``commit()`` / ``rollback()`` methods, and context-manager semantics.
+Two connections are two fully isolated transaction streams over the
+same shared storage, plan cache and prepared-statement cache.  A
+connection object is not itself thread-safe; use one connection per
+thread (the engine underneath is).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatabaseError, TransactionError
+from repro.minidb.prepared import Cursor
+from repro.minidb.results import ResultSet, StreamingResult
+
+
+class Session:
+    """Transaction state for one caller of a :class:`Database`."""
+
+    __slots__ = ("db", "txn")
+
+    def __init__(self, db):
+        self.db = db
+        self.txn = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txn is not None
+
+    # -- explicit transaction control ----------------------------------------
+
+    def begin(self):
+        if self.txn is not None:
+            raise TransactionError("cannot BEGIN: a transaction is already open")
+        self.txn = self.db.txn.begin()
+        return self.txn
+
+    def commit(self) -> None:
+        if self.txn is None:
+            raise TransactionError("COMMIT without an open transaction")
+        txn, self.txn = self.txn, None
+        self.db.commit_transaction(txn)
+
+    def rollback(self) -> None:
+        if self.txn is None:
+            raise TransactionError("ROLLBACK without an open transaction")
+        txn, self.txn = self.txn, None
+        self.db.txn.rollback(txn, self.db)
+        self.db.maybe_gc()
+
+    # -- per-statement contexts ------------------------------------------------
+
+    def read_context(self, stream: bool = False):
+        """``(snapshot, release)`` for one reading statement.
+
+        ``release`` is None when there is nothing to release (fast path,
+        or a transaction snapshot a materialized read borrows).  For a
+        stream inside a transaction the snapshot is *retained* so the
+        cursor survives a COMMIT that happens before it is drained.
+        """
+        manager = self.db.txn
+        txn = self.txn
+        if txn is not None:
+            snapshot = txn.snapshot
+            if stream:
+                manager.retain(snapshot)
+                return snapshot, lambda: manager.release(snapshot)
+            return snapshot, None
+        if stream or self.db.mvcc_engaged():
+            snapshot = manager.read_snapshot()
+            return snapshot, lambda: manager.release(snapshot)
+        return None, None
+
+    def write_context(self):
+        """``(txn, implicit)`` for one mutating statement.
+
+        ``txn`` is None on the quiescent fast path (legacy in-place
+        mutation).  ``implicit`` transactions are committed (or rolled
+        back) by the executor when the statement finishes.
+        """
+        if self.txn is not None:
+            return self.txn, False
+        if self.db.mvcc_engaged():
+            return self.db.txn.begin(implicit=True), True
+        return None, False
+
+    def close(self) -> None:
+        """Abort any open transaction (connection teardown)."""
+        if self.txn is not None:
+            txn, self.txn = self.txn, None
+            self.db.txn.rollback(txn, self.db)
+
+
+class Connection:
+    """A PEP 249-shaped connection over a shared :class:`Database`.
+
+    Obtained from :meth:`Database.connect`.  Statements outside an
+    explicit transaction autocommit; ``execute("BEGIN")`` (or
+    :meth:`begin`) opens one, and :meth:`commit` / :meth:`rollback`
+    close it.  Closing the connection rolls back any open transaction.
+    """
+
+    def __init__(self, db):
+        self.db = db
+        self._session = Session(db)
+        self._closed = False
+        with db.txn.lock:  # read-modify-write must not race another connect
+            db.txn.open_connections += 1
+
+    # -- statement execution -------------------------------------------------
+
+    def execute(self, sql: str, params: tuple | list = ()) -> ResultSet:
+        """Prepare (via the shared statement cache) and run one statement."""
+        self._check_open()
+        return self.db.prepare(sql).execute(params, session=self._session)
+
+    def executemany(self, sql: str, param_rows) -> int:
+        self._check_open()
+        return self.db.prepare(sql).executemany(param_rows,
+                                                session=self._session)
+
+    def stream(self, sql: str, params: tuple | list = ()) -> StreamingResult:
+        """Run a SELECT lazily under this session's snapshot.
+
+        The cursor streams a consistent view: concurrent (or even this
+        connection's own) committed DML does not change what it yields.
+        """
+        self._check_open()
+        return self.db.prepare(sql).stream(params, session=self._session)
+
+    def cursor(self) -> Cursor:
+        """A PEP 249 cursor bound to this connection's session."""
+        self._check_open()
+        return Cursor(self)
+
+    def prepare(self, sql: str):
+        """The shared prepared statement for ``sql`` (pass ``session=``
+        explicitly when executing it directly, or go through
+        :meth:`execute` / :meth:`cursor`)."""
+        self._check_open()
+        return self.db.prepare(sql)
+
+    # -- transaction control ----------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._session.in_transaction
+
+    def begin(self) -> None:
+        """Open an explicit transaction (same as ``execute("BEGIN")``)."""
+        self._check_open()
+        self._session.begin()
+
+    def commit(self) -> None:
+        """Commit the open transaction; a no-op without one (PEP 249)."""
+        self._check_open()
+        if self._session.in_transaction:
+            self._session.commit()
+
+    def rollback(self) -> None:
+        """Roll back the open transaction; a no-op without one (PEP 249)."""
+        self._check_open()
+        if self._session.in_transaction:
+            self._session.rollback()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Roll back any open transaction and release the connection."""
+        if self._closed:
+            return
+        self._closed = True
+        self._session.close()
+        manager = self.db.txn
+        with manager.lock:
+            manager.open_connections = max(0, manager.open_connections - 1)
+        self.db.maybe_gc()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, *_exc) -> None:
+        # PEP 249 idiom: commit on clean exit, roll back on error
+        if not self._closed:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else (
+            "in transaction" if self.in_transaction else "idle"
+        )
+        return f"Connection({state})"

@@ -23,6 +23,8 @@ distinct-key counter) and otherwise scan a bounded sample of rows.
 
 from __future__ import annotations
 
+import threading
+
 from repro.minidb import ast_nodes as ast
 from repro.minidb.hash_index import normalize_key
 from repro.minidb.storage import Table
@@ -67,14 +69,17 @@ class TableStats:
     """
 
     __slots__ = ("table", "on_rebuild", "_columns", "_built_version",
-                 "_built_rows")
+                 "_built_rows", "_lock")
 
-    def __init__(self, table: Table, on_rebuild=None):
+    def __init__(self, table: Table, on_rebuild=None, lock=None):
         self.table = table
         self.on_rebuild = on_rebuild
         self._columns: dict[str, ColumnStats] | None = None
         self._built_version = -1
         self._built_rows = 0
+        # rebuilds are guarded so concurrent sessions never observe a
+        # half-built estimate dict (plans are shared across connections)
+        self._lock = lock if lock is not None else threading.RLock()
 
     @property
     def n_rows(self) -> int:
@@ -89,7 +94,9 @@ class TableStats:
 
     def refresh(self, force: bool = False) -> None:
         if force or self.stale():
-            self._rebuild()
+            with self._lock:
+                if force or self.stale():  # double-checked under the lock
+                    self._rebuild()
 
     def column(self, name: str) -> ColumnStats | None:
         self.refresh()
@@ -123,7 +130,9 @@ class TableStats:
             sampled = 0
             seen: list[set] = [set() for _ in pending]
             nulls = [0] * len(pending)
-            for row in table.rows.values():
+            # one atomic copy: concurrent writers must not resize the dict
+            # mid-sample (estimates may be slightly stale, never torn)
+            for row in list(table.rows.values()):
                 for j, (i, _name) in enumerate(pending):
                     value = row[i]
                     if value is None:
@@ -204,6 +213,7 @@ class StatsManager:
     def __init__(self) -> None:
         self._tables: dict[str, TableStats] = {}
         self.version = 0
+        self._lock = threading.RLock()
 
     def _bump(self) -> None:
         self.version += 1
@@ -211,8 +221,12 @@ class StatsManager:
     def for_table(self, table: Table) -> TableStats:
         entry = self._tables.get(table.name)
         if entry is None or entry.table is not table:  # dropped + recreated
-            entry = TableStats(table, on_rebuild=self._bump)
-            self._tables[table.name] = entry
+            with self._lock:
+                entry = self._tables.get(table.name)
+                if entry is None or entry.table is not table:
+                    entry = TableStats(table, on_rebuild=self._bump,
+                                       lock=self._lock)
+                    self._tables[table.name] = entry
         return entry
 
     def forget(self, name: str) -> None:

@@ -1,26 +1,90 @@
-"""Row storage for minidb tables.
+"""Row storage for minidb tables: multi-version chains with a fast path.
 
-A :class:`Table` owns its rows (``rowid -> list of values``), applies type
-affinity on ingest, and keeps every secondary index synchronized on each
-mutation.  Mutations emit change events through an optional hook, which the
-database routes to the active transaction's undo log and the write-ahead log.
+A :class:`Table` keeps two views of its rows:
 
-Affinity is what lets dirty data live in typed columns, exactly as in the
-paper's Postgres prototype: inserting ``"12k"`` into a REAL column keeps the
-text (it does not parse), producing the type mismatch Buckaroo later detects.
+* ``rows`` — the *current* state (``rowid -> list of values``), exactly
+  the dict older single-session code reads.  All legacy callers (the
+  backends, statistics sampling, the executor's fast path) keep working
+  against it unchanged.
+* ``versions`` — sparse version chains (``rowid -> [RowVersion, ...]``,
+  oldest first), populated **only** for rows touched while transactions
+  or snapshots are live.  Each version is stamped with the transaction
+  that created it and, once deleted, the transaction that deleted it;
+  snapshot reads resolve through the chain (see
+  :func:`visible_version`), so an open cursor streams a consistent view
+  regardless of interleaved DML.
+
+When the database is quiescent (no open connections, transactions or
+snapshots — the classic single-session case) mutations take the legacy
+in-place path: no chain is materialized, no transaction id is burned,
+and reads cost exactly what they did before MVCC.  The only residue is
+one ``versions.get`` branch on snapshot reads — the "version-stamp check
+is branch-cheap when only one transaction exists" contract.
+
+Versioned mutations are copy-on-write (an UPDATE builds a new value
+list and keeps the old one in the chain) and *additive* in the indexes:
+new keys are inserted but old keys stay until garbage collection, so a
+snapshot reader probing an index still finds the row under the key its
+version carries.  Probes therefore re-check a chained row's visible key
+against the index entry — see the executor.  :meth:`Table.gc` reclaims
+versions behind the transaction manager's horizon and drops the stale
+index entries with them.
+
+Affinity is what lets dirty data live in typed columns, exactly as in
+the paper's Postgres prototype: inserting ``"12k"`` into a REAL column
+keeps the text (it does not parse), producing the type mismatch Buckaroo
+later detects.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterator
 
-from repro.errors import CatalogError, IntegrityError
+from repro.errors import CatalogError, IntegrityError, SerializationError
 from repro.minidb.catalog import INTEGER, NONE, REAL, TEXT, ColumnDef, TableSchema
 from repro.minidb.hash_index import BTreeIndex, HashIndex
+from repro.minidb.transactions import ANCIENT
 
 ChangeEvent = tuple
 """('insert', table, rowid, values) | ('delete', table, rowid, values)
 | ('update', table, rowid, {position: old}, {position: new})"""
+
+
+class RowVersion:
+    """One version of a row: immutable values plus its lifespan stamps."""
+
+    __slots__ = ("values", "created", "deleted")
+
+    def __init__(self, values: list, created: int, deleted: int | None = None):
+        self.values = values
+        self.created = created
+        self.deleted = deleted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowVersion(created={self.created}, deleted={self.deleted})"
+
+
+def visible_version(chain: list, snapshot) -> RowVersion | None:
+    """The newest version of ``chain`` visible to ``snapshot`` (or None).
+
+    Newest-first walk: the first version whose creator the snapshot can
+    see decides — if that version is also visibly deleted, the row does
+    not exist for this snapshot (older versions are superseded).
+    """
+    txid = snapshot.txid
+    xmax = snapshot.xmax
+    active = snapshot.active
+    for version in reversed(chain):
+        created = version.created
+        if created != txid and not (created < xmax and created not in active):
+            continue
+        deleted = version.deleted
+        if deleted is not None and (
+            deleted == txid or (deleted < xmax and deleted not in active)
+        ):
+            return None
+        return version
+    return None
 
 
 class Table:
@@ -29,6 +93,7 @@ class Table:
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self.rows: dict[int, list] = {}
+        self.versions: dict[int, list] = {}
         self.indexes: dict[str, object] = {}
         self.next_rowid = 1
         # monotonically increasing mutation counter; the statistics layer
@@ -40,6 +105,14 @@ class Table:
         # cache, §3.2) — notified after on_change for every mutation,
         # including transaction rollbacks
         self.observers: list[Callable[[ChangeEvent], None]] = []
+        # MVCC wiring (set by Database): the transaction manager and a
+        # hook returning the ambient transaction for direct mutations
+        self.manager = None
+        self.ambient_txn: Callable[[], object] | None = None
+        # txid of the mutation currently maintaining indexes (writers are
+        # serialized under the write lock) — lets UNIQUE enforcement tell
+        # this transaction's own version churn from a concurrent writer's
+        self.writing_txid: int | None = None
 
     @property
     def name(self) -> str:
@@ -84,7 +157,71 @@ class Table:
             return float(number) if affinity == REAL else number
         return _plain(value)
 
-    def insert(self, values: list, rowid: int | None = None) -> int:
+    # -- MVCC plumbing ---------------------------------------------------------
+
+    def _write_context(self, txn):
+        """``(txn, versioned)`` for one mutation.
+
+        ``versioned`` is True whenever the mutation must leave a version
+        chain behind: an explicit transaction is supplied (or ambient),
+        or the manager reports live transactions / snapshots / open
+        connections that could observe the pre-image.
+        """
+        if txn is None and self.ambient_txn is not None:
+            txn = self.ambient_txn()
+        if txn is not None:
+            return txn, True
+        manager = self.manager
+        if manager is not None and (
+            manager.active or manager.outstanding_snapshots
+            or manager.open_connections
+        ):
+            return None, True
+        return None, False
+
+    def _stamp(self, txn) -> int:
+        if txn is not None:
+            return txn.txid
+        return self.manager.instant_txid()
+
+    def _check_conflict(self, chain: list, txn) -> None:
+        """First-updater-wins: refuse to touch a row whose newest version
+        belongs to another live transaction or committed after ours began."""
+        head = chain[-1]
+        own = txn.txid if txn is not None else None
+        manager = self.manager
+        for stamp in (head.created, head.deleted):
+            if stamp is None or stamp == own or stamp == ANCIENT:
+                continue
+            if manager is not None and manager.is_active(stamp):
+                raise SerializationError(
+                    f"row in {self.name!r} is being modified by "
+                    f"concurrent transaction {stamp}"
+                )
+            if txn is not None and not txn.snapshot.committed_before(stamp):
+                raise SerializationError(
+                    f"row in {self.name!r} was modified by transaction "
+                    f"{stamp}, which committed after this one began"
+                )
+
+    def read_visible(self, rowid: int, snapshot) -> list | None:
+        """The values of ``rowid`` as ``snapshot`` sees them, or None.
+
+        Read order matters for lock-free readers: ``rows`` is read
+        *before* ``versions`` while writers publish the chain *before*
+        mutating ``rows`` — so a reader that finds no chain is holding a
+        row value that predates any in-flight versioned mutation.
+        """
+        row = self.rows.get(rowid)
+        chain = self.versions.get(rowid)
+        if chain is None:
+            return row
+        version = visible_version(chain, snapshot)
+        return version.values if version is not None else None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, values: list, rowid: int | None = None, txn=None) -> int:
         """Insert a row; returns its rowid.  ``values`` must match arity."""
         if len(values) != len(self.schema.columns):
             raise IntegrityError(
@@ -99,51 +236,194 @@ class Table:
                 raise IntegrityError(f"duplicate rowid {rowid} in {self.name!r}")
             self.next_rowid = max(self.next_rowid, rowid + 1)
         row = [self.coerce(i, v) for i, v in enumerate(values)]
+        txn, versioned = self._write_context(txn)
+        if versioned:
+            chain = self.versions.get(rowid)
+            if chain is not None:
+                # re-insert over a (visibly) deleted rowid: extend the chain
+                self._check_conflict(chain, txn)
+            stamp = self._stamp(txn)
+            version = RowVersion(row, stamp)
+            self.writing_txid = stamp
+            try:
+                for index in self.indexes.values():
+                    index.add_row(row, rowid)
+            finally:
+                self.writing_txid = None
+            if chain is not None:
+                chain.append(version)
+            else:
+                self.versions[rowid] = [version]
+            if txn is not None:
+                txn.undo.append((self, "insert", rowid, version))
+            self.rows[rowid] = row
+            self._notify(("insert", self.name, rowid, list(row)), txn)
+            return rowid
         self.rows[rowid] = row
         for index in self.indexes.values():
             index.add_row(row, rowid)
-        self._notify(("insert", self.name, rowid, list(row)))
+        self._notify(("insert", self.name, rowid, list(row)), txn)
         return rowid
 
-    def delete(self, rowid: int) -> list:
+    def delete(self, rowid: int, txn=None) -> list:
         """Delete a row, returning its old values."""
-        try:
-            row = self.rows.pop(rowid)
-        except KeyError:
+        txn, versioned = self._write_context(txn)
+        if not versioned:
+            try:
+                row = self.rows.pop(rowid)
+            except KeyError:
+                raise IntegrityError(
+                    f"no row {rowid} in table {self.name!r}"
+                ) from None
+            for index in self.indexes.values():
+                index.remove_row(row, rowid)
+            self._notify(("delete", self.name, rowid, list(row)), None)
+            return row
+        chain = self.versions.get(rowid)
+        row = self.rows.get(rowid)
+        if row is None:
+            if chain is not None:
+                # the row was deleted under us by a concurrent transaction
+                self._check_conflict(chain, txn)
             raise IntegrityError(f"no row {rowid} in table {self.name!r}") from None
-        for index in self.indexes.values():
-            index.remove_row(row, rowid)
-        self._notify(("delete", self.name, rowid, list(row)))
+        if chain is None:
+            chain = [RowVersion(row, ANCIENT)]
+            self.versions[rowid] = chain
+        else:
+            self._check_conflict(chain, txn)
+        head = chain[-1]
+        head.deleted = self._stamp(txn)
+        del self.rows[rowid]
+        # index entries stay for snapshot readers; GC reclaims them
+        if txn is not None:
+            txn.undo.append((self, "delete", rowid, head))
+        self._notify(("delete", self.name, rowid, list(row)), txn)
         return row
 
-    def update(self, rowid: int, changes: dict[int, object]) -> dict[int, object]:
+    def update(self, rowid: int, changes: dict[int, object], txn=None) -> dict:
         """Update columns (by position) of one row; returns the old values."""
-        try:
-            row = self.rows[rowid]
-        except KeyError:
+        txn, versioned = self._write_context(txn)
+        if not versioned:
+            try:
+                row = self.rows[rowid]
+            except KeyError:
+                raise IntegrityError(
+                    f"no row {rowid} in table {self.name!r}"
+                ) from None
+            old: dict[int, object] = {}
+            new: dict[int, object] = {}
+            for position, value in changes.items():
+                coerced = self.coerce(position, value)
+                old[position] = row[position]
+                new[position] = coerced
+            touched = [ix for ix in self.indexes.values() if ix.touches(new)]
+            for index in touched:
+                index.remove_row(row, rowid)
+            for position, value in new.items():
+                row[position] = value
+            for index in touched:
+                index.add_row(row, rowid)
+            self._notify(("update", self.name, rowid, old, dict(new)), None)
+            return old
+        chain = self.versions.get(rowid)
+        current = self.rows.get(rowid)
+        if current is None:
+            if chain is not None:
+                self._check_conflict(chain, txn)
             raise IntegrityError(f"no row {rowid} in table {self.name!r}") from None
-        old: dict[int, object] = {}
-        new: dict[int, object] = {}
+        if chain is None:
+            chain = [RowVersion(current, ANCIENT)]
+            self.versions[rowid] = chain
+        else:
+            self._check_conflict(chain, txn)
+        old_version = chain[-1]
+        new_values = list(current)
+        old = {}
+        new = {}
         for position, value in changes.items():
             coerced = self.coerce(position, value)
-            old[position] = row[position]
+            old[position] = current[position]
             new[position] = coerced
-        touched = [ix for ix in self.indexes.values() if ix.touches(new)]
-        for index in touched:
-            index.remove_row(row, rowid)
-        for position, value in new.items():
-            row[position] = value
-        for index in touched:
-            index.add_row(row, rowid)
-        self._notify(("update", self.name, rowid, old, dict(new)))
+            new_values[position] = coerced
+        stamp = self._stamp(txn)
+        new_version = RowVersion(new_values, stamp)
+        # copy-on-write index maintenance: add the new key, keep the old
+        # (snapshot readers still reach the row through it until GC)
+        added = []
+        self.writing_txid = stamp
+        try:
+            for index in self.indexes.values():
+                if not index.touches(new):
+                    continue
+                if index.entry_key(current) != index.entry_key(new_values):
+                    index.add_row(new_values, rowid)
+                    added.append(index)
+        finally:
+            self.writing_txid = None
+        chain.append(new_version)
+        self.rows[rowid] = new_values
+        if txn is not None:
+            txn.undo.append(
+                (self, "update", rowid, old_version, new_version, tuple(added))
+            )
+        self._notify(("update", self.name, rowid, old, dict(new)), txn)
         return old
 
-    def _notify(self, event: ChangeEvent) -> None:
-        self.version += 1
-        if self.on_change is not None:
-            self.on_change(event)
-        for observer in self.observers:
-            observer(event)
+    # -- rollback (physical undo, invoked by the TransactionManager) ----------
+
+    def undo_step(self, step: tuple, db) -> None:
+        """Revert one mutation (``step`` comes from ``Transaction.undo``)."""
+        kind = step[1]
+        rowid = step[2]
+        if kind == "insert":
+            version = step[3]
+            chain = self.versions.get(rowid)
+            if chain and chain[-1] is version:
+                chain.pop()
+            if not chain:
+                self.versions.pop(rowid, None)
+            row = self.rows.pop(rowid, None)
+            if row is not None:
+                for index in self.indexes.values():
+                    self._unindex_version(index, version, chain or (), rowid)
+            self._notify(("delete", self.name, rowid, list(version.values)), None)
+        elif kind == "update":
+            _table, _kind, _rowid, old_version, new_version, added = step
+            chain = self.versions.get(rowid)
+            if chain and chain[-1] is new_version:
+                chain.pop()
+            for index in added:
+                self._unindex_version(index, new_version, chain or (), rowid)
+            self.rows[rowid] = old_version.values
+            inverse_old = {}
+            inverse_new = {}
+            for position, value in enumerate(new_version.values):
+                before = old_version.values[position]
+                if value is not before:
+                    inverse_old[position] = value
+                    inverse_new[position] = before
+            self._notify(
+                ("update", self.name, rowid, inverse_old, inverse_new), None
+            )
+        else:  # "delete"
+            version = step[3]
+            version.deleted = None
+            self.rows[rowid] = version.values
+            self._notify(("insert", self.name, rowid, list(version.values)), None)
+
+    def _unindex_version(self, index, version: RowVersion, survivors,
+                         rowid: int) -> None:
+        """Drop ``version``'s index entry unless a surviving version still
+        lives under the same key; restore NULL tracking for survivors."""
+        key = index.entry_key(version.values)
+        for other in survivors:
+            if index.entry_key(other.values) == key:
+                return
+        index.remove_row(version.values, rowid)
+        for other in survivors:
+            index.reindex_null(other.values, rowid)
+
+    # -- reads -----------------------------------------------------------------
 
     def get(self, rowid: int) -> list | None:
         """The row's values, or None when absent."""
@@ -151,9 +431,126 @@ class Table:
         return list(row) if row is not None else None
 
     def scan(self) -> Iterator[tuple]:
-        """Yield ``(rowid, values)`` in insertion order."""
+        """Yield ``(rowid, values)`` in insertion order (current state)."""
         for rowid, row in self.rows.items():
             yield rowid, row
+
+    def snapshot_scan(self, snapshot) -> Iterator[tuple]:
+        """Yield ``(rowid, values)`` as ``snapshot`` sees them.
+
+        Safe against concurrent mutation: the rowid set is captured up
+        front (one atomic copy), values resolve through version chains,
+        and rows deleted before the scan but still visible to the
+        snapshot are appended from their chains.
+        """
+        rows = self.rows
+        start = tuple(rows)
+        versions = self.versions
+        extras = None
+        if versions:
+            in_start = set(start)
+            extras = [rid for rid in tuple(versions) if rid not in in_start]
+        vget = self.versions.get
+        rget = rows.get
+        for rowid in start:
+            # rows before versions: writers publish the chain first, so a
+            # missing chain proves `values` predates any in-flight mutation
+            values = rget(rowid)
+            chain = vget(rowid)
+            if chain is None:
+                if values is not None:
+                    yield rowid, values
+                continue
+            version = visible_version(chain, snapshot)
+            if version is not None:
+                yield rowid, version.values
+        if extras:
+            for rowid in extras:
+                chain = vget(rowid)
+                if chain is None:
+                    continue
+                version = visible_version(chain, snapshot)
+                if version is not None:
+                    yield rowid, version.values
+
+    # -- garbage collection -----------------------------------------------------
+
+    def gc(self, horizon: int, is_active) -> int:
+        """Reclaim versions no outstanding snapshot can see.
+
+        ``horizon`` comes from ``TransactionManager.horizon()``;
+        ``is_active`` tests whether a txid is still uncommitted.  Returns
+        the number of rowids whose chains were fully retired.  Settled
+        chains disappear entirely (``rows`` keeps the live values), and
+        stale index entries of dead versions are dropped, restoring the
+        exact single-session index invariants the fast path relies on.
+        """
+        retired = 0
+        for rowid in list(self.versions):
+            chain = self.versions.get(rowid)
+            if not chain:
+                continue
+            settled = None
+            for i in range(len(chain) - 1, -1, -1):
+                created = chain[i].created
+                if created < horizon and not is_active(created):
+                    settled = i
+                    break
+            if settled is None:
+                continue
+            dead = chain[:settled]
+            survivors = chain[settled:]
+            fully = False
+            if len(survivors) == 1:
+                head = survivors[0]
+                deleted = head.deleted
+                if deleted is None:
+                    fully = True
+                elif deleted < horizon and not is_active(deleted):
+                    dead = chain
+                    survivors = []
+                    fully = True
+            if dead:
+                self._gc_unindex(rowid, dead, survivors)
+            if fully:
+                del self.versions[rowid]
+                retired += 1
+            elif dead:
+                # readers may hold the old list; swap in a fresh one
+                self.versions[rowid] = list(survivors)
+        return retired
+
+    def _gc_unindex(self, rowid: int, dead, survivors) -> None:
+        if not self.indexes:
+            return
+        for index in self.indexes.values():
+            survivor_keys = {index.entry_key(v.values) for v in survivors}
+            current = self.rows.get(rowid)
+            if current is not None:
+                survivor_keys.add(index.entry_key(current))
+            removed = set()
+            for version in dead:
+                key = index.entry_key(version.values)
+                if key in survivor_keys or key in removed:
+                    continue
+                removed.add(key)
+                index.remove_values(index.key_values(version.values), rowid)
+            if removed:
+                for version in survivors:
+                    index.reindex_null(version.values, rowid)
+                if current is not None:
+                    index.reindex_null(current, rowid)
+
+    # -- change notification ------------------------------------------------------
+
+    def _notify(self, event: ChangeEvent, txn=None) -> None:
+        self.version += 1
+        if txn is not None:
+            txn.record(event)
+        elif self.on_change is not None:
+            self.on_change(event)
+        for observer in self.observers:
+            observer(event)
 
     # -- schema changes --------------------------------------------------------
 
@@ -162,6 +559,13 @@ class Table:
         self.schema.add_column(coldef)
         for row in self.rows.values():
             row.append(None)
+        # chain versions hold distinct value lists (the head shares the live
+        # list already widened above); pad any that are still short
+        width = len(self.schema.columns)
+        for chain in self.versions.values():
+            for version in chain:
+                if len(version.values) < width:
+                    version.values.append(None)
 
     # -- index management --------------------------------------------------------
 
@@ -190,8 +594,15 @@ class Table:
         positions = tuple(self.schema.position(column) for column in columns)
         index_cls = {"btree": BTreeIndex, "hash": HashIndex}[kind]
         index = index_cls(name, columns, positions, unique=unique)
+        index.owner = self
         for rowid, row in self.rows.items():
             index.add_row(row, rowid)
+        # version-chain rows still visible to some snapshot get their old
+        # keys indexed too, so snapshot probes keep finding them
+        for rowid, chain in self.versions.items():
+            for version in chain:
+                if version.values is not self.rows.get(rowid):
+                    index.add_row(version.values, rowid)
         self.indexes[name] = index
 
     def drop_index(self, name: str) -> None:

@@ -1,79 +1,257 @@
-"""Transaction support: BEGIN / COMMIT / ROLLBACK with a row-level undo log.
+"""Multi-version concurrency control: transactions, snapshots, and GC.
 
-Every data mutation inside an open transaction records its inverse; ROLLBACK
-replays the inverses newest-first.  DDL is not transactional (documented
-limitation, matching many real engines' historical behaviour).
+minidb stores every row as a version chain (see :mod:`repro.minidb.storage`);
+this module owns the transaction-id space and the visibility rules over
+those chains:
 
-Buckaroo's repair application wraps each wrangling operation in a
-transaction, so a failing custom wrangler can never leave the table
-half-modified.
+* every transaction gets a monotonically increasing ``txid`` and a
+  :class:`Snapshot` taken at BEGIN — the set of transactions that were
+  still uncommitted at that instant;
+* a row version is visible to a snapshot when its creator committed
+  before the snapshot started (or *is* the snapshot's own transaction)
+  and its deleter, if any, did not;
+* rollback is **physical**: the versions a transaction created are
+  unlinked and its delete marks cleared, so a committed ``txid`` is
+  simply one that is no longer active — no commit log is needed for
+  visibility;
+* write-write conflicts are first-updater-wins: touching a row whose
+  newest version belongs to another live transaction — or was committed
+  after this transaction's snapshot — raises
+  :class:`~repro.errors.SerializationError`.
+
+The manager also tracks every *outstanding* snapshot (open transactions,
+statement snapshots, streaming cursors).  The oldest of them is the GC
+watermark: versions superseded or deleted before every outstanding
+snapshot can ever see them are dead and are reclaimed by
+:meth:`TransactionManager.run_gc` (triggered on commit/release, or from
+an optional background thread — see ``Database.start_background_gc``).
+
+Concurrency contract: one global write lock serializes mutating
+statements, commits, rollbacks and GC; readers never take it except for
+short, batched B+tree walks.  Readers therefore never block on an open
+(idle) transaction, and never see uncommitted data.
 """
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import TransactionError
-from repro.minidb.storage import ChangeEvent
+
+#: pseudo-txid of rows that predate all tracked transactions ("ancient"
+#: versions, visible to every snapshot) and of pure read snapshots
+ANCIENT = 0
+
+
+class Snapshot:
+    """A consistent view of the database: everything committed at creation.
+
+    ``txid`` is the owning transaction (``ANCIENT`` for pure read
+    snapshots), ``xmax`` the first transaction id *not* visible, and
+    ``active`` the transactions that were in flight when the snapshot was
+    taken.  ``xmin`` (the smallest possibly-invisible txid) is the GC
+    watermark contribution of this snapshot while it is outstanding.
+    """
+
+    __slots__ = ("txid", "xmax", "active", "xmin", "sid", "lock")
+
+    def __init__(self, txid: int, xmax: int, active: frozenset,
+                 sid: int, lock) -> None:
+        self.txid = txid
+        self.xmax = xmax
+        self.active = active
+        self.xmin = min(active) if active else xmax
+        self.sid = sid
+        self.lock = lock
+
+    def committed_before(self, txid: int) -> bool:
+        """True when ``txid`` committed before this snapshot was taken.
+
+        The full version-visibility rule (created-visible and not
+        visibly deleted) lives in one place only:
+        :func:`repro.minidb.storage.visible_version`.
+        """
+        return txid < self.xmax and txid not in self.active
 
 
 class Transaction:
-    """An open transaction: an ordered log of change events."""
+    """One open transaction: id, snapshot, WAL event buffer, undo log.
 
-    def __init__(self) -> None:
-        self.events: list[ChangeEvent] = []
+    ``events`` buffers change events for the write-ahead log — they are
+    flushed only at commit, so aborted transactions never reach the log.
+    ``undo`` records physical inverse steps (see ``Table`` mutation
+    methods) replayed newest-first on rollback; ``savepoint()`` /
+    truncation to a savepoint gives statement-level atomicity.
+    """
 
-    def record(self, event: ChangeEvent) -> None:
+    __slots__ = ("txid", "snapshot", "events", "undo", "implicit")
+
+    def __init__(self, txid: int, snapshot: Snapshot,
+                 implicit: bool = False) -> None:
+        self.txid = txid
+        self.snapshot = snapshot
+        self.events: list = []
+        self.undo: list = []
+        self.implicit = implicit
+
+    def record(self, event: tuple) -> None:
         self.events.append(event)
+
+    def savepoint(self) -> int:
+        """Mark the current undo position (statement start)."""
+        return len(self.undo)
 
 
 class TransactionManager:
-    """Owns the single (non-nested) active transaction of a database."""
+    """Owns the txid space, active-transaction set, and outstanding snapshots.
+
+    All state transitions happen under ``lock`` — the database's single
+    write lock.  Mutating statements hold it for their whole duration;
+    snapshot creation, commit, rollback and GC are short critical
+    sections under the same lock.
+    """
 
     def __init__(self) -> None:
-        self.active: Transaction | None = None
+        self.lock = threading.RLock()
+        self.active: dict[int, Transaction] = {}
         self.replaying = False
+        #: commit-order log of txids (bounded; used by recovery tests and
+        #: the stress harness to build a serial replay)
+        self.committed: list[int] = []
+        self.commit_log_limit = 100_000
+        self.open_connections = 0
+        self._next_txid = ANCIENT + 1
+        self._next_sid = 1
+        # outstanding snapshots: sid -> [snapshot, refcount]
+        self._outstanding: dict[int, list] = {}
+        # invoked (under the lock) whenever GC may have work to do
+        self.gc_hook = None
+
+    # -- introspection -------------------------------------------------------
 
     @property
     def in_transaction(self) -> bool:
-        return self.active is not None
+        return bool(self.active)
 
-    def begin(self) -> None:
-        if self.active is not None:
-            raise TransactionError("cannot BEGIN: a transaction is already open")
-        self.active = Transaction()
+    def is_active(self, txid: int) -> bool:
+        return txid in self.active
 
-    def commit(self) -> list[ChangeEvent]:
-        """Close the transaction, returning its committed events."""
-        if self.active is None:
-            raise TransactionError("COMMIT without an open transaction")
-        events = self.active.events
-        self.active = None
-        return events
+    @property
+    def outstanding_snapshots(self) -> int:
+        return len(self._outstanding)
 
-    def rollback(self, db) -> None:
-        """Undo every event of the open transaction, newest first."""
-        if self.active is None:
-            raise TransactionError("ROLLBACK without an open transaction")
-        events = self.active.events
-        self.active = None
-        self.replaying = True
-        try:
-            for event in reversed(events):
-                _invert(db, event)
-        finally:
-            self.replaying = False
+    def horizon(self) -> int:
+        """The GC watermark: versions invisible to every snapshot that is
+        (or could still be) outstanding are dead.  With nothing
+        outstanding, every committed transaction is past the horizon."""
+        with self.lock:
+            if not self._outstanding:
+                return self._next_txid
+            return min(entry[0].xmin for entry in self._outstanding.values())
 
+    # -- snapshots ------------------------------------------------------------
 
-def _invert(db, event: ChangeEvent) -> None:
-    op = event[0]
-    table = db.table(event[1])
-    if op == "insert":
-        _, _, rowid, _values = event
-        table.delete(rowid)
-    elif op == "delete":
-        _, _, rowid, values = event
-        table.insert(values, rowid=rowid)
-    elif op == "update":
-        _, _, rowid, old, _new = event
-        table.update(rowid, dict(old))
-    else:  # pragma: no cover - defensive
-        raise TransactionError(f"cannot invert unknown event {op!r}")
+    def _snapshot(self, txid: int) -> Snapshot:
+        sid = self._next_sid
+        self._next_sid += 1
+        return Snapshot(
+            txid, self._next_txid, frozenset(self.active), sid, self.lock
+        )
+
+    def read_snapshot(self) -> Snapshot:
+        """A registered snapshot for one statement or streaming cursor.
+
+        Must be paired with :meth:`release` (streaming pipelines release
+        from a ``finally`` so abandoning a cursor still releases it).
+        """
+        with self.lock:
+            snapshot = self._snapshot(ANCIENT)
+            self._outstanding[snapshot.sid] = [snapshot, 1]
+            return snapshot
+
+    def retain(self, snapshot: Snapshot) -> None:
+        """Add a reference to an already-outstanding snapshot (a stream
+        keeping its transaction's view alive past COMMIT)."""
+        with self.lock:
+            entry = self._outstanding.get(snapshot.sid)
+            if entry is None:
+                self._outstanding[snapshot.sid] = [snapshot, 1]
+            else:
+                entry[1] += 1
+
+    def release(self, snapshot: Snapshot) -> None:
+        """Drop one reference; the last release retires the snapshot and
+        gives GC a chance to advance the watermark."""
+        run_gc = False
+        with self.lock:
+            entry = self._outstanding.get(snapshot.sid)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] <= 0:
+                del self._outstanding[snapshot.sid]
+                run_gc = not self._outstanding
+            if run_gc and self.gc_hook is not None:
+                self.gc_hook()
+
+    # -- transaction lifecycle -------------------------------------------------
+
+    def begin(self, implicit: bool = False) -> Transaction:
+        with self.lock:
+            txid = self._next_txid
+            self._next_txid += 1
+            txn = Transaction(txid, None, implicit=implicit)
+            self.active[txid] = txn
+            txn.snapshot = self._snapshot(txid)
+            self._outstanding[txn.snapshot.sid] = [txn.snapshot, 1]
+            return txn
+
+    def instant_txid(self) -> int:
+        """A txid that is committed the moment it is allocated — used to
+        stamp direct storage mutations made outside any transaction while
+        snapshots are outstanding (they must stay invisible to them)."""
+        with self.lock:
+            txid = self._next_txid
+            self._next_txid += 1
+            return txid
+
+    def commit(self, txn: Transaction) -> list:
+        """Mark ``txn`` committed; returns its buffered WAL events.
+
+        Visibility flips atomically for all future snapshots: the txid
+        simply stops being active.  The caller (``Database``) flushes the
+        events to the WAL inside the same critical section so the log's
+        commit order matches the manager's.
+        """
+        with self.lock:
+            if self.active.get(txn.txid) is not txn:
+                raise TransactionError("COMMIT without an open transaction")
+            del self.active[txn.txid]
+            self.committed.append(txn.txid)
+            if len(self.committed) > self.commit_log_limit:
+                del self.committed[: -self.commit_log_limit // 2]
+            self.release(txn.snapshot)
+            return txn.events
+
+    def rollback(self, txn: Transaction, db) -> None:
+        """Physically undo everything ``txn`` did, newest-first."""
+        with self.lock:
+            if self.active.get(txn.txid) is not txn:
+                raise TransactionError("ROLLBACK without an open transaction")
+            try:
+                self.undo_to(txn, 0, db)
+            finally:
+                del self.active[txn.txid]
+                self.release(txn.snapshot)
+
+    def undo_to(self, txn: Transaction, savepoint: int, db) -> None:
+        """Replay ``txn.undo`` inverses down to ``savepoint`` (statement-
+        level atomicity: a failed statement unwinds only its own work)."""
+        with self.lock:
+            self.replaying = True
+            try:
+                while len(txn.undo) > savepoint:
+                    step = txn.undo.pop()
+                    step[0].undo_step(step, db)
+            finally:
+                self.replaying = False

@@ -11,6 +11,17 @@ Records are JSON-serializable dicts::
     {"op": "delete", "table": t, "rowid": r, "values": [...]}
     {"op": "update", "table": t, "rowid": r, "old": {...}, "new": {...}}
     {"op": "ddl", "sql": "CREATE TABLE ..."}
+    {"op": "commit", "txid": n, "events": [record, ...]}
+    {"op": "abort", "txid": n}
+
+Transactional writes reach the log only through an atomic ``commit``
+record written at COMMIT time (the events of an open transaction are
+buffered on the transaction object, never in the log), so a crash —
+losing everything after the last durable record — loses whole
+transactions, never halves of them, and replay reconstructs exactly the
+committed ones.  Aborted transactions therefore leave no trace; the
+``abort`` record exists for logs produced by eager writers and replay
+skips both it and any flat records stamped with an aborted ``txid``.
 """
 
 from __future__ import annotations
@@ -37,23 +48,39 @@ class WriteAheadLog:
         """Number of checkpoints performed so far."""
         return self._checkpoints
 
-    def log_event(self, event: tuple) -> None:
-        """Record a storage change event (as emitted by Table.on_change)."""
+    @staticmethod
+    def encode_event(event: tuple) -> dict:
+        """A change event (as emitted by Table mutations) as a record."""
         op = event[0]
         if op == "insert" or op == "delete":
             _, table, rowid, values = event
-            self.records.append(
-                {"op": op, "table": table, "rowid": rowid, "values": list(values)}
-            )
-        elif op == "update":
+            return {"op": op, "table": table, "rowid": rowid,
+                    "values": list(values)}
+        if op == "update":
             _, table, rowid, old, new = event
-            self.records.append({
+            return {
                 "op": "update", "table": table, "rowid": rowid,
                 "old": {str(k): v for k, v in old.items()},
                 "new": {str(k): v for k, v in new.items()},
-            })
-        else:
-            raise DatabaseError(f"cannot log unknown event kind {op!r}")
+            }
+        raise DatabaseError(f"cannot log unknown event kind {op!r}")
+
+    def log_event(self, event: tuple) -> None:
+        """Record one autocommitted storage change event."""
+        self.records.append(self.encode_event(event))
+
+    def log_commit(self, txid: int, events) -> None:
+        """Record a whole committed transaction as one atomic record."""
+        self.records.append({
+            "op": "commit", "txid": txid,
+            "events": [self.encode_event(event) for event in events],
+        })
+
+    def log_abort(self, txid: int) -> None:
+        """Record an aborted transaction (only meaningful for logs whose
+        events were written eagerly; minidb's buffered commits never need
+        it, and replay skips aborted txids either way)."""
+        self.records.append({"op": "abort", "txid": txid})
 
     def log_ddl(self, sql: str) -> None:
         """Record a schema change as its SQL text."""
@@ -80,23 +107,43 @@ class WriteAheadLog:
     def replay_into(self, db) -> int:
         """Apply the pending (in-memory) records to ``db``; returns count.
 
-        DDL records are executed as SQL; data records are applied directly to
-        storage, preserving rowids.
+        DDL records are executed as SQL; data records are applied directly
+        to storage, preserving rowids.  ``commit`` records apply their
+        transaction's events as a unit; ``abort`` records — and any flat
+        record stamped with an aborted ``txid`` — are skipped, so replay
+        reconstructs only committed work.
         """
+        aborted = {
+            record.get("txid") for record in self.records
+            if record["op"] == "abort" and record.get("txid") is not None
+        }
         applied = 0
         for record in self.records:
             op = record["op"]
-            if op == "ddl":
-                db.execute(record["sql"])
-            elif op == "insert":
-                db.table(record["table"]).insert(record["values"], rowid=record["rowid"])
-            elif op == "delete":
-                db.table(record["table"]).delete(record["rowid"])
-            elif op == "update":
-                changes = {int(k): v for k, v in record["new"].items()}
-                db.table(record["table"]).update(record["rowid"], changes)
+            if op == "commit":
+                for event in record["events"]:
+                    self._apply(db, event)
+            elif op == "abort" or record.get("txid") in aborted:
+                continue
+            else:
+                self._apply(db, record)
             applied += 1
         return applied
+
+    @staticmethod
+    def _apply(db, record: dict) -> None:
+        op = record["op"]
+        if op == "ddl":
+            db.execute(record["sql"])
+        elif op == "insert":
+            db.table(record["table"]).insert(
+                record["values"], rowid=record["rowid"]
+            )
+        elif op == "delete":
+            db.table(record["table"]).delete(record["rowid"])
+        elif op == "update":
+            changes = {int(k): v for k, v in record["new"].items()}
+            db.table(record["table"]).update(record["rowid"], changes)
 
     @classmethod
     def load(cls, path: str | Path) -> "WriteAheadLog":

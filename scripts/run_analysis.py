@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""minicheck CLI: run the minidb invariant checkers.
+
+Usage:
+    python scripts/run_analysis.py [paths...] [--strict] [--json]
+                                   [--rules lock-discipline,...]
+                                   [--baseline FILE] [--write-baseline]
+                                   [--list-rules]
+
+Default path is ``src/repro/minidb``.  ``--strict`` exits nonzero on
+any finding that is neither suppressed inline nor in the baseline —
+that is the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis import Analyzer, Baseline  # noqa: E402
+from repro.analysis.checkers import ALL_CHECKERS, RULES  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "minicheck_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_analysis", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to analyze "
+                             "(default: src/repro/minidb)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any unsuppressed, unbaselined "
+                             "finding")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON report on stdout")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: "
+                             f"{DEFAULT_BASELINE.name} at the repo root "
+                             f"when present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="snapshot current findings into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print available rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_CHECKERS:
+            print(f"{cls.rule:20s} {cls.description}")
+        return 0
+
+    if args.rules:
+        wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in wanted if r not in RULES]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}; "
+                  f"try --list-rules", file=sys.stderr)
+            return 2
+        checkers = [RULES[r]() for r in wanted]
+    else:
+        checkers = [cls() for cls in ALL_CHECKERS]
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = Baseline.load(baseline_path)
+
+    paths = [Path(p) for p in args.paths] if args.paths else [
+        REPO_ROOT / "src" / "repro" / "minidb"
+    ]
+    analyzer = Analyzer(checkers=checkers, baseline=baseline)
+    report = analyzer.run(paths)
+
+    if args.write_baseline:
+        baseline.save(baseline_path, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        summary = (f"{len(report.findings)} finding(s), "
+                   f"{len(report.suppressed)} suppressed, "
+                   f"{len(report.baselined)} baselined, "
+                   f"{len(report.modules)} module(s)")
+        print(summary if report.findings else f"clean: {summary}")
+
+    if args.strict and report.findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""minicheck: AST static analysis enforcing minidb's runtime invariants.
+
+PR 5's MVCC layer rests on invariants no test suite can exhaustively
+cover — mutations happen under the single write lock, snapshot arguments
+thread down to every helper that accepts one, lock-free readers touch
+``rows`` before ``versions``, registered snapshots are released
+exception-safely, every mutation path reaches the WAL, and streaming
+operators stay generators.  This package machine-checks them:
+
+* :mod:`repro.analysis.loader` parses a package into ASTs;
+* :mod:`repro.analysis.summaries` distills each function into the facts
+  the checkers consume (parameters, decorators, attribute accesses,
+  calls, lock/finally context);
+* :mod:`repro.analysis.callgraph` resolves calls by name and walks the
+  graph to a bounded depth;
+* :mod:`repro.analysis.findings` is the finding/severity model plus
+  ``# minicheck: ignore[rule]`` suppressions and the committed baseline;
+* :mod:`repro.analysis.engine` orchestrates a run;
+* :mod:`repro.analysis.checkers` holds the six minidb rules.
+
+``scripts/run_analysis.py`` is the CLI; CI runs it with ``--strict``.
+"""
+
+from repro.analysis.engine import Analyzer, Report, analyze_paths
+from repro.analysis.findings import Baseline, Finding, Severity
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "Report",
+    "Severity",
+    "analyze_paths",
+]

@@ -1,0 +1,160 @@
+"""Name-based call resolution and a bounded interprocedural walk.
+
+Python's dynamism rules out sound whole-program resolution, so this
+layer is deliberately heuristic and *conservative in the direction the
+checkers need*: a call it cannot resolve is reported as "unknown" and
+checkers treat unknown as satisfying the rule (no false alarms from
+dynamism), while a call it can resolve by bare name links to every
+same-named function in the package (over-approximating reachability).
+
+One refinement keeps the lock-discipline rule usable: a method call on a
+receiver that is provably a *local builtin container* (assigned from a
+dict/list/set literal or constructor in the same function) is never
+resolved to package methods — ``columns.update(exact)`` on a local dict
+must not match ``Table.update``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.summaries import (
+    FunctionInfo,
+    ModuleSummary,
+    PackageSummary,
+    call_name,
+)
+
+_BUILTIN_CONTAINER_CALLS = {
+    "dict", "list", "set", "tuple", "frozenset", "defaultdict",
+    "OrderedDict", "Counter", "deque",
+}
+_LITERAL_NODES = (
+    ast.Dict, ast.List, ast.Set, ast.Tuple, ast.ListComp, ast.SetComp,
+    ast.DictComp,
+)
+
+
+def _local_container_names(fn: FunctionInfo) -> Set[str]:
+    """Names bound in *fn* to builtin-container literals/constructors."""
+    names: Set[str] = set()
+    for node in fn.own_nodes():
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        is_container = isinstance(value, _LITERAL_NODES) or (
+            isinstance(value, ast.Call)
+            and call_name(value) in _BUILTIN_CONTAINER_CALLS
+        )
+        if not is_container:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+class CallGraph:
+    """Resolves calls by name and answers bounded reachability queries."""
+
+    def __init__(self, package: PackageSummary):
+        self.package = package
+        self._container_locals: Dict[FunctionInfo, Set[str]] = {}
+        self._edges: Dict[FunctionInfo, List[FunctionInfo]] = {}
+
+    def _locals_of(self, fn: FunctionInfo) -> Set[str]:
+        cached = self._container_locals.get(fn)
+        if cached is None:
+            cached = _local_container_names(fn)
+            self._container_locals[fn] = cached
+        return cached
+
+    def resolve_call(self, fn: FunctionInfo,
+                     call: ast.Call) -> Tuple[List[FunctionInfo], bool]:
+        """Candidate targets of *call* made inside *fn*.
+
+        Returns ``(candidates, resolved)``.  ``resolved`` is False when
+        the call target is dynamic/external and the checkers should
+        assume nothing about it.
+        """
+        func = call.func
+        name = call_name(call)
+        if not name:
+            return [], False
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            # self-local builtin containers never dispatch to package code
+            if (isinstance(base, ast.Name)
+                    and base.id in self._locals_of(fn)):
+                return [], False
+            candidates = [
+                target for target in self.package.lookup(name)
+                if target.class_name is not None or target.module is fn.module
+            ]
+            return candidates, bool(candidates)
+        # bare-name call: same module first, then imported names
+        summary = self.package.summaries[fn.module.name]
+        same_module = [
+            target for target in self.package.lookup(name)
+            if target.module is fn.module and target.class_name is None
+        ]
+        if same_module:
+            return same_module, True
+        if summary.imported_from(name) is not None:
+            imported = [
+                target for target in self.package.lookup(name)
+                if target.class_name is None
+            ]
+            return imported, bool(imported)
+        return [], False
+
+    def callees(self, fn: FunctionInfo) -> List[FunctionInfo]:
+        """All resolvable callees of *fn* (cached)."""
+        cached = self._edges.get(fn)
+        if cached is not None:
+            return cached
+        out: List[FunctionInfo] = []
+        seen: Set[int] = set()
+        for call in fn.calls:
+            candidates, resolved = self.resolve_call(fn, call)
+            if not resolved:
+                continue
+            for target in candidates:
+                if id(target) not in seen:
+                    seen.add(id(target))
+                    out.append(target)
+        self._edges[fn] = out
+        return out
+
+    def reaches(self, fn: FunctionInfo,
+                predicate: Callable[[FunctionInfo], bool],
+                max_depth: int = 3) -> bool:
+        """Does any call chain from *fn* (depth-bounded) hit *predicate*?
+
+        *fn* itself is tested first; nested functions count as depth-0
+        extensions of their parent (defining a closure is not a call).
+        """
+        queue = deque([(fn, 0)])
+        visited: Set[int] = set()
+        while queue:
+            current, depth = queue.popleft()
+            if id(current) in visited:
+                continue
+            visited.add(id(current))
+            if predicate(current):
+                return True
+            for nested in current.nested:
+                queue.append((nested, depth))
+            if depth >= max_depth:
+                continue
+            for callee in self.callees(current):
+                queue.append((callee, depth + 1))
+        return False
+
+    def module_summary(self, fn: FunctionInfo) -> ModuleSummary:
+        return self.package.summaries[fn.module.name]

@@ -1,0 +1,24 @@
+"""The six minidb rules.  ``ALL_CHECKERS`` is the default rule set."""
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.checkers.generator_hygiene import GeneratorHygieneChecker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.publication_order import PublicationOrderChecker
+from repro.analysis.checkers.snapshot_release import SnapshotReleaseChecker
+from repro.analysis.checkers.snapshot_threading import SnapshotThreadingChecker
+from repro.analysis.checkers.wal_coverage import WalCoverageChecker
+
+ALL_CHECKERS = [
+    LockDisciplineChecker,
+    SnapshotThreadingChecker,
+    PublicationOrderChecker,
+    WalCoverageChecker,
+    SnapshotReleaseChecker,
+    GeneratorHygieneChecker,
+]
+
+RULES = {cls.rule: cls for cls in ALL_CHECKERS}
+
+__all__ = ["ALL_CHECKERS", "RULES", "Checker"] + [
+    cls.__name__ for cls in ALL_CHECKERS
+]

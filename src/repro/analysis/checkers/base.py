@@ -1,0 +1,67 @@
+"""Checker protocol and shared helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.summaries import FunctionInfo, PackageSummary
+
+# Marker decorators (defined in repro.minidb.invariants, detected by name
+# so fixtures can declare their own no-op stand-ins).
+HOLDS_WRITE_LOCK = "holds_write_lock"
+WAL_EXEMPT = "wal_exempt"
+
+
+class Checker:
+    """One rule.  Subclasses set ``rule``/``severity`` and implement
+    :meth:`check`, yielding findings over the whole package."""
+
+    rule = "abstract"
+    severity = Severity.ERROR
+    description = ""
+
+    def check(self, package: PackageSummary,
+              graph: CallGraph) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, fn: FunctionInfo, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            rule=self.rule,
+            severity=self.severity,
+            path=str(fn.module.path),
+            line=getattr(node, "lineno", fn.node.lineno),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            qualname=fn.qualname,
+        )
+
+
+def marked(fn: FunctionInfo, package: PackageSummary,
+           decorator: str = HOLDS_WRITE_LOCK) -> bool:
+    """Is *fn* (or a lexically enclosing function) marked with *decorator*?"""
+    if fn.has_decorator(decorator):
+        return True
+    summary = package.summaries[fn.module.name]
+    outer = summary.enclosing_function(fn.node)
+    while outer is not None:
+        if outer.has_decorator(decorator):
+            return True
+        outer = summary.enclosing_function(outer.node)
+    return False
+
+
+def attr_chain(node: ast.expr) -> List[str]:
+    """Dotted name parts of an attribute chain (``a.b.c`` → [a, b, c])."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    parts.reverse()
+    return parts

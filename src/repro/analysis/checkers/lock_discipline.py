@@ -1,0 +1,147 @@
+"""lock-discipline: shared-structure writes only under the write lock.
+
+``Table.rows``/``versions``, index buckets, and the B+tree are mutated
+by many call paths but serialized by exactly one lock
+(``TransactionManager.lock``).  A mutation is legal when it is
+lexically under ``with ...lock:``, or inside a function marked
+``@holds_write_lock`` (the caller-provides-the-lock contract), or in an
+``__init__`` (construction precedes sharing).
+
+The rule has two halves:
+
+1. every *direct* mutation of a protected attribute must be covered;
+2. every *call* to a ``@holds_write_lock`` function must itself come
+   from a covered context, so the marker's contract is checked at each
+   call site instead of trusted blindly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.checkers.base import (
+    HOLDS_WRITE_LOCK,
+    Checker,
+    attr_chain,
+    marked,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.summaries import FunctionInfo, PackageSummary, call_name
+
+#: Attributes holding structures shared across threads/transactions.
+PROTECTED_ATTRS = {
+    "rows", "versions", "indexes", "null_rowids", "_buckets", "_tree",
+    "tables", "index_catalog",
+}
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = {
+    "pop", "popitem", "clear", "append", "add", "discard", "insert",
+    "remove", "update", "setdefault", "extend",
+}
+
+
+def _protected_base(node: ast.expr) -> Optional[str]:
+    """If *node* is (a subscript of) a protected attribute, its name."""
+    cur = node
+    while isinstance(cur, ast.Subscript):
+        cur = cur.value
+    if isinstance(cur, ast.Attribute) and cur.attr in PROTECTED_ATTRS:
+        return cur.attr
+    return None
+
+
+class LockDisciplineChecker(Checker):
+    rule = "lock-discipline"
+    severity = Severity.ERROR
+    description = ("writes to shared MVCC structures must hold the write "
+                   "lock or be marked @holds_write_lock")
+
+    def check(self, package: PackageSummary,
+              graph: CallGraph) -> Iterator[Finding]:
+        for fn in package.functions():
+            if fn.name == "__init__":
+                continue
+            covered_fn = marked(fn, package, HOLDS_WRITE_LOCK)
+            summary = package.summaries[fn.module.name]
+
+            def covered(node: ast.AST) -> bool:
+                return covered_fn or summary.in_lock(node)
+
+            for node in fn.own_nodes():
+                # half 1: direct mutations of protected structures
+                target = self._mutation_target(fn, graph, node)
+                if target is not None and not covered(node):
+                    yield self.finding(
+                        fn, node,
+                        f"mutation of protected '{target}' outside the "
+                        f"write lock (wrap in 'with txn.lock:' or mark "
+                        f"the function @holds_write_lock)")
+                # half 2: calls into @holds_write_lock functions
+                if isinstance(node, ast.Call):
+                    callee = self._marked_callee(fn, graph, package, node)
+                    if callee is not None and not covered(node):
+                        yield self.finding(
+                            fn, node,
+                            f"call to @holds_write_lock function "
+                            f"'{callee}' without holding the write lock")
+
+    def _mutation_target(self, fn: FunctionInfo, graph: CallGraph,
+                         node: ast.AST) -> Optional[str]:
+        """Name of the protected attribute *node* mutates, if any."""
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                # rebinding the attribute itself, or item assignment
+                if isinstance(target, ast.Subscript):
+                    name = _protected_base(target)
+                    if name:
+                        return name
+                elif isinstance(target, ast.Attribute):
+                    if target.attr in PROTECTED_ATTRS:
+                        return target.attr
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                name = _protected_base(target)
+                if name:
+                    return name
+                if (isinstance(target, ast.Attribute)
+                        and target.attr in PROTECTED_ATTRS):
+                    return target.attr
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS):
+                name = _protected_base(func.value)
+                if name:
+                    return name
+        return None
+
+    def _marked_callee(self, fn: FunctionInfo, graph: CallGraph,
+                       package: PackageSummary,
+                       call: ast.Call) -> Optional[str]:
+        name = call_name(call)
+        if not name:
+            return None
+        candidates, resolved = graph.resolve_call(fn, call)
+        if not resolved:
+            return None
+        hits = [c for c in candidates
+                if c.has_decorator(HOLDS_WRITE_LOCK)]
+        if not hits:
+            return None
+        # ambiguous resolution: only flag when *every* candidate demands
+        # the lock, otherwise the call may dispatch to an unmarked one
+        # (e.g. list.insert vs BTree.insert can't be told apart by name).
+        if len(hits) != len(candidates):
+            base = call.func
+            if isinstance(base, ast.Attribute):
+                chain = attr_chain(base.value)
+                if not chain or chain[0] == "self":
+                    pass  # self.insert(...) inside the index class: flag
+                else:
+                    return None
+        return hits[0].qualname

@@ -1,0 +1,55 @@
+"""publication-order: lock-free readers touch ``rows`` before ``versions``.
+
+Writers publish a version chain *before* mutating ``rows`` so that a
+reader which sees the new row state always finds the chain that lets it
+reconstruct the old one.  The contract inverts for readers: read
+``rows`` first, ``versions`` second.  A lock-free function whose first
+``versions`` read precedes its first ``rows`` read can pair a stale
+chain with fresh row state — a dirty read with no crash signature.
+
+Functions running under the write lock (``with ...lock:`` around both
+accesses, or ``@holds_write_lock``) are exempt: the lock serializes
+them against writers, so ordering is irrelevant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.checkers.base import HOLDS_WRITE_LOCK, Checker, marked
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.summaries import PackageSummary
+
+
+class PublicationOrderChecker(Checker):
+    rule = "publication-order"
+    severity = Severity.ERROR
+    description = ("lock-free readers must read 'rows' before 'versions'")
+
+    def check(self, package: PackageSummary,
+              graph: CallGraph) -> Iterator[Finding]:
+        for fn in package.functions():
+            if marked(fn, package, HOLDS_WRITE_LOCK):
+                continue
+            summary = package.summaries[fn.module.name]
+            first_rows = None
+            first_versions = None
+            for node in fn.attr_loads:
+                if node.attr not in ("rows", "versions"):
+                    continue
+                if summary.in_lock(node):
+                    continue
+                if node.attr == "rows" and first_rows is None:
+                    first_rows = node
+                elif node.attr == "versions" and first_versions is None:
+                    first_versions = node
+            if first_rows is None or first_versions is None:
+                continue
+            if ((first_versions.lineno, first_versions.col_offset)
+                    < (first_rows.lineno, first_rows.col_offset)):
+                yield self.finding(
+                    fn, first_versions,
+                    "reads 'versions' before 'rows' without the write "
+                    "lock; lock-free readers must touch rows first to "
+                    "pair row state with a chain at least as new")

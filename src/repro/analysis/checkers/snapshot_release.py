@@ -1,0 +1,150 @@
+"""snapshot-release: registered snapshots are released exception-safely.
+
+An outstanding snapshot pins the GC horizon — leak one and superseded
+row versions accumulate forever.  Two obligations:
+
+1. A function that registers a snapshot (``read_snapshot()`` /
+   ``retain()``) must either release it in a ``finally:``, or package
+   the release into a closure/lambda whose body calls ``.release(...)``
+   (the ownership-transfer idiom: the factory hands its caller a
+   release callback and the obligation moves with it).
+
+2. A function that *receives* the obligation — binds or takes a
+   parameter named ``release`` — must call it inside a ``finally:``,
+   forward it onward as an argument, or return it to its own caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.summaries import FunctionInfo, PackageSummary, call_name
+
+REGISTER_CALLS = {"read_snapshot", "retain"}
+RELEASE_NAME = "release"
+
+
+def _is_release_call(node: ast.Call) -> bool:
+    name = call_name(node)
+    return name == RELEASE_NAME
+
+
+def _lambda_releases(fn: FunctionInfo) -> bool:
+    """Does *fn* build a closure whose body performs the release?"""
+    for node in fn.own_nodes():
+        if isinstance(node, ast.Lambda):
+            for sub in ast.walk(node.body):
+                if isinstance(sub, ast.Call) and _is_release_call(sub):
+                    return True
+    for nested in fn.nested:
+        if any(isinstance(c, ast.Call) and _is_release_call(c)
+               for c in ast.walk(nested.node)):
+            return True
+    return False
+
+
+class SnapshotReleaseChecker(Checker):
+    rule = "snapshot-release"
+    severity = Severity.ERROR
+    description = ("every registered snapshot must be released in a "
+                   "finally block or handed off as a release callback")
+
+    def check(self, package: PackageSummary,
+              graph: CallGraph) -> Iterator[Finding]:
+        for fn in package.functions():
+            summary = package.summaries[fn.module.name]
+            register_sites = [
+                c for c in fn.calls if call_name(c) in REGISTER_CALLS
+            ]
+            if register_sites:
+                ok = (
+                    self._releases_in_finally(fn, summary)
+                    or _lambda_releases(fn)
+                )
+                if not ok:
+                    yield self.finding(
+                        fn, register_sites[0],
+                        "registers a snapshot but has no finally-block "
+                        "release and no release callback hand-off; a "
+                        "leaked snapshot pins the GC horizon")
+            # obligation receivers: a `release` binding must be honoured
+            if self._binds_release(fn) and not self._discharges(fn, summary):
+                yield self.finding(
+                    fn, fn.node,
+                    "binds a 'release' callback but neither calls it in "
+                    "a finally block, forwards it, nor returns it")
+
+    def _releases_in_finally(self, fn: FunctionInfo, summary) -> bool:
+        return any(
+            isinstance(node, ast.Call) and _is_release_call(node)
+            and summary.in_finally(node)
+            for node in fn.own_nodes()
+        )
+
+    def _binds_release(self, fn: FunctionInfo) -> bool:
+        if RELEASE_NAME in fn.params:
+            return True
+        for node in fn.own_nodes():
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id == RELEASE_NAME):
+                        return True
+                    if isinstance(target, ast.Tuple):
+                        for elt in target.elts:
+                            if (isinstance(elt, ast.Name)
+                                    and elt.id == RELEASE_NAME):
+                                return True
+        return False
+
+    def _discharges(self, fn: FunctionInfo, summary) -> bool:
+        for node in fn.own_nodes():
+            # release() called under finally
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == RELEASE_NAME
+                    and summary.in_finally(node)):
+                return True
+            # forwarded onward: f(..., release=release) or f(release)
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (isinstance(kw.value, ast.Name)
+                            and kw.value.id == RELEASE_NAME):
+                        return True
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and arg.id == RELEASE_NAME:
+                        return True
+            # returned to the caller (possibly inside a tuple)
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if (isinstance(sub, ast.Name)
+                            and sub.id == RELEASE_NAME):
+                        return True
+            # stored on an object (self._release = release): the
+            # obligation moves into object state, discharged by the
+            # owner's close path
+            if isinstance(node, ast.Assign):
+                for sub in ast.walk(node.value):
+                    if (isinstance(sub, ast.Name)
+                            and sub.id == RELEASE_NAME
+                            and isinstance(sub.ctx, ast.Load)):
+                        if any(isinstance(t, ast.Attribute)
+                               or (isinstance(t, ast.Tuple)
+                                   and any(isinstance(e, ast.Attribute)
+                                           for e in t.elts))
+                               for t in node.targets):
+                            return True
+        # a nested closure may own the release (generator cleanup idiom)
+        for nested in fn.nested:
+            for sub in nested.own_nodes():
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == RELEASE_NAME):
+                    nested_summary = summary
+                    if nested_summary.in_finally(sub):
+                        return True
+        return False

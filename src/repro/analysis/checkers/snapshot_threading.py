@@ -1,0 +1,92 @@
+"""snapshot-threading: a held snapshot must flow into every callee.
+
+A function that received a ``snapshot`` parameter is reading at a fixed
+point in MVCC time; calling a snapshot-aware helper *without* forwarding
+it silently re-reads at "latest committed" — an isolation break that
+manifests only under concurrent writes.  The rule: inside any function
+whose scope binds ``snapshot`` (own parameter or an enclosing
+function's, for closures), every call that resolves exclusively to
+snapshot-taking package functions must pass it — as ``snapshot=...``,
+positionally past the parameter's index, or via ``*args``/``**kwargs``.
+Calls with any non-snapshot-taking candidate are skipped (ambiguous
+name resolution must not alarm).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.summaries import FunctionInfo, PackageSummary, call_name
+
+PARAM = "snapshot"
+
+
+def _scope_has_snapshot(fn: FunctionInfo,
+                        package: PackageSummary) -> bool:
+    if PARAM in fn.params:
+        return True
+    summary = package.summaries[fn.module.name]
+    outer = summary.enclosing_function(fn.node)
+    while outer is not None:
+        if PARAM in outer.params:
+            return True
+        outer = summary.enclosing_function(outer.node)
+    return False
+
+
+def _passes_snapshot(call: ast.Call, callee: FunctionInfo,
+                     is_method_call: bool) -> bool:
+    for kw in call.keywords:
+        if kw.arg == PARAM:
+            return True
+        if kw.arg is None:  # **kwargs — assume it's in there
+            return True
+    if any(isinstance(a, ast.Starred) for a in call.args):
+        return True
+    index = callee.param_index.get(PARAM)
+    if index is None:
+        return False
+    # method call through an attribute: self/cls is bound implicitly
+    if is_method_call and callee.params[:1] in (["self"], ["cls"]):
+        index -= 1
+    return len(call.args) > index
+
+
+class SnapshotThreadingChecker(Checker):
+    rule = "snapshot-threading"
+    severity = Severity.ERROR
+    description = ("a function holding a snapshot must forward it to "
+                   "every snapshot-aware callee")
+
+    def check(self, package: PackageSummary,
+              graph: CallGraph) -> Iterator[Finding]:
+        for fn in package.functions():
+            if not _scope_has_snapshot(fn, package):
+                continue
+            for call in fn.calls:
+                callee = self._snapshot_callee(fn, graph, call)
+                if callee is None:
+                    continue
+                is_method = isinstance(call.func, ast.Attribute)
+                if not _passes_snapshot(call, callee, is_method):
+                    yield self.finding(
+                        fn, call,
+                        f"holds a snapshot but calls "
+                        f"'{call_name(call)}' without forwarding it "
+                        f"(pass snapshot= explicitly)")
+
+    def _snapshot_callee(self, fn: FunctionInfo, graph: CallGraph,
+                         call: ast.Call) -> Optional[FunctionInfo]:
+        candidates, resolved = graph.resolve_call(fn, call)
+        if not resolved:
+            return None
+        # don't second-guess recursion into ourselves via bare name --
+        # still checked, recursion must thread the snapshot too.
+        takers = [c for c in candidates if PARAM in c.params]
+        if not takers or len(takers) != len(candidates):
+            return None
+        return takers[0]

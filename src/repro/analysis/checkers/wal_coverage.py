@@ -1,0 +1,85 @@
+"""wal-coverage: every durable mutation path reaches the WAL.
+
+Recovery replays the WAL; a mutation that never logs is silently lost
+on restart.  Any function that mutates row storage (``rows``) or the
+catalog (``tables``/``index_catalog``) must, within a bounded call-graph
+walk, reach a logging call (``log_event``/``log_commit``/``log_ddl``)
+or the change-notification hook ``_notify`` (which owners route into
+the WAL), or carry an explicit ``@wal_exempt("why")`` marker.
+
+Index/version structures are deliberately out of scope: they are
+derived state, rebuilt from row data on replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.checkers.base import WAL_EXEMPT, Checker, marked
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.summaries import FunctionInfo, PackageSummary, call_name
+
+#: Durable state: current rows and the catalog.
+WAL_ATTRS = {"rows", "tables", "index_catalog"}
+
+#: A call to any of these counts as reaching the log.
+LOG_CALLS = {"_notify", "log_event", "log_commit", "log_ddl", "record"}
+
+
+def _mutates_wal_attr(fn: FunctionInfo) -> Optional[ast.AST]:
+    for node in fn.own_nodes():
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr in WAL_ATTRS):
+                    return node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr in WAL_ATTRS):
+                    return node
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ("pop", "clear", "setdefault", "update")
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr in WAL_ATTRS):
+                return node
+    return None
+
+
+def _calls_logger(fn: FunctionInfo) -> bool:
+    return any(call_name(c) in LOG_CALLS for c in fn.calls)
+
+
+class WalCoverageChecker(Checker):
+    rule = "wal-coverage"
+    severity = Severity.ERROR
+    description = ("catalog/data mutation paths must log a WAL event or "
+                   "be @wal_exempt")
+
+    def check(self, package: PackageSummary,
+              graph: CallGraph) -> Iterator[Finding]:
+        for fn in package.functions():
+            if fn.name == "__init__":
+                continue
+            site = _mutates_wal_attr(fn)
+            if site is None:
+                continue
+            if marked(fn, package, WAL_EXEMPT):
+                continue
+            # the function itself, a nested closure, or a bounded chain
+            # of callees must hit a logging call
+            if graph.reaches(fn, _calls_logger, max_depth=2):
+                continue
+            yield self.finding(
+                fn, site,
+                "mutates durable state without reaching a WAL log call "
+                "(log the event, call _notify, or mark @wal_exempt "
+                "with a reason)")

@@ -1,0 +1,95 @@
+"""Run orchestration: load → summarize → check → filter → report."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.findings import Baseline, Finding, Severity, is_suppressed
+from repro.analysis.loader import Module, load_paths
+from repro.analysis.summaries import PackageSummary
+
+
+class Report:
+    """Outcome of one analysis run."""
+
+    def __init__(self, findings: List[Finding], suppressed: List[Finding],
+                 baselined: List[Finding], modules: List[Module]):
+        self.findings = findings
+        self.suppressed = suppressed
+        self.baselined = baselined
+        self.modules = modules
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "modules": [str(m.path) for m in self.modules],
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+        }
+
+
+class Analyzer:
+    """Configurable front door: pick rules, baseline, then run."""
+
+    def __init__(self, checkers: Optional[Sequence] = None,
+                 baseline: Optional[Baseline] = None):
+        if checkers is None:
+            from repro.analysis.checkers import ALL_CHECKERS
+            checkers = [cls() for cls in ALL_CHECKERS]
+        self.checkers = list(checkers)
+        self.baseline = baseline or Baseline()
+
+    def run(self, paths: Iterable[Path]) -> Report:
+        modules = load_paths(paths)
+        return self.run_modules(modules)
+
+    def run_modules(self, modules: List[Module]) -> Report:
+        package = PackageSummary(modules)
+        graph = CallGraph(package)
+        raw: List[Finding] = []
+        for checker in self.checkers:
+            raw.extend(checker.check(package, graph))
+        raw.sort(key=lambda f: (f.path, f.line, f.col,
+                                Severity.ORDER.get(f.severity, 9), f.rule))
+        by_path = {m.path: m for m in modules}
+        findings: List[Finding] = []
+        suppressed: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in raw:
+            module = by_path.get(Path(finding.path))
+            extra = _suppression_lines(module, finding, package)
+            if module is not None and is_suppressed(
+                    finding, module.lines, extra):
+                suppressed.append(finding)
+            elif self.baseline.contains(finding):
+                baselined.append(finding)
+            else:
+                findings.append(finding)
+        return Report(findings, suppressed, baselined, modules)
+
+
+def _suppression_lines(module, finding: Finding,
+                       package: PackageSummary) -> List[int]:
+    """Besides the finding line, a suppression may sit on the ``def``
+    line of the function the finding names."""
+    if module is None or not finding.qualname:
+        return []
+    summary = package.summaries.get(module.name)
+    if summary is None:
+        return []
+    return [fn.node.lineno for fn in summary.functions
+            if fn.qualname == finding.qualname]
+
+
+def analyze_paths(paths: Iterable[Path],
+                  baseline: Optional[Baseline] = None,
+                  checkers: Optional[Sequence] = None) -> Report:
+    """One-call convenience used by tests and the CLI."""
+    return Analyzer(checkers=checkers, baseline=baseline).run(paths)

@@ -1,0 +1,154 @@
+"""Finding/severity model, inline suppressions, and the baseline file.
+
+A finding is keyed by a stable digest of ``rule|path|qualname|message``
+(line numbers excluded, so unrelated edits above a known finding don't
+churn the baseline).  Suppressions are source comments::
+
+    table.rows.clear()  # minicheck: ignore[lock-discipline]
+    def legacy_path(...):  # minicheck: ignore  (all rules)
+
+checked on the finding's line and on the ``def`` line of its enclosing
+function.  The baseline is a committed JSON file of accepted digests —
+``--write-baseline`` snapshots today's findings, ``--strict`` fails only
+on findings that are neither suppressed nor baselined.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+
+class Severity:
+    ERROR = "error"
+    WARNING = "warning"
+
+    ORDER = {ERROR: 0, WARNING: 1}
+
+
+class Finding:
+    """One rule violation at one source location."""
+
+    __slots__ = ("rule", "severity", "path", "line", "col", "message",
+                 "qualname")
+
+    def __init__(self, rule: str, severity: str, path: str, line: int,
+                 col: int, message: str, qualname: str = ""):
+        self.rule = rule
+        self.severity = severity
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+        self.qualname = qualname
+
+    def key(self) -> str:
+        """Stable identity for baselining (line-number independent)."""
+        raw = "|".join((self.rule, self.path, self.qualname, self.message))
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "qualname": self.qualname,
+            "key": self.key(),
+        }
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"[{self.rule}] {self.severity}: {self.message}")
+
+    def __repr__(self) -> str:
+        return f"Finding({self.format()!r})"
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*minicheck:\s*ignore(?:\[(?P<rules>[\w\-, ]+)\])?")
+
+
+def suppressed_rules(line: str) -> Optional[Set[str]]:
+    """Rules suppressed by a source line's comment.
+
+    ``None`` means no suppression; an empty set means *all* rules.
+    """
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return set()
+    return {part.strip() for part in rules.split(",") if part.strip()}
+
+
+def is_suppressed(finding: Finding, lines: List[str],
+                  extra_lines: Optional[List[int]] = None) -> bool:
+    """Is *finding* suppressed on its line or any of *extra_lines*?"""
+    candidates = [finding.line]
+    if extra_lines:
+        candidates.extend(extra_lines)
+    for lineno in candidates:
+        if not (1 <= lineno <= len(lines)):
+            continue
+        rules = suppressed_rules(lines[lineno - 1])
+        if rules is None:
+            continue
+        if not rules or finding.rule in rules:
+            return True
+    return False
+
+
+class Baseline:
+    """Committed set of accepted finding digests."""
+
+    VERSION = 1
+
+    def __init__(self, keys: Optional[Set[str]] = None):
+        self.keys: Set[str] = set(keys or ())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        text = path.read_text(encoding="utf-8")
+        if not text.strip():  # blank file (or /dev/null) == empty baseline
+            return cls()
+        data = json.loads(text)
+        entries = data.get("findings", [])
+        keys = {e["key"] if isinstance(e, dict) else str(e) for e in entries}
+        return cls(keys)
+
+    def save(self, path: Path, findings: List[Finding]) -> None:
+        entries = sorted(
+            (
+                {
+                    "key": f.key(),
+                    "rule": f.rule,
+                    "path": f.path,
+                    "qualname": f.qualname,
+                    "message": f.message,
+                }
+                for f in findings
+            ),
+            key=lambda e: (e["path"], e["rule"], e["qualname"], e["key"]),
+        )
+        payload: Dict[str, object] = {
+            "version": self.VERSION,
+            "findings": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+        self.keys = {e["key"] for e in entries}
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.key() in self.keys
+
+    def __len__(self) -> int:
+        return len(self.keys)

@@ -1,0 +1,84 @@
+"""Parse a package (or individual files) into analyzable modules.
+
+The loader is deliberately filesystem-only: modules are parsed with
+:mod:`ast`, never imported, so analyzing a file can't run its side
+effects and fixtures with deliberately broken invariants stay inert.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+
+class Module:
+    """One parsed source file."""
+
+    __slots__ = ("path", "name", "tree", "source", "lines")
+
+    def __init__(self, path: Path, name: str, tree: ast.Module, source: str):
+        self.path = path
+        self.name = name
+        self.tree = tree
+        self.source = source
+        self.lines = source.splitlines()
+
+    def line(self, lineno: int) -> str:
+        """1-based source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def __repr__(self) -> str:
+        return f"Module({self.name!r})"
+
+
+def _module_name(path: Path, root: Optional[Path]) -> str:
+    """Dotted module name for *path* relative to *root* (or its stem)."""
+    if root is not None:
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            rel = Path(path.name)
+        parts = list(rel.with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1] or [root.name]
+        return ".".join(parts) if parts else path.stem
+    return path.stem
+
+
+def load_file(path: Path, root: Optional[Path] = None) -> Module:
+    """Parse a single ``.py`` file into a :class:`Module`."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return Module(path, _module_name(path, root), tree, source)
+
+
+def load_paths(paths: Iterable[Path]) -> List[Module]:
+    """Load every ``.py`` file under *paths* (files or directories).
+
+    Directories are walked recursively; ``__pycache__`` and hidden
+    directories are skipped.  Results are sorted by path so runs are
+    deterministic.
+    """
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                parts = child.relative_to(path).parts
+                if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                    continue
+                files.append((child, path))
+        elif path.suffix == ".py":
+            files.append((path, path.parent))
+    modules = []
+    seen = set()
+    for file_path, root in sorted(files, key=lambda pair: str(pair[0])):
+        resolved = file_path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        modules.append(load_file(file_path, root))
+    return modules

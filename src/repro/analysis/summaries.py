@@ -1,0 +1,265 @@
+"""Per-function summaries: the facts the checkers consume.
+
+Each function definition is distilled into a :class:`FunctionInfo` —
+parameters, decorators, whether it is a generator, the calls and
+attribute accesses in its *own* body (nested ``def``/``lambda`` bodies
+get their own summaries) — and each module into a :class:`ModuleSummary`
+that can answer structural questions (what function encloses this node?
+is it under a ``with ...lock:``? inside a ``finally:``?).  A
+:class:`PackageSummary` indexes every function by bare name and by
+method name so the call-graph layer can resolve calls without importing
+anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.loader import Module
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNC_NODES + (ast.Lambda,)
+
+
+def decorator_name(node: ast.expr) -> str:
+    """Last dotted segment of a decorator expression (``''`` if exotic).
+
+    ``@holds_write_lock``, ``@invariants.holds_write_lock`` and
+    ``@wal_exempt("reason")`` all reduce to their final attribute name.
+    """
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def call_name(node: ast.Call) -> str:
+    """Last dotted segment of a call target (``''`` if exotic)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _own_body_walk(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class FunctionInfo:
+    """Summary of one function (or method, or nested function)."""
+
+    __slots__ = (
+        "node", "module", "name", "qualname", "class_name", "params",
+        "param_index", "decorators", "is_generator", "calls",
+        "attr_loads", "attr_stores", "nested",
+    )
+
+    def __init__(self, node, module: Module, qualname: str,
+                 class_name: Optional[str]):
+        self.node = node
+        self.module = module
+        self.name = node.name
+        self.qualname = qualname
+        self.class_name = class_name
+        args = node.args
+        self.params: List[str] = [
+            a.arg for a in
+            getattr(args, "posonlyargs", []) + args.args + args.kwonlyargs
+        ]
+        if args.vararg:
+            self.params.append(args.vararg.arg)
+        if args.kwarg:
+            self.params.append(args.kwarg.arg)
+        # positional index for forwarding checks (posonly + regular only)
+        positional = [a.arg for a in
+                      getattr(args, "posonlyargs", []) + args.args]
+        self.param_index: Dict[str, int] = {
+            name: i for i, name in enumerate(positional)
+        }
+        self.decorators = [decorator_name(d) for d in node.decorator_list]
+        self.is_generator = any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in _own_body_walk(node)
+        )
+        self.calls: List[ast.Call] = []
+        self.attr_loads: List[ast.Attribute] = []
+        self.attr_stores: List[ast.Attribute] = []
+        for sub in _own_body_walk(node):
+            if isinstance(sub, ast.Call):
+                self.calls.append(sub)
+            elif isinstance(sub, ast.Attribute):
+                if isinstance(sub.ctx, ast.Load):
+                    self.attr_loads.append(sub)
+                else:
+                    self.attr_stores.append(sub)
+        self.calls.sort(key=lambda n: (n.lineno, n.col_offset))
+        self.attr_loads.sort(key=lambda n: (n.lineno, n.col_offset))
+        self.nested: List["FunctionInfo"] = []
+
+    def has_decorator(self, name: str) -> bool:
+        return name in self.decorators
+
+    def own_nodes(self) -> Iterator[ast.AST]:
+        """The function's own body, excluding nested scopes."""
+        return _own_body_walk(self.node)
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.module.name}:{self.qualname})"
+
+
+def _looks_like_lock(expr: ast.expr) -> bool:
+    """``with <expr>:`` — does the context expression name a lock?"""
+    node = expr
+    if isinstance(node, ast.Call):
+        node = node.func
+    name = ""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    return "lock" in name.lower()
+
+
+class ModuleSummary:
+    """Structural index over one module's AST."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.parent: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parent[child] = node
+        self.functions: List[FunctionInfo] = []
+        self._fn_by_node: Dict[ast.AST, FunctionInfo] = {}
+        self._imported_names: Dict[str, str] = {}
+        self._collect(module.tree, prefix="", class_name=None)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._imported_names[local] = node.module
+        # wire lexical nesting (fn defined inside fn)
+        for fn in self.functions:
+            outer = self.enclosing_function(fn.node)
+            if outer is not None:
+                outer.nested.append(fn)
+
+    def _collect(self, node: ast.AST, prefix: str,
+                 class_name: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNC_NODES):
+                qual = f"{prefix}{child.name}"
+                info = FunctionInfo(child, self.module, qual, class_name)
+                self.functions.append(info)
+                self._fn_by_node[child] = info
+                self._collect(child, prefix=f"{qual}.", class_name=class_name)
+            elif isinstance(child, ast.ClassDef):
+                self._collect(child, prefix=f"{child.name}.",
+                              class_name=child.name)
+            else:
+                self._collect(child, prefix=prefix, class_name=class_name)
+
+    def imported_from(self, name: str) -> Optional[str]:
+        """Module a name was ``from X import``-ed from, if any."""
+        return self._imported_names.get(name)
+
+    def function_for(self, node: ast.AST) -> Optional[FunctionInfo]:
+        return self._fn_by_node.get(node)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[FunctionInfo]:
+        """Innermost function whose body contains *node* (not node itself)."""
+        cur = self.parent.get(node)
+        while cur is not None:
+            info = self._fn_by_node.get(cur)
+            if info is not None:
+                return info
+            cur = self.parent.get(cur)
+        return None
+
+    def in_lock(self, node: ast.AST) -> bool:
+        """Is *node* under a ``with ...lock...:`` in its own function?
+
+        Also recognizes the manual ``lock.acquire()`` / ``try/finally:
+        lock.release()`` idiom: a node inside a ``try`` whose ``finally``
+        calls ``...release()`` on a lock-named object counts as covered.
+        """
+        cur = node
+        parent = self.parent.get(cur)
+        while parent is not None:
+            if isinstance(parent, _SCOPE_NODES):
+                return False
+            if isinstance(parent, (ast.With, ast.AsyncWith)):
+                for item in parent.items:
+                    if _looks_like_lock(item.context_expr):
+                        return True
+            if isinstance(parent, ast.Try) and parent.finalbody:
+                for stmt in parent.finalbody:
+                    for sub in ast.walk(stmt):
+                        if (isinstance(sub, ast.Call)
+                                and isinstance(sub.func, ast.Attribute)
+                                and sub.func.attr == "release"
+                                and _looks_like_lock(sub.func.value)):
+                            # only if cur is in the try body, not the finally
+                            if any(cur is b or self._contains(b, cur)
+                                   for b in parent.body):
+                                return True
+            cur = parent
+            parent = self.parent.get(cur)
+        return False
+
+    def _contains(self, root: ast.AST, target: ast.AST) -> bool:
+        for sub in ast.walk(root):
+            if sub is target:
+                return True
+        return False
+
+    def in_finally(self, node: ast.AST) -> bool:
+        """Is *node* inside some ``finally:`` block (within its function)?"""
+        cur = node
+        parent = self.parent.get(cur)
+        while parent is not None:
+            if isinstance(parent, _SCOPE_NODES):
+                return False
+            if isinstance(parent, ast.Try):
+                if any(cur is b or self._contains(b, cur)
+                       for b in parent.finalbody):
+                    return True
+            cur = parent
+            parent = self.parent.get(cur)
+        return False
+
+
+class PackageSummary:
+    """All modules of a run, with name-based function indexes."""
+
+    def __init__(self, modules: List[Module]):
+        self.modules = modules
+        self.summaries: Dict[str, ModuleSummary] = {}
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        for module in modules:
+            summary = ModuleSummary(module)
+            self.summaries[module.name] = summary
+            for fn in summary.functions:
+                self.by_name.setdefault(fn.name, []).append(fn)
+
+    def functions(self) -> Iterator[FunctionInfo]:
+        for summary in self.summaries.values():
+            for fn in summary.functions:
+                yield fn
+
+    def lookup(self, name: str) -> List[FunctionInfo]:
+        """Every function/method in the package with this bare name."""
+        return self.by_name.get(name, [])

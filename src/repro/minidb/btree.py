@@ -23,6 +23,8 @@ Design notes:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+
+from repro.minidb.invariants import holds_write_lock
 from typing import Iterator
 
 
@@ -67,6 +69,7 @@ class BTree:
 
     # -- mutation ------------------------------------------------------------
 
+    @holds_write_lock
     def insert(self, key, rowid: int) -> None:
         """Add ``rowid`` under ``key`` (idempotent per pair)."""
         result = self._insert(self.root, key, rowid)
@@ -77,6 +80,7 @@ class BTree:
             new_root.children = [self.root, new_node]
             self.root = new_root
 
+    @holds_write_lock
     def remove(self, key, rowid: int) -> bool:
         """Remove the pair; returns False when it was not present."""
         node = self._find_leaf(key)
@@ -249,6 +253,7 @@ class BTree:
         for child in node.children:
             self._collect_leaves(child, out)
 
+    @holds_write_lock
     def _insert(self, node, key, rowid: int):
         if isinstance(node, _Leaf):
             index = bisect_left(node.keys, key)
@@ -276,6 +281,7 @@ class BTree:
             return self._split_internal(node)
         return None
 
+    @holds_write_lock
     def _split_leaf(self, node: _Leaf):
         mid = len(node.keys) // 2
         sibling = _Leaf()
@@ -290,6 +296,7 @@ class BTree:
         node.next = sibling
         return sibling.keys[0], sibling
 
+    @holds_write_lock
     def _split_internal(self, node: _Internal):
         mid = len(node.keys) // 2
         separator = node.keys[mid]

@@ -46,6 +46,7 @@ from repro.errors import CatalogError, DatabaseError, TransactionError
 from repro.minidb import ast_nodes as ast
 from repro.minidb import executor
 from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema
+from repro.minidb.invariants import holds_write_lock
 from repro.minidb.parser import parse
 from repro.minidb.plan_cache import PlanCache
 from repro.minidb.prepared import Cursor, PreparedStatement
@@ -175,7 +176,8 @@ class Database:
     def insert_rows(self, table_name: str, rows) -> list[int]:
         """Bulk-insert value tuples directly (fast path for data loading)."""
         table = self.table(table_name)
-        return [table.insert(list(row)) for row in rows]
+        with self.txn.lock:
+            return [table.insert(list(row)) for row in rows]
 
     def explain(self, sql: str, params: tuple | list = (),
                 analyze: bool = False) -> str:
@@ -236,6 +238,7 @@ class Database:
         with manager.lock:
             self._gc_locked()
 
+    @holds_write_lock
     def _gc_locked(self) -> None:
         manager = self.txn
         dirty = [t for t in self.tables.values() if t.versions]
@@ -349,6 +352,7 @@ class Database:
 
     # -- DDL -----------------------------------------------------------------
 
+    @holds_write_lock
     def _create_table(self, statement: ast.CreateTableStmt, sql: str) -> ResultSet:
         if statement.name in self.tables:
             if statement.if_not_exists:
@@ -366,6 +370,7 @@ class Database:
             self.wal.log_ddl(sql)
         return ResultSet([], [], rowcount=0)
 
+    @holds_write_lock
     def _create_index(self, statement: ast.CreateIndexStmt, sql: str) -> ResultSet:
         if statement.name in self.index_catalog:
             if statement.if_not_exists:
@@ -387,6 +392,7 @@ class Database:
             self.wal.log_ddl(sql)
         return ResultSet([], [], rowcount=0)
 
+    @holds_write_lock
     def _drop_table(self, statement: ast.DropTableStmt, sql: str) -> ResultSet:
         if statement.name not in self.tables:
             if statement.if_exists:
@@ -405,6 +411,7 @@ class Database:
             self.wal.log_ddl(sql)
         return ResultSet([], [], rowcount=0)
 
+    @holds_write_lock
     def _drop_index(self, statement: ast.DropIndexStmt, sql: str) -> ResultSet:
         meta = self.index_catalog.get(statement.name)
         if meta is None:
@@ -418,6 +425,7 @@ class Database:
             self.wal.log_ddl(sql)
         return ResultSet([], [], rowcount=0)
 
+    @holds_write_lock
     def _alter_add_column(self, statement: ast.AlterAddColumnStmt, sql: str) -> ResultSet:
         table = self.table(statement.table)
         table.add_column(ColumnDef.make(statement.column.name, statement.column.type_name))

@@ -61,6 +61,7 @@ from repro.minidb.expressions import (
 )
 from repro.minidb.functions import make_aggregate
 from repro.minidb.hash_index import normalize_key
+from repro.minidb.invariants import holds_write_lock
 from repro.minidb.plan_cache import select_plan
 from repro.minidb.planner import (
     INDEX_EQ,
@@ -380,12 +381,44 @@ def _read_context(db, session, stream: bool):
     return session.read_context(stream=stream)
 
 
+class _ReleasingStream:
+    """Iterator that runs its release callback exactly once, always.
+
+    A plain generator with ``try/finally`` is not enough here: closing a
+    generator that was never advanced skips its ``finally`` (the body
+    never entered the ``try``), so a cursor opened and closed without
+    fetching would leak its snapshot and pin the GC horizon.  This
+    wrapper releases on exhaustion, on error, and on ``close()`` even
+    before the first row.
+    """
+
+    __slots__ = ("_rows", "_release")
+
+    def __init__(self, rows, release):
+        self._rows = iter(rows)
+        self._release = release
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        try:
+            return next(self._rows)
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self):
+        callback, self._release = self._release, None
+        if callback is not None:
+            inner = getattr(self._rows, "close", None)
+            if inner is not None:
+                inner()  # abandon the pipeline's pending work first
+            callback()
+
+
 def _with_release(rows, release):
-    try:
-        for row in rows:
-            yield row
-    finally:
-        release()
+    return _ReleasingStream(rows, release)
 
 
 def run_select_plan(plan, params: tuple, stream: bool = False,
@@ -1035,6 +1068,7 @@ def run_dml(db, compiled, params: tuple, session=None) -> ResultSet:
         return result
 
 
+@holds_write_lock
 def _apply_dml(db, compiled, params: tuple, txn) -> ResultSet:
     table = db.table(compiled.table_name)
     snapshot = txn.snapshot if txn is not None else None

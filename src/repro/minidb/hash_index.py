@@ -26,6 +26,7 @@ from typing import Iterator, Sequence
 
 from repro.errors import IntegrityError, SerializationError
 from repro.minidb.btree import BTree
+from repro.minidb.invariants import holds_write_lock
 from repro.minidb.expressions import sort_key
 
 #: sorts above every real key component ((rank, primitive) with rank <= 2),
@@ -114,6 +115,7 @@ class _IndexBase:
         """True when ``row`` carries a NULL in any indexed column."""
         return any(row[p] is None for p in self.positions)
 
+    @holds_write_lock
     def reindex_null(self, row: Sequence, rowid: int) -> None:
         """Re-assert NULL tracking for ``row`` (no-op for hash indexes).
 
@@ -134,22 +136,28 @@ class _IndexBase:
             )
         return values
 
+    @holds_write_lock
     def _unique_conflict(self, existing, rowid: int, key):
         """Classify a UNIQUE key collision against MVCC liveness.
 
         ``existing`` are the rowids already filed under ``key``.  Returns
-        None (every other entry belongs to a dead version awaiting GC —
-        no violation), ``"dup"`` (another *current* row really holds the
-        key), or ``"race"`` (the key is held or freed by another live
-        transaction whose outcome is unknown — retryable).  Without an
-        ``owner`` back-reference there is no liveness information and any
-        other rowid is a duplicate (the strict pre-MVCC rule).
+        ``(verdict, stale)`` where ``verdict`` is None (no violation),
+        ``"dup"`` (another *current* row really holds the key), or
+        ``"race"`` (the key is held or freed by another live transaction
+        whose outcome is unknown — retryable), and ``stale`` lists the
+        rowids whose entry under ``key`` belongs to a dead version
+        awaiting GC — candidates for the targeted collection
+        :meth:`_check_unique` runs.  Without an ``owner`` back-reference
+        there is no liveness information and any other rowid is a
+        duplicate (the strict pre-MVCC rule).
         """
         owner = self.owner
         if owner is None:
-            return "dup" if any(r != rowid for r in existing) else None
+            dup = any(r != rowid for r in existing)
+            return ("dup" if dup else None), []
         manager = owner.manager
         verdict = None
+        stale = []
         own = owner.writing_txid
         for other in existing:
             if other == rowid:
@@ -158,7 +166,7 @@ class _IndexBase:
             if not chain:
                 row = owner.rows.get(other)
                 if row is not None and self.entry_key(row) == key:
-                    return "dup"
+                    return "dup", stale
                 continue
             head = chain[-1]
             created, deleted = head.created, head.deleted
@@ -171,13 +179,35 @@ class _IndexBase:
                 verdict = "race"
                 continue
             if deleted is not None:
-                continue  # deleted by us, or committed-deleted: dead entry
+                # deleted by us, or committed-deleted: a dead entry that
+                # only GC will clear — remember it for targeted collection
+                if deleted != own:
+                    stale.append(other)
+                continue
             if self.entry_key(head.values) == key:
-                return "dup"
-        return verdict
+                return "dup", stale
+            # the head no longer carries this key: the entry under `key`
+            # belongs to a superseded version of `other`
+            stale.append(other)
+        return verdict, stale
 
+    @holds_write_lock
     def _check_unique(self, existing, rowid: int, values: tuple, key) -> None:
-        verdict = self._unique_conflict(existing, rowid, key)
+        verdict, stale = self._unique_conflict(existing, rowid, key)
+        if stale:
+            # Targeted GC: dead versions' stale entries under this key
+            # would otherwise linger (and block) until a full pass whose
+            # trigger — the last outstanding snapshot releasing — may be
+            # long in coming.  We already hold the write lock; collect
+            # exactly these rowids now.  gc_rowid respects the manager's
+            # horizon, so versions an outstanding snapshot still sees
+            # survive untouched.
+            owner = self.owner
+            manager = owner.manager if owner is not None else None
+            if manager is not None:
+                horizon = manager.horizon()
+                for other in stale:
+                    owner.gc_rowid(other, horizon, manager.is_active)
         if verdict == "dup":
             raise IntegrityError(
                 f"UNIQUE index {self.name}: duplicate value "
@@ -192,17 +222,23 @@ class _IndexBase:
 
     # -- row-level maintenance (called by Table on every mutation) ----------
 
-    def add_row(self, row: Sequence, rowid: int) -> None:
-        self.insert_values(self.key_values(row), rowid)
+    @holds_write_lock
+    def add_row(self, row: Sequence, rowid: int,
+                check_unique: bool = True) -> None:
+        self.insert_values(self.key_values(row), rowid,
+                           check_unique=check_unique)
 
+    @holds_write_lock
     def remove_row(self, row: Sequence, rowid: int) -> None:
         self.remove_values(self.key_values(row), rowid)
 
     # -- legacy single-value API (and tuple passthrough for composites) -----
 
+    @holds_write_lock
     def insert(self, value, rowid: int) -> None:
         self.insert_values(self._values_of(value), rowid)
 
+    @holds_write_lock
     def remove(self, value, rowid: int) -> None:
         self.remove_values(self._values_of(value), rowid)
 
@@ -227,8 +263,15 @@ class HashIndex(_IndexBase):
         """Number of distinct indexed values."""
         return len(self._buckets)
 
-    def insert_values(self, values: tuple, rowid: int) -> None:
-        """Index ``rowid`` under the component tuple (any NULL is skipped)."""
+    @holds_write_lock
+    def insert_values(self, values: tuple, rowid: int,
+                      check_unique: bool = True) -> None:
+        """Index ``rowid`` under the component tuple (any NULL is skipped).
+
+        ``check_unique=False`` skips UNIQUE enforcement — used when
+        backfilling dead version-chain entries, whose keys may collide
+        with live rows without constituting a violation.
+        """
         if any(v is None for v in values):
             return
         key = self._key(values)
@@ -236,13 +279,16 @@ class HashIndex(_IndexBase):
         if bucket is None:
             self._buckets[key] = {rowid}
             return
-        if self.unique and bucket and bucket != {rowid}:
+        if self.unique and check_unique and bucket and bucket != {rowid}:
             # re-indexing the same rowid under its own key is never a
             # violation (MVCC updates may file a row twice transiently);
             # other rowids' entries count only if their version is live
             self._check_unique(bucket, rowid, values, key)
-        bucket.add(rowid)
+        # re-fetch: the targeted GC inside _check_unique may have emptied
+        # and dropped the bucket we were holding
+        self._buckets.setdefault(key, set()).add(rowid)
 
+    @holds_write_lock
     def remove_values(self, values: tuple, rowid: int) -> None:
         """Drop the pair if present."""
         if any(v is None for v in values):
@@ -305,11 +351,18 @@ class BTreeIndex(_IndexBase):
 
     # -- mutation ------------------------------------------------------------
 
-    def insert_values(self, values: tuple, rowid: int) -> None:
-        """Index ``rowid`` under the component tuple (NULLs included)."""
+    @holds_write_lock
+    def insert_values(self, values: tuple, rowid: int,
+                      check_unique: bool = True) -> None:
+        """Index ``rowid`` under the component tuple (NULLs included).
+
+        ``check_unique=False`` skips UNIQUE enforcement — used when
+        backfilling dead version-chain entries, whose keys may collide
+        with live rows without constituting a violation.
+        """
         has_null = any(v is None for v in values)
         key = self._key(values)
-        if self.unique and not has_null:
+        if self.unique and check_unique and not has_null:
             existing = self._tree.search(key)
             if existing and existing != {rowid}:
                 # SQL semantics: NULLs never collide under UNIQUE; a rowid
@@ -320,11 +373,13 @@ class BTreeIndex(_IndexBase):
         if has_null:
             self.null_rowids.add(rowid)
 
+    @holds_write_lock
     def remove_values(self, values: tuple, rowid: int) -> None:
         """Drop the pair if present."""
         self._tree.remove(self._key(values), rowid)
         self.null_rowids.discard(rowid)
 
+    @holds_write_lock
     def reindex_null(self, row: Sequence, rowid: int) -> None:
         if any(row[p] is None for p in self.positions):
             self.null_rowids.add(rowid)

@@ -1,0 +1,40 @@
+"""Invariant markers read by the minicheck static analyzer.
+
+These decorators are runtime no-ops (zero overhead beyond a one-time
+attribute set); their value is the *declaration*.  ``minicheck``
+(:mod:`repro.analysis`) detects them syntactically and uses them to
+anchor its interprocedural rules, so every marker is a machine-checked
+contract rather than a comment:
+
+* :func:`holds_write_lock` — "my caller holds ``TransactionManager.lock``
+  before calling me."  The lock-discipline rule then (a) permits this
+  function's mutations of shared MVCC structures and (b) demands the
+  lock at every call site that targets it.
+* :func:`wal_exempt` — "I mutate durable state on purpose without
+  logging" (WAL replay itself, rollback undo).  The mandatory reason
+  string keeps the exemption reviewable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def holds_write_lock(fn: F) -> F:
+    """Declare that callers must hold the transaction write lock."""
+    fn.__minicheck_holds_write_lock__ = True  # type: ignore[attr-defined]
+    return fn
+
+
+def wal_exempt(reason: str) -> Callable[[F], F]:
+    """Declare a deliberate, reviewed gap in WAL coverage."""
+    if not reason:
+        raise ValueError("wal_exempt requires a non-empty reason")
+
+    def mark(fn: F) -> F:
+        fn.__minicheck_wal_exempt__ = reason  # type: ignore[attr-defined]
+        return fn
+
+    return mark

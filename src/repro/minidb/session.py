@@ -27,9 +27,15 @@ thread (the engine underneath is).
 
 from __future__ import annotations
 
-from repro.errors import DatabaseError, TransactionError
+import random
+import time
+
+from repro.errors import DatabaseError, SerializationError, TransactionError
 from repro.minidb.prepared import Cursor
 from repro.minidb.results import ResultSet, StreamingResult
+
+#: indirection so tests can observe/neutralize retry sleeps
+_sleep = time.sleep
 
 
 class Session:
@@ -180,6 +186,68 @@ class Connection:
         self._check_open()
         if self._session.in_transaction:
             self._session.rollback()
+
+    def run_transaction(self, fn, retries: int = 8,
+                        backoff: float = 0.005,
+                        max_backoff: float = 0.25,
+                        jitter: bool = True):
+        """Run ``fn(conn)`` in a transaction, retrying serialization losers.
+
+        minidb resolves write-write conflicts first-updater-wins: the
+        loser's statement raises :class:`SerializationError` and its
+        transaction must be retried from the top.  This helper owns that
+        loop — begin, run ``fn``, commit, and on a serialization failure
+        roll back and try again after jittered exponential backoff
+        (``backoff * 2**attempt`` seconds, capped at ``max_backoff``,
+        scaled by a random factor in [0.5, 1.0) when ``jitter`` so
+        symmetric losers don't re-collide in lockstep).
+
+        ``fn`` must be safe to re-run (it may execute several times) and
+        must not manage the transaction itself.  Returns ``fn``'s result
+        from the attempt that committed; after ``retries`` failed
+        retries the final :class:`SerializationError` propagates.  Any
+        other exception rolls back and propagates immediately.
+        """
+        self._check_open()
+        if self._session.in_transaction:
+            raise TransactionError(
+                "run_transaction requires no open transaction: it must "
+                "own BEGIN/COMMIT to be able to retry")
+        attempt = 0
+        while True:
+            self._session.begin()
+            try:
+                result = fn(self)
+            except SerializationError:
+                self.rollback()
+                if attempt >= retries:
+                    raise
+                delay = min(max_backoff, backoff * (2 ** attempt))
+                if jitter:
+                    delay *= 0.5 + random.random() * 0.5
+                if delay > 0:
+                    _sleep(delay)
+                attempt += 1
+                continue
+            except BaseException:
+                self.rollback()
+                raise
+            try:
+                self._session.commit()
+            except SerializationError:
+                # conflict detected at commit time: same retry path
+                if self._session.in_transaction:
+                    self.rollback()
+                if attempt >= retries:
+                    raise
+                delay = min(max_backoff, backoff * (2 ** attempt))
+                if jitter:
+                    delay *= 0.5 + random.random() * 0.5
+                if delay > 0:
+                    _sleep(delay)
+                attempt += 1
+                continue
+            return result
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -43,6 +43,7 @@ from typing import Callable, Iterator
 from repro.errors import CatalogError, IntegrityError, SerializationError
 from repro.minidb.catalog import INTEGER, NONE, REAL, TEXT, ColumnDef, TableSchema
 from repro.minidb.hash_index import BTreeIndex, HashIndex
+from repro.minidb.invariants import holds_write_lock, wal_exempt
 from repro.minidb.transactions import ANCIENT
 
 ChangeEvent = tuple
@@ -221,6 +222,7 @@ class Table:
 
     # -- mutation ---------------------------------------------------------------
 
+    @holds_write_lock
     def insert(self, values: list, rowid: int | None = None, txn=None) -> int:
         """Insert a row; returns its rowid.  ``values`` must match arity."""
         if len(values) != len(self.schema.columns):
@@ -265,6 +267,7 @@ class Table:
         self._notify(("insert", self.name, rowid, list(row)), txn)
         return rowid
 
+    @holds_write_lock
     def delete(self, rowid: int, txn=None) -> list:
         """Delete a row, returning its old values."""
         txn, versioned = self._write_context(txn)
@@ -300,6 +303,7 @@ class Table:
         self._notify(("delete", self.name, rowid, list(row)), txn)
         return row
 
+    @holds_write_lock
     def update(self, rowid: int, changes: dict[int, object], txn=None) -> dict:
         """Update columns (by position) of one row; returns the old values."""
         txn, versioned = self._write_context(txn)
@@ -371,6 +375,8 @@ class Table:
 
     # -- rollback (physical undo, invoked by the TransactionManager) ----------
 
+    @holds_write_lock
+    @wal_exempt("rollback undo restores pre-images; aborts leave no WAL trace")
     def undo_step(self, step: tuple, db) -> None:
         """Revert one mutation (``step`` comes from ``Transaction.undo``)."""
         kind = step[1]
@@ -411,6 +417,7 @@ class Table:
             self.rows[rowid] = version.values
             self._notify(("insert", self.name, rowid, list(version.values)), None)
 
+    @holds_write_lock
     def _unindex_version(self, index, version: RowVersion, survivors,
                          rowid: int) -> None:
         """Drop ``version``'s index entry unless a surviving version still
@@ -475,6 +482,8 @@ class Table:
 
     # -- garbage collection -----------------------------------------------------
 
+    @holds_write_lock
+    @wal_exempt("GC reclaims superseded versions; current rows are untouched")
     def gc(self, horizon: int, is_active) -> int:
         """Reclaim versions no outstanding snapshot can see.
 
@@ -487,39 +496,55 @@ class Table:
         """
         retired = 0
         for rowid in list(self.versions):
-            chain = self.versions.get(rowid)
-            if not chain:
-                continue
-            settled = None
-            for i in range(len(chain) - 1, -1, -1):
-                created = chain[i].created
-                if created < horizon and not is_active(created):
-                    settled = i
-                    break
-            if settled is None:
-                continue
-            dead = chain[:settled]
-            survivors = chain[settled:]
-            fully = False
-            if len(survivors) == 1:
-                head = survivors[0]
-                deleted = head.deleted
-                if deleted is None:
-                    fully = True
-                elif deleted < horizon and not is_active(deleted):
-                    dead = chain
-                    survivors = []
-                    fully = True
-            if dead:
-                self._gc_unindex(rowid, dead, survivors)
-            if fully:
-                del self.versions[rowid]
+            if self.gc_rowid(rowid, horizon, is_active):
                 retired += 1
-            elif dead:
-                # readers may hold the old list; swap in a fresh one
-                self.versions[rowid] = list(survivors)
         return retired
 
+    @holds_write_lock
+    @wal_exempt("GC reclaims superseded versions; current rows are untouched")
+    def gc_rowid(self, rowid: int, horizon: int, is_active) -> bool:
+        """Reclaim one rowid's settled versions; True when fully retired.
+
+        The per-rowid unit of :meth:`gc`, also invoked *targeted* by
+        UNIQUE enforcement: a writer blocked by a dead version's stale
+        index key collects exactly that key's chain instead of waiting
+        for the next full pass.  Respects the same horizon, so versions
+        an outstanding snapshot can still see are never touched.
+        """
+        chain = self.versions.get(rowid)
+        if not chain:
+            return False
+        settled = None
+        for i in range(len(chain) - 1, -1, -1):
+            created = chain[i].created
+            if created < horizon and not is_active(created):
+                settled = i
+                break
+        if settled is None:
+            return False
+        dead = chain[:settled]
+        survivors = chain[settled:]
+        fully = False
+        if len(survivors) == 1:
+            head = survivors[0]
+            deleted = head.deleted
+            if deleted is None:
+                fully = True
+            elif deleted < horizon and not is_active(deleted):
+                dead = chain
+                survivors = []
+                fully = True
+        if dead:
+            self._gc_unindex(rowid, dead, survivors)
+        if fully:
+            del self.versions[rowid]
+            return True
+        if dead:
+            # readers may hold the old list; swap in a fresh one
+            self.versions[rowid] = list(survivors)
+        return False
+
+    @holds_write_lock
     def _gc_unindex(self, rowid: int, dead, survivors) -> None:
         if not self.indexes:
             return
@@ -554,6 +579,7 @@ class Table:
 
     # -- schema changes --------------------------------------------------------
 
+    @holds_write_lock
     def add_column(self, coldef: ColumnDef) -> None:
         """ALTER TABLE ADD COLUMN — existing rows get NULL."""
         self.schema.add_column(coldef)
@@ -569,6 +595,7 @@ class Table:
 
     # -- index management --------------------------------------------------------
 
+    @holds_write_lock
     def create_index(self, name: str, columns, kind: str = "btree",
                      unique: bool = False) -> None:
         """Build (and backfill) an index over one or more columns.
@@ -598,13 +625,18 @@ class Table:
         for rowid, row in self.rows.items():
             index.add_row(row, rowid)
         # version-chain rows still visible to some snapshot get their old
-        # keys indexed too, so snapshot probes keep finding them
+        # keys indexed too, so snapshot probes keep finding them.  These
+        # entries are *dead or superseded* state: a dead version may well
+        # hold a key some live row legitimately owns now, so backfilling
+        # them must not run UNIQUE enforcement (the live-row loop above
+        # already proved uniqueness of the current state).
         for rowid, chain in self.versions.items():
             for version in chain:
                 if version.values is not self.rows.get(rowid):
-                    index.add_row(version.values, rowid)
+                    index.add_row(version.values, rowid, check_unique=False)
         self.indexes[name] = index
 
+    @holds_write_lock
     def drop_index(self, name: str) -> None:
         """Remove an index."""
         try:

@@ -30,6 +30,7 @@ import json
 from pathlib import Path
 
 from repro.errors import DatabaseError
+from repro.minidb.invariants import holds_write_lock, wal_exempt
 
 
 class WriteAheadLog:
@@ -118,19 +119,26 @@ class WriteAheadLog:
             if record["op"] == "abort" and record.get("txid") is not None
         }
         applied = 0
-        for record in self.records:
-            op = record["op"]
-            if op == "commit":
-                for event in record["events"]:
-                    self._apply(db, event)
-            elif op == "abort" or record.get("txid") in aborted:
-                continue
-            else:
-                self._apply(db, record)
-            applied += 1
+        # Replay mutates storage directly, so it must serialize against
+        # live writers like any other mutation.  The lock is reentrant:
+        # DDL records re-enter it through db.execute's dispatch.
+        with db.txn.lock:
+            for record in self.records:
+                op = record["op"]
+                if op == "commit":
+                    for event in record["events"]:
+                        self._apply(db, event)
+                elif op == "abort" or record.get("txid") in aborted:
+                    continue
+                else:
+                    self._apply(db, record)
+                applied += 1
         return applied
 
     @staticmethod
+    @holds_write_lock
+    @wal_exempt("replay applies records already in the log; relogging "
+                "them would double every event")
     def _apply(db, record: dict) -> None:
         op = record["op"]
         if op == "ddl":

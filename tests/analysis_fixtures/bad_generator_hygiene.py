@@ -1,0 +1,15 @@
+"""Fixture: executor operator materializes instead of streaming."""
+
+
+def _exec_filter(node, params, snapshot, counters):
+    # list comprehension drains the child — must fire generator-hygiene
+    return [row for row in node.child if row[0] > 0]
+
+
+def _project(node, params, snapshot, counters):
+    return list(node.child)
+
+
+_NODE_HANDLERS = {
+    "Project": _project,
+}

@@ -1,0 +1,18 @@
+"""Fixture: mutates protected MVCC structures with no lock and no marker."""
+
+
+class Table:
+    def __init__(self):
+        self.rows = {}
+        self.versions = {}
+        self.lock = None
+
+    def fast_insert(self, rowid, values):
+        # unprotected write to rows — must fire lock-discipline
+        self.rows[rowid] = values
+
+    def forget(self, rowid):
+        del self.versions[rowid]
+
+    def reset(self):
+        self.rows.clear()

@@ -1,0 +1,8 @@
+"""Fixture: lock-free reader touches versions before rows."""
+
+
+def read_visible(table, rowid):
+    # versions first, rows second, no lock — must fire publication-order
+    chain = table.versions.get(rowid)
+    current = table.rows.get(rowid)
+    return chain or current

@@ -1,0 +1,10 @@
+"""Fixture: registers a snapshot with no finally and no hand-off."""
+
+
+def leaky_read(manager, table):
+    snapshot = manager.read_snapshot()
+    # an exception between here and the return leaks the snapshot and
+    # pins the GC horizon — must fire snapshot-release
+    rows = list(table.snapshot_scan(snapshot))
+    manager.release(snapshot)
+    return rows

@@ -1,0 +1,10 @@
+"""Fixture: holds a snapshot but drops it when calling a snapshot taker."""
+
+
+def fetch_rows(table, snapshot):
+    return list(table)
+
+
+def scan(table, snapshot):
+    # drops the held snapshot — must fire snapshot-threading
+    return fetch_rows(table)

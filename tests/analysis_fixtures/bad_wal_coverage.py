@@ -1,0 +1,10 @@
+"""Fixture: durable mutation that never reaches a WAL log call."""
+
+
+class Table:
+    def __init__(self):
+        self.rows = {}
+
+    def silent_insert(self, rowid, values):
+        # mutates durable state, no logging — must fire wal-coverage
+        self.rows[rowid] = values

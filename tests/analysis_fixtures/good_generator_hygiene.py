@@ -1,0 +1,34 @@
+"""Fixture: operators yield, return generators, or defer to lazy helpers."""
+
+from itertools import islice
+
+
+def _exec_filter(node, params, snapshot, counters):
+    for row in node.child:
+        if row[0] > 0:
+            yield row
+
+
+def _exec_project(node, params, snapshot, counters):
+    return (row[1:] for row in node.child)
+
+
+def _limit_stream(rows, limit):
+    return islice(rows, limit)
+
+
+def _exec_limit(node, params, snapshot, counters):
+    return _limit_stream(node.child, node.limit)
+
+
+def _exec_sort(node, params, snapshot, counters):
+    # blocking operator: materialization is deliberate and reviewed
+    return sorted(node.child)  # minicheck: ignore[generator-hygiene]
+
+
+_NODE_HANDLERS = {
+    "Filter": _exec_filter,
+    "Project": _exec_project,
+    "Limit": _exec_limit,
+    "Sort": _exec_sort,
+}

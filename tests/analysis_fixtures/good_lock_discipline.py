@@ -1,0 +1,24 @@
+"""Fixture: every protected write is under the lock or behind the marker."""
+
+
+def holds_write_lock(fn):
+    return fn
+
+
+class Table:
+    def __init__(self):
+        self.rows = {}
+        self.versions = {}
+        self.lock = None
+
+    def locked_insert(self, rowid, values):
+        with self.lock:
+            self.rows[rowid] = values
+
+    @holds_write_lock
+    def marked_insert(self, rowid, values):
+        self.rows[rowid] = values
+
+    def caller(self, rowid, values):
+        with self.lock:
+            self.marked_insert(rowid, values)

@@ -1,0 +1,24 @@
+"""Fixture: readers touch rows first, or hold the lock, or are marked."""
+
+
+def holds_write_lock(fn):
+    return fn
+
+
+def read_visible(table, rowid):
+    current = table.rows.get(rowid)
+    chain = table.versions.get(rowid)
+    return chain or current
+
+
+def read_locked(table, rowid):
+    with table.lock:
+        chain = table.versions.get(rowid)
+        current = table.rows.get(rowid)
+    return chain or current
+
+
+@holds_write_lock
+def read_serialized(table, rowid):
+    chain = table.versions.get(rowid)
+    return chain or table.rows.get(rowid)

@@ -1,0 +1,26 @@
+"""Fixture: releases in a finally, or hands the obligation off."""
+
+
+def safe_read(manager, table):
+    snapshot = manager.read_snapshot()
+    try:
+        return list(table.snapshot_scan(snapshot))
+    finally:
+        manager.release(snapshot)
+
+
+def read_context(manager, stream):
+    # ownership transfer: the caller receives the release callback
+    snapshot = manager.read_snapshot()
+    return snapshot, lambda: manager.release(snapshot)
+
+
+def forwards_obligation(rows, release):
+    return wrap(rows, release=release)
+
+
+def wrap(rows, release):
+    try:
+        return list(rows)
+    finally:
+        release()

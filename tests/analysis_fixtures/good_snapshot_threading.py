@@ -1,0 +1,18 @@
+"""Fixture: the held snapshot is forwarded to every snapshot taker."""
+
+
+def fetch_rows(table, snapshot):
+    return list(table)
+
+
+def scan(table, snapshot):
+    return fetch_rows(table, snapshot)
+
+
+def scan_kw(table, snapshot):
+    return fetch_rows(table, snapshot=snapshot)
+
+
+def unrelated(table):
+    # holds no snapshot: allowed to call without one (callee may default)
+    return len(table)

@@ -1,0 +1,31 @@
+"""Fixture: mutations log, reach a logger through a callee, or are exempt."""
+
+
+def wal_exempt(reason):
+    def mark(fn):
+        return fn
+    return mark
+
+
+class Table:
+    def __init__(self):
+        self.rows = {}
+        self.wal = None
+
+    def _notify(self, event):
+        self.wal.log_event(event)
+
+    def logged_insert(self, rowid, values):
+        self.rows[rowid] = values
+        self._notify(("insert", rowid, values))
+
+    def chained_insert(self, rowid, values):
+        self.rows[rowid] = values
+        self.after_change(rowid)
+
+    def after_change(self, rowid):
+        self._notify(("touch", rowid))
+
+    @wal_exempt("replay applies records already in the log")
+    def replay_insert(self, rowid, values):
+        self.rows[rowid] = values

@@ -1,0 +1,202 @@
+"""Tests for the minicheck static-analysis framework (repro.analysis).
+
+Each rule is proven twice: its ``bad_*`` fixture fires, its ``good_*``
+fixture stays clean.  Suppressions and the baseline round-trip through
+the engine, and — the gate this PR installs — the live
+``src/repro/minidb`` tree is clean under ``--strict`` semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, analyze_paths
+from repro.analysis.checkers import ALL_CHECKERS, RULES
+from repro.analysis.findings import Finding, suppressed_rules
+from repro.analysis.loader import load_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+MINIDB = REPO_ROOT / "src" / "repro" / "minidb"
+BASELINE = REPO_ROOT / "minicheck_baseline.json"
+
+ALL_RULES = sorted(RULES)
+
+
+def run_rule(rule: str, path: Path):
+    analyzer = Analyzer(checkers=[RULES[rule]()])
+    return analyzer.run([path])
+
+
+# -- per-rule fixtures -------------------------------------------------------
+
+@pytest.mark.parametrize("rule", ALL_RULES)
+def test_bad_fixture_fires(rule):
+    fixture = FIXTURES / f"bad_{rule.replace('-', '_')}.py"
+    report = run_rule(rule, fixture)
+    assert report.findings, f"{rule} did not fire on {fixture.name}"
+    assert all(f.rule == rule for f in report.findings)
+
+
+@pytest.mark.parametrize("rule", ALL_RULES)
+def test_good_fixture_clean(rule):
+    fixture = FIXTURES / f"good_{rule.replace('-', '_')}.py"
+    report = run_rule(rule, fixture)
+    assert not report.findings, (
+        f"{rule} false-positived on {fixture.name}: "
+        + "; ".join(f.format() for f in report.findings)
+    )
+
+
+@pytest.mark.parametrize("rule", ALL_RULES)
+def test_bad_fixture_suppressible(rule, tmp_path):
+    """Every finding disappears under an inline ignore on its line."""
+    fixture = FIXTURES / f"bad_{rule.replace('-', '_')}.py"
+    report = run_rule(rule, fixture)
+    lines = fixture.read_text().splitlines()
+    for finding in report.findings:
+        lines[finding.line - 1] += f"  # minicheck: ignore[{rule}]"
+    patched = tmp_path / fixture.name
+    patched.write_text("\n".join(lines) + "\n")
+    report = run_rule(rule, patched)
+    assert not report.findings
+    assert report.suppressed
+
+
+def test_suppression_on_def_line(tmp_path):
+    """A function-level ignore covers findings attributed to it."""
+    src = (
+        "class Table:\n"
+        "    def __init__(self):\n"
+        "        self.rows = {}\n"
+        "    def f(self, rowid):  # minicheck: ignore[lock-discipline]\n"
+        "        self.rows[rowid] = 1\n"
+    )
+    path = tmp_path / "mod.py"
+    path.write_text(src)
+    report = run_rule("lock-discipline", path)
+    assert not report.findings
+    assert len(report.suppressed) == 1
+
+
+def test_bare_suppression_covers_all_rules():
+    assert suppressed_rules("x = 1  # minicheck: ignore") == set()
+    assert suppressed_rules("x = 1  # minicheck: ignore[a, b]") == {"a", "b"}
+    assert suppressed_rules("x = 1  # unrelated") is None
+
+
+# -- baseline ----------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    fixture = FIXTURES / "bad_lock_discipline.py"
+    first = run_rule("lock-discipline", fixture)
+    assert first.findings
+
+    baseline_path = tmp_path / "baseline.json"
+    baseline = Baseline()
+    baseline.save(baseline_path, first.findings)
+
+    reloaded = Baseline.load(baseline_path)
+    assert len(reloaded) == len({f.key() for f in first.findings})
+
+    analyzer = Analyzer(checkers=[RULES["lock-discipline"]()],
+                        baseline=reloaded)
+    second = analyzer.run([fixture])
+    assert not second.findings
+    assert len(second.baselined) == len(first.findings)
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+def test_finding_key_ignores_line_numbers():
+    a = Finding("r", "error", "p.py", 10, 0, "msg", "q")
+    b = Finding("r", "error", "p.py", 99, 4, "msg", "q")
+    c = Finding("r", "error", "p.py", 10, 0, "other", "q")
+    assert a.key() == b.key()
+    assert a.key() != c.key()
+
+
+# -- the gate: live minidb tree is clean -------------------------------------
+
+def test_live_minidb_tree_is_clean():
+    report = analyze_paths([MINIDB], baseline=Baseline.load(BASELINE))
+    assert report.clean, "\n".join(f.format() for f in report.findings)
+
+
+def test_committed_baseline_is_empty():
+    """The tree was fixed rather than baselined: keep it that way."""
+    data = json.loads(BASELINE.read_text())
+    assert data["findings"] == []
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "run_analysis.py"),
+         *args],
+        capture_output=True, text=True, cwd=str(REPO_ROOT),
+    )
+
+
+def test_cli_strict_clean_on_minidb():
+    proc = _run_cli("--strict")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_cli_strict_fails_on_bad_fixture():
+    proc = _run_cli("--strict", str(FIXTURES / "bad_lock_discipline.py"))
+    assert proc.returncode == 1
+    assert "[lock-discipline]" in proc.stdout
+
+
+def test_cli_json_output():
+    proc = _run_cli("--json", str(FIXTURES / "bad_publication_order.py"))
+    payload = json.loads(proc.stdout)
+    assert payload["clean"] is False
+    rules = {f["rule"] for f in payload["findings"]}
+    assert "publication-order" in rules
+
+
+def test_cli_rule_selection():
+    proc = _run_cli("--rules", "wal-coverage",
+                    str(FIXTURES / "bad_lock_discipline.py"))
+    # only wal-coverage runs; also fires here (unlogged rows mutation),
+    # but no lock-discipline finding may appear
+    assert "[lock-discipline]" not in proc.stdout
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    for cls in ALL_CHECKERS:
+        assert cls.rule in proc.stdout
+
+
+def test_cli_unknown_rule():
+    proc = _run_cli("--rules", "no-such-rule")
+    assert proc.returncode == 2
+
+
+def test_fixture_corpus_is_complete():
+    for rule in ALL_RULES:
+        stem = rule.replace("-", "_")
+        assert (FIXTURES / f"bad_{stem}.py").exists()
+        assert (FIXTURES / f"good_{stem}.py").exists()
+
+
+def test_loader_skips_pycache(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    cache = tmp_path / "pkg" / "__pycache__"
+    cache.mkdir()
+    (cache / "a.cpython-311.py").write_text("x = 1\n")
+    modules = load_paths([tmp_path / "pkg"])
+    assert [m.name for m in modules] == ["a"]

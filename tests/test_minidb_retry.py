@@ -1,0 +1,163 @@
+"""Connection.run_transaction: retry with jittered exponential backoff.
+
+First-updater-wins means hot-row losers see SerializationError; the
+retry helper is their recourse.  The hot-row contention test is the
+acceptance test: every increment lands exactly once despite conflicts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import SerializationError, TransactionError
+from repro.minidb import session as session_mod
+from repro.minidb.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE counters (id INT, value INT)")
+    database.execute("INSERT INTO counters VALUES (1, 0)")
+    return database
+
+
+def test_hot_row_contention_loses_no_increment(db):
+    """N threads x M increments on one row: the final value is exact."""
+    threads_n, increments = 4, 25
+    errors = []
+
+    def bump(conn):
+        value = conn.execute(
+            "SELECT value FROM counters WHERE id = 1").scalar()
+        conn.execute(
+            "UPDATE counters SET value = ? WHERE id = 1", (value + 1,))
+        return value + 1
+
+    def worker():
+        try:
+            with db.connect() as conn:
+                for _ in range(increments):
+                    conn.run_transaction(bump, retries=200, backoff=0.0005)
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    workers = [threading.Thread(target=worker) for _ in range(threads_n)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+
+    assert not errors
+    final = db.execute("SELECT value FROM counters WHERE id = 1").scalar()
+    assert final == threads_n * increments
+
+
+def test_retries_until_success(db):
+    attempts = []
+
+    def flaky(conn):
+        attempts.append(1)
+        if len(attempts) < 4:
+            raise SerializationError("simulated conflict")
+        return conn.execute(
+            "SELECT value FROM counters WHERE id = 1").scalar()
+
+    with db.connect() as conn:
+        result = conn.run_transaction(flaky, retries=8, backoff=0)
+    assert result == 0
+    assert len(attempts) == 4
+
+
+def test_exhausted_retries_raise_and_leave_no_open_transaction(db):
+    attempts = []
+
+    def always_loses(conn):
+        attempts.append(1)
+        raise SerializationError("permanent conflict")
+
+    conn = db.connect()
+    try:
+        with pytest.raises(SerializationError):
+            conn.run_transaction(always_loses, retries=3, backoff=0)
+        assert len(attempts) == 4  # initial try + 3 retries
+        assert not conn.in_transaction
+        # the connection is still usable afterwards
+        assert conn.execute("SELECT 1").scalar() == 1
+    finally:
+        conn.close()
+
+
+def test_other_exceptions_propagate_without_retry(db):
+    attempts = []
+
+    def broken(conn):
+        attempts.append(1)
+        raise ValueError("not a conflict")
+
+    conn = db.connect()
+    try:
+        with pytest.raises(ValueError):
+            conn.run_transaction(broken, retries=5, backoff=0)
+        assert len(attempts) == 1
+        assert not conn.in_transaction
+    finally:
+        conn.close()
+
+
+def test_rejects_nested_use(db):
+    with db.connect() as conn:
+        conn.begin()
+        with pytest.raises(TransactionError):
+            conn.run_transaction(lambda c: None)
+        conn.rollback()
+
+
+def test_backoff_grows_exponentially_and_caps(db, monkeypatch):
+    delays = []
+    monkeypatch.setattr(session_mod, "_sleep", delays.append)
+
+    def always_loses(conn):
+        raise SerializationError("conflict")
+
+    conn = db.connect()
+    try:
+        with pytest.raises(SerializationError):
+            conn.run_transaction(always_loses, retries=6, backoff=0.01,
+                                 max_backoff=0.08, jitter=False)
+    finally:
+        conn.close()
+    assert delays == [0.01, 0.02, 0.04, 0.08, 0.08, 0.08]
+
+
+def test_jitter_stays_within_half_to_full_delay(db, monkeypatch):
+    delays = []
+    monkeypatch.setattr(session_mod, "_sleep", delays.append)
+
+    def always_loses(conn):
+        raise SerializationError("conflict")
+
+    conn = db.connect()
+    try:
+        with pytest.raises(SerializationError):
+            conn.run_transaction(always_loses, retries=5, backoff=0.01,
+                                 max_backoff=1.0, jitter=True)
+    finally:
+        conn.close()
+    expected = [0.01, 0.02, 0.04, 0.08, 0.16]
+    assert len(delays) == 5
+    for actual, base in zip(delays, expected):
+        assert base * 0.5 <= actual < base
+
+
+def test_commit_result_is_returned_and_visible(db):
+    def rename(conn):
+        conn.execute("UPDATE counters SET value = 42 WHERE id = 1")
+        return "done"
+
+    with db.connect() as conn:
+        assert conn.run_transaction(rename) == "done"
+    assert db.execute(
+        "SELECT value FROM counters WHERE id = 1").scalar() == 42

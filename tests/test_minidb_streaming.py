@@ -276,3 +276,50 @@ class TestStreamingCursor:
         db.insert_rows("t", [("boom",)])
         cursor = db.stream("SELECT DISTINCT v + 0 FROM t LIMIT 5")
         assert len(cursor.fetchmany(5)) == 5  # never reaches the bad row
+
+
+class TestSnapshotReleaseOnClose:
+    """A cursor's snapshot must release even when no row was ever read.
+
+    Regression: ``_with_release`` used to be a generator, and closing a
+    never-advanced generator skips its ``finally`` — so a stream opened
+    and immediately closed leaked its snapshot and pinned the GC
+    horizon forever.
+    """
+
+    def test_unstarted_stream_releases_snapshot_on_close(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        cursor = db.stream("SELECT v FROM t")
+        assert db.txn.outstanding_snapshots == 1
+        cursor.close()
+        assert db.txn.outstanding_snapshots == 0
+
+    def test_unstarted_stream_close_unpins_gc(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        cursor = db.stream("SELECT v FROM t")
+        db.execute("DELETE FROM t WHERE v = 1")
+        table = db.table("t")
+        assert 1 in table.versions  # pinned while the cursor is open
+        cursor.close()
+        assert 1 not in table.versions  # release triggered the GC pass
+
+    def test_partially_read_stream_still_releases(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        db.insert_rows("t", [(i,) for i in range(10)])
+        cursor = db.stream("SELECT v FROM t")
+        assert cursor.fetchone() is not None
+        cursor.close()
+        assert db.txn.outstanding_snapshots == 0
+
+    def test_context_manager_without_reads_releases(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with db.stream("SELECT v FROM t"):
+            pass
+        assert db.txn.outstanding_snapshots == 0

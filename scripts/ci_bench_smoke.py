@@ -45,12 +45,15 @@ SMOKE_ENV = {
     "REPRO_PREPARED_ROWS": "5000",
     "REPRO_CONC_ROWS": "5000",
     "REPRO_CONC_SECONDS": "0.3",
+    "REPRO_DUR_ROWS": "2000",
+    "REPRO_DUR_COMMITS": "50",
 }
 
 # benchmark files that must produce an artifact named after the payload
 EXPECTED_ARTIFACTS = {
     "bench_composite_index.py": "composite_index",
     "bench_concurrency.py": "concurrency",
+    "bench_durability.py": "durability",
     "bench_indexes.py": "indexes",
     "bench_pipeline.py": "pipeline",
     "bench_prepared.py": "prepared",

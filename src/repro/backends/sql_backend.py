@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 from repro.core.types import Stats
 from repro.errors import BuckarooError
 from repro.frame import DataFrame, dtypes
-from repro.minidb import Database, WriteAheadLog
+from repro.minidb import Database, connect
 from repro.snapshots.delta import DeltaSnapshot
 
 from repro.backends.base import Backend
@@ -68,9 +68,19 @@ class SQLBackend(Backend):
 
     @classmethod
     def from_frame(cls, frame: DataFrame, table: str = "data",
-                   wal: bool = True) -> "SQLBackend":
-        """Load a DataFrame into a fresh database (the §2 upload step)."""
-        db = Database(wal=WriteAheadLog() if wal else None)
+                   wal: bool = True,
+                   path: str | None = None, **options) -> "SQLBackend":
+        """Load a DataFrame into a fresh database (the §2 upload step).
+
+        ``path`` opens a durable file-backed database (rows on pages
+        behind a buffer pool, crash-safe WAL); the default is in-memory.
+        Extra options (``pool_pages``, ``fsync``, ...) pass through to
+        :func:`repro.minidb.connect`.
+        """
+        if path is not None:
+            db = connect(path, **options)
+        else:
+            db = connect(wal=wal or None, **options)
         columns_sql = ", ".join(
             f'"{col.name}" {_SQL_TYPES[col.dtype]}' for col in frame.columns
         )

@@ -10,6 +10,8 @@ built-in detectors run as SQL, group membership is an index lookup, and the
 zoom engine's viewport fetches are parameterized range queries.
 """
 
+import os
+
 from repro.minidb.btree import BTree
 from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema, affinity_of
 from repro.minidb.database import Database
@@ -20,6 +22,25 @@ from repro.minidb.prepared import Cursor, PreparedStatement
 from repro.minidb.results import ResultSet, StreamingResult
 from repro.minidb.session import Connection
 from repro.minidb.wal import WriteAheadLog
+
+
+def connect(path: str | os.PathLike = ":memory:", **options) -> Database:
+    """Open a minidb database — the one public entry point.
+
+    ``connect()`` or ``connect(":memory:")`` gives a volatile in-memory
+    database; ``connect("data.db")`` opens (or creates) a durable
+    file-backed one whose committed data survives :meth:`Database.close`
+    and process restarts (crash recovery replays the WAL tail).  Options
+    — ``pool_pages``, ``fsync``, ``wal_autocheckpoint``, ``gc_interval``,
+    ``reorder_joins``, plus ``wal=True`` for an in-memory database with a
+    buffered WAL — are forwarded to :class:`Database`; tune them later
+    with :meth:`Database.pragma`.  Databases are context managers::
+
+        with connect("data.db") as db:
+            db.execute("CREATE TABLE t (x INT)")
+    """
+    return Database(path=path, **options)
+
 
 __all__ = [
     "BTree",
@@ -37,6 +58,7 @@ __all__ = [
     "TableSchema",
     "WriteAheadLog",
     "affinity_of",
+    "connect",
     "parse",
     "parse_expression",
 ]

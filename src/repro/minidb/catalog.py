@@ -59,6 +59,17 @@ class IndexDef:
     kind: str = "btree"
     unique: bool = False
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form for the durable catalog page."""
+        return {"name": self.name, "table": self.table,
+                "columns": list(self.columns), "kind": self.kind,
+                "unique": self.unique}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IndexDef":
+        return cls(data["name"], data["table"], tuple(data["columns"]),
+                   data.get("kind", "btree"), bool(data.get("unique", False)))
+
 
 @dataclass
 class TableSchema:
@@ -100,3 +111,18 @@ class TableSchema:
             )
         self._positions[coldef.name] = len(self.columns)
         self.columns.append(coldef)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for the durable catalog page."""
+        return {
+            "name": self.name,
+            "columns": [[c.name, c.type_name] for c in self.columns],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TableSchema":
+        return cls(
+            data["name"],
+            [ColumnDef.make(name, type_name)
+             for name, type_name in data["columns"]],
+        )

@@ -39,14 +39,18 @@ everyone else's.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import OrderedDict
+from pathlib import Path
 
 from repro.errors import CatalogError, DatabaseError, TransactionError
 from repro.minidb import ast_nodes as ast
 from repro.minidb import executor
 from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema
-from repro.minidb.invariants import holds_write_lock
+from repro.minidb.invariants import holds_write_lock, wal_exempt
+from repro.minidb.pager import PAGE_CATALOG, PAGE_SIZE, PagedHeap, Pager
 from repro.minidb.parser import parse
 from repro.minidb.plan_cache import PlanCache
 from repro.minidb.prepared import Cursor, PreparedStatement
@@ -68,13 +72,67 @@ _DDL_STMTS = (
 )
 
 
-class Database:
-    """An in-process relational database with SQL, MVCC, indexes and a WAL."""
+_UNSET = object()
 
-    def __init__(self, wal: WriteAheadLog | None = None):
+
+def _fsync_enabled(value) -> bool:
+    """Normalize an fsync policy value (bool or "commit"/"off") to a bool."""
+    if isinstance(value, str):
+        return value.lower() not in ("off", "no", "false", "none", "0")
+    return bool(value)
+
+
+class Database:
+    """An in-process relational database with SQL, MVCC, indexes and a WAL.
+
+    Open it three ways (``repro.minidb.connect`` is the front door):
+
+    * ``Database()`` — in-memory, no durability (``":memory:"``).
+    * ``Database(wal=WriteAheadLog(...))`` — in-memory rows with a
+      buffered WAL the caller checkpoints/replays by hand (legacy).
+    * ``Database(path="data.db")`` — file-backed: rows live on slotted
+      4KB pages behind a buffer pool, every commit streams to
+      ``data.db-wal`` (fsynced per the ``fsync`` option), and periodic
+      checkpoints flush dirty pages so reopening replays only the WAL
+      tail.  Close with :meth:`close` (or a ``with`` block); reopening
+      the same path recovers all committed data.
+
+    Open-time options (also settable later via :meth:`pragma`):
+    ``pool_pages`` (buffer-pool budget, default 256 pages = 1MB),
+    ``fsync`` (``True``/``"commit"`` or ``False``/``"off"``),
+    ``wal_autocheckpoint`` (records between automatic checkpoints; 0
+    disables), ``reorder_joins``, ``gc_interval`` (seconds between
+    background GC passes; None/0 keeps GC commit-driven).
+    """
+
+    def __init__(self, wal: WriteAheadLog | None = None,
+                 path: str | os.PathLike | None = None, **options):
+        # positional convenience: Database("data.db") opens a file
+        if isinstance(wal, (str, os.PathLike)):
+            if path is not None:
+                raise DatabaseError("pass either a path or a WAL, not both")
+            path, wal = wal, None
+        if wal is True:
+            wal = WriteAheadLog()
+        pool_pages = int(options.pop("pool_pages", 256))
+        fsync = _fsync_enabled(options.pop("fsync", True))
+        autocheckpoint = int(options.pop("wal_autocheckpoint", 1000) or 0)
+        reorder_joins = bool(options.pop("reorder_joins", True))
+        gc_interval = options.pop("gc_interval", None)
+        if options:
+            raise DatabaseError(
+                f"unknown open option(s): {', '.join(sorted(options))}"
+            )
         self.tables: dict[str, Table] = {}
         self.index_catalog: dict[str, IndexDef] = {}
         self.wal = wal
+        self.path: Path | None = None
+        self.pager: Pager | None = None
+        self._closed = False
+        self._fsync = fsync
+        self._autocheckpoint = autocheckpoint
+        self._default_pool_pages = pool_pages
+        self._gc_interval = float(gc_interval or 0.0)
         self.txn = TransactionManager()
         self.txn.gc_hook = self._gc_locked
         self.default_session = Session(self)
@@ -82,7 +140,7 @@ class Database:
         # see repro.minidb.stats) and the join-reordering switch — flip it
         # off to force syntactic join order (benchmarks, debugging)
         self.stats = StatsManager()
-        self.reorder_joins = True
+        self.reorder_joins = reorder_joins
         # advances on every DDL statement; one half of the plan-cache key
         self.schema_epoch = 0
         self.plan_cache = PlanCache()
@@ -90,12 +148,22 @@ class Database:
         self._stmt_lock = threading.Lock()
         self._gc_thread: threading.Thread | None = None
         self._gc_stop: threading.Event | None = None
+        if path is not None and str(path) != ":memory:":
+            if wal is not None:
+                raise DatabaseError(
+                    "a file-backed database manages its own WAL; "
+                    "pass either a path or a WAL, not both"
+                )
+            self._open_durable(Path(path), pool_pages, fsync)
+        if self._gc_interval:
+            self.start_background_gc(self._gc_interval)
 
     # -- public API ----------------------------------------------------------
 
     def connect(self) -> Connection:
         """Open an isolated session: own transactions, own cursors,
         snapshot-isolation reads (see ``ARCHITECTURE.md``)."""
+        self._require_open()
         return Connection(self)
 
     def prepare(self, sql: str) -> PreparedStatement:
@@ -106,6 +174,7 @@ class Database:
         return the same object — plan included.  The cache is shared by
         every connection and guarded by a lock.
         """
+        self._require_open()
         with self._stmt_lock:
             prepared = self._stmt_cache.get(sql)
             if prepared is not None:
@@ -174,10 +243,16 @@ class Database:
         )
 
     def insert_rows(self, table_name: str, rows) -> list[int]:
-        """Bulk-insert value tuples directly (fast path for data loading)."""
+        """Bulk-insert value tuples directly (fast path for data loading).
+
+        One durability barrier covers the whole batch: the WAL is synced
+        once at the end instead of per row.
+        """
         table = self.table(table_name)
         with self.txn.lock:
-            return [table.insert(list(row)) for row in rows]
+            rowids = [table.insert(list(row)) for row in rows]
+        self._wal_barrier()
+        return rowids
 
     def explain(self, sql: str, params: tuple | list = (),
                 analyze: bool = False) -> str:
@@ -196,10 +271,255 @@ class Database:
             self.stats.analyze(table)
 
     def checkpoint(self) -> int:
-        """Flush the WAL (no-op without one); returns records flushed."""
+        """Make pending work durable; returns WAL records retired.
+
+        File-backed: flush dirty pages + catalog, stamp the heap header
+        with the covered LSN, truncate the WAL — bounded-tail recovery.
+        Buffered-WAL: append pending records (plus a checkpoint marker)
+        to the log file and truncate memory.  No-op without a WAL.
+
+        A durable checkpoint needs a quiescent transaction manager (no
+        active transaction may leak uncommitted rows into the heap file);
+        when writers are in flight it returns 0 and the caller retries
+        later — the WAL still guarantees durability in the meantime.
+        """
+        if self.pager is not None:
+            return self._checkpoint_durable()
         if self.wal is None:
             return 0
         return self.wal.checkpoint()
+
+    # -- durable lifecycle -------------------------------------------------------
+
+    def pragma(self, name: str, value=_UNSET):
+        """Get (one argument) or set (two) a database knob; returns the
+        effective value.
+
+        Config pragmas: ``pool_pages`` (buffer-pool budget),
+        ``fsync`` (``"commit"``/``"off"``), ``wal_autocheckpoint``
+        (records between automatic checkpoints, 0 disables),
+        ``reorder_joins``, ``gc_interval`` (background GC period in
+        seconds, 0 stops the thread), ``page_size`` (read-only).
+
+        Action pragmas (no value): ``checkpoint``, ``vacuum`` — run the
+        operation and return its count.  ``buffer_pool_stats`` returns
+        the pager's hit/miss/eviction counters.
+        """
+        self._require_open()
+        name = str(name).lower().replace("-", "_")
+        setting = value is not _UNSET
+        if name in ("pool_pages", "buffer_pool_pages"):
+            if setting:
+                self._default_pool_pages = int(value)
+                if self.pager is not None:
+                    self.pager.resize_pool(int(value))
+            return (self.pager.pool_pages if self.pager is not None
+                    else self._default_pool_pages)
+        if name == "fsync":
+            if setting:
+                self._fsync = _fsync_enabled(value)
+                if self.pager is not None:
+                    self.pager.fsync_enabled = self._fsync
+                if self.wal is not None:
+                    self.wal.set_fsync(self._fsync)
+            return "commit" if self._fsync else "off"
+        if name == "wal_autocheckpoint":
+            if setting:
+                self._autocheckpoint = int(value or 0)
+            return self._autocheckpoint
+        if name == "page_size":
+            if setting:
+                raise DatabaseError("pragma page_size is read-only")
+            return PAGE_SIZE if self.pager is not None else None
+        if name == "reorder_joins":
+            if setting:
+                self.reorder_joins = bool(value)
+            return self.reorder_joins
+        if name == "gc_interval":
+            if setting:
+                self.stop_background_gc()
+                self._gc_interval = float(value or 0.0)
+                if self._gc_interval:
+                    self.start_background_gc(self._gc_interval)
+            return self._gc_interval
+        if name == "checkpoint":
+            return self.checkpoint()
+        if name == "vacuum":
+            return self.vacuum()
+        if name == "buffer_pool_stats":
+            if self.pager is None:
+                return {}
+            return dict(self.pager.stats,
+                        resident_pages=self.pager.resident_pages,
+                        dirty_pages=self.pager.dirty_pages,
+                        pool_pages=self.pager.pool_pages)
+        raise DatabaseError(f"unknown pragma {name!r}")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush, checkpoint (when quiescent) and release the database.
+
+        Safe to call twice.  Any open default-session transaction is
+        rolled back first.  For file-backed databases a clean close means
+        the next open replays an empty WAL tail; if another connection
+        still holds a transaction open, the checkpoint is skipped — the
+        durable WAL already guarantees every *committed* transaction
+        survives, so recovery simply replays a longer tail.
+        """
+        if self._closed:
+            return
+        self.stop_background_gc()
+        self.default_session.close()
+        if self.pager is not None:
+            self._checkpoint_durable()
+            self.wal.close()
+            self.pager.close()
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise DatabaseError("database is closed")
+
+    def _open_durable(self, path: Path, pool_pages: int, fsync: bool) -> None:
+        self.path = path
+        self.pager = Pager(path, pool_pages=pool_pages, fsync=fsync)
+        # the WAL sidecar lives next to the heap file, SQLite-style
+        wal_path = path.with_name(path.name + "-wal")
+        self.wal = WriteAheadLog.open_durable(wal_path, fsync=fsync)
+        # LSNs must stay monotonic across opens: the header's durable_lsn
+        # is the recovery replay bound, so a fresh (truncated) WAL that
+        # restarted at 1 would stamp new commits below it and bounded
+        # replay would silently skip them after the next crash
+        if self.wal.next_lsn <= self.pager.durable_lsn:
+            self.wal.next_lsn = self.pager.durable_lsn + 1
+        self.wal.checkpointed_lsn = max(
+            self.wal.checkpointed_lsn, self.pager.durable_lsn)
+        self._recover()
+
+    @wal_exempt("recovery rebuilds state the catalog page and WAL already "
+                "record; relogging it would double history")
+    def _recover(self) -> None:
+        """Rebuild in-memory state from the heap file + WAL tail.
+
+        Order matters: (1) the checkpointed catalog restores schemas,
+        page-backed heaps and index definitions; (2) free pages are
+        recomputed as "allocated but reachable from nothing" (there is no
+        durable free list); (3) the WAL tail — records past the header's
+        ``durable_lsn`` — replays *tolerantly*, because a checkpoint torn
+        between page flush and WAL truncation may leave records that are
+        already reflected in the heap; (4) a replayed tail is folded into
+        a fresh checkpoint so the next open starts clean.
+        """
+        pager = self.pager
+        with self.txn.lock:
+            reachable: set[int] = set()
+            if pager.catalog_page:
+                reachable.update(pager.chain_pids(pager.catalog_page))
+                catalog = json.loads(
+                    pager.read_chain(pager.catalog_page).decode("utf-8")
+                )
+                for entry in catalog.get("tables", ()):
+                    schema = TableSchema.from_dict(entry["schema"])
+                    table = Table(schema)
+                    self._attach(table)
+                    heap = PagedHeap(pager, entry["first_page"])
+                    reachable.update(heap.load())
+                    table.rows = heap
+                    table.next_rowid = max(
+                        int(entry.get("next_rowid", 1)), heap.max_rowid() + 1
+                    )
+                    self.tables[schema.name] = table
+                for entry in catalog.get("indexes", ()):
+                    meta = IndexDef.from_dict(entry)
+                    self.table(meta.table).create_index(
+                        meta.name, meta.columns,
+                        kind=meta.kind, unique=meta.unique,
+                    )
+                    self.index_catalog[meta.name] = meta
+                self.schema_epoch += 1
+            pager.set_free_pages(
+                set(range(1, pager.page_count)) - reachable
+            )
+            applied = self.wal.replay_into(
+                self, after_lsn=pager.durable_lsn, tolerant=True
+            )
+            if applied:
+                # fold the replayed tail into a fresh checkpoint: the next
+                # open replays nothing
+                self._checkpoint_durable()
+
+    def _serialize_catalog(self) -> dict:
+        tables = []
+        for name in sorted(self.tables):
+            table = self.tables[name]
+            tables.append({
+                "schema": table.schema.to_dict(),
+                "first_page": table.rows.first_page,
+                "next_rowid": table.next_rowid,
+            })
+        return {
+            "tables": tables,
+            "indexes": [self.index_catalog[name].to_dict()
+                        for name in sorted(self.index_catalog)],
+        }
+
+    def _checkpoint_durable(self) -> int:
+        """Flush the heap and truncate the WAL; returns records retired.
+
+        The sequence is crash-safe at every step: (1) sync the WAL — no
+        logged record may be lost while pages move; (2) write a fresh
+        catalog chain and flush every dirty page; (3) fsync the new file
+        header (catalog pointer + durable LSN) — the checkpoint's atomic
+        commit point; (4) only then recycle freed pages and truncate the
+        WAL.  A crash before (3) recovers from the old header and full
+        WAL; a crash after (3) but before (4) replays a tail that is
+        already in the heap — which tolerant replay makes idempotent.
+        """
+        pager = self.pager
+        manager = self.txn
+        with manager.lock:
+            if not manager.quiescent:
+                return 0  # an active txn's rows are not committed state
+            flushed = len(self.wal.records)
+            self.wal.sync()
+            old_catalog = pager.catalog_page
+            blob = json.dumps(
+                self._serialize_catalog(), default=str
+            ).encode("utf-8")
+            pager.catalog_page = pager.write_chain(blob, PAGE_CATALOG)
+            if old_catalog:
+                pager.free_chain(old_catalog)
+            pager.flush(sync=True)
+            pager.durable_lsn = self.wal.next_lsn - 1
+            pager.write_header(sync=True)
+            pager.promote_pending_free()
+            self.wal.reset_after_checkpoint()
+            return flushed
+
+    def _wal_barrier(self) -> None:
+        """Durability point after an autocommitted statement or COMMIT:
+        fsync the WAL tail (policy permitting), then checkpoint if the
+        log or the dirty-page count has outgrown its threshold."""
+        if self.pager is None:
+            return
+        self.wal.sync()
+        self._maybe_autocheckpoint()
+
+    def _maybe_autocheckpoint(self) -> None:
+        if self.pager is None or self._autocheckpoint <= 0:
+            return
+        if (len(self.wal.records) >= self._autocheckpoint
+                or self.pager.dirty_pages > self.pager.pool_pages):
+            self._checkpoint_durable()
 
     # -- MVCC lifecycle ---------------------------------------------------------
 
@@ -231,6 +551,7 @@ class Database:
                 else:
                     self.wal.log_commit(txn.txid, events)
         self.maybe_gc()
+        self._wal_barrier()
 
     def maybe_gc(self) -> None:
         """Reclaim dead versions if the horizon allows (cheap when clean)."""
@@ -299,11 +620,17 @@ class Database:
             return executor.execute_select(self, statement, params,
                                            session=session)
         if isinstance(statement, ast.InsertStmt):
-            return executor.execute_insert(self, statement, params, session)
+            result = executor.execute_insert(self, statement, params, session)
+            self._wal_barrier()
+            return result
         if isinstance(statement, ast.UpdateStmt):
-            return executor.execute_update(self, statement, params, session)
+            result = executor.execute_update(self, statement, params, session)
+            self._wal_barrier()
+            return result
         if isinstance(statement, ast.DeleteStmt):
-            return executor.execute_delete(self, statement, params, session)
+            result = executor.execute_delete(self, statement, params, session)
+            self._wal_barrier()
+            return result
         if isinstance(statement, _DDL_STMTS):
             if session.in_transaction:
                 # DDL is not transactional: logging it from inside a
@@ -315,14 +642,17 @@ class Database:
                 )
             with self.txn.lock:
                 if isinstance(statement, ast.CreateTableStmt):
-                    return self._create_table(statement, sql)
-                if isinstance(statement, ast.CreateIndexStmt):
-                    return self._create_index(statement, sql)
-                if isinstance(statement, ast.DropTableStmt):
-                    return self._drop_table(statement, sql)
-                if isinstance(statement, ast.DropIndexStmt):
-                    return self._drop_index(statement, sql)
-                return self._alter_add_column(statement, sql)
+                    result = self._create_table(statement, sql)
+                elif isinstance(statement, ast.CreateIndexStmt):
+                    result = self._create_index(statement, sql)
+                elif isinstance(statement, ast.DropTableStmt):
+                    result = self._drop_table(statement, sql)
+                elif isinstance(statement, ast.DropIndexStmt):
+                    result = self._drop_index(statement, sql)
+                else:
+                    result = self._alter_add_column(statement, sql)
+            self._wal_barrier()
+            return result
         if isinstance(statement, ast.BeginStmt):
             session.begin()
             return ResultSet([], [], rowcount=0)
@@ -364,6 +694,9 @@ class Database:
         )
         table = Table(schema)
         self._attach(table)
+        if self.pager is not None:
+            # file-backed: rows live on slotted pages, not the dict
+            table.rows = PagedHeap(self.pager)
         self.tables[statement.name] = table
         self.schema_epoch += 1
         if self.wal is not None and not self.txn.replaying:
@@ -398,7 +731,10 @@ class Database:
             if statement.if_exists:
                 return ResultSet([], [], rowcount=0)
             raise CatalogError(f"no table {statement.name!r}")
+        dropped = self.tables[statement.name]
         del self.tables[statement.name]
+        if isinstance(dropped.rows, PagedHeap):
+            dropped.rows.release()  # pages recycle after the next checkpoint
         self.stats.forget(statement.name)
         for index_name in [
             n for n, meta in self.index_catalog.items() if meta.table == statement.name

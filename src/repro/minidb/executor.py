@@ -1054,7 +1054,12 @@ def run_dml(db, compiled, params: tuple, session=None) -> ResultSet:
     with manager.lock:
         txn, implicit = session.write_context()
         if txn is None:
-            return _apply_dml(db, compiled, params, None)
+            result = _apply_dml(db, compiled, params, None)
+            # fast-path mutations log WAL events as they go; the statement
+            # boundary is their durability point (transactions get theirs
+            # in commit_transaction)
+            db._wal_barrier()
+            return result
         mark = txn.savepoint()
         try:
             result = _apply_dml(db, compiled, params, txn)

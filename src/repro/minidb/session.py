@@ -269,6 +269,8 @@ class Connection:
     def _check_open(self) -> None:
         if self._closed:
             raise DatabaseError("connection is closed")
+        if getattr(self.db, "_closed", False):
+            raise DatabaseError("database is closed")
 
     def __enter__(self) -> "Connection":
         return self

@@ -130,9 +130,15 @@ class TableStats:
             sampled = 0
             seen: list[set] = [set() for _ in pending]
             nulls = [0] * len(pending)
-            # one atomic copy: concurrent writers must not resize the dict
-            # mid-sample (estimates may be slightly stale, never torn)
-            for row in list(table.rows.values()):
+            # one atomic copy of the *rowids* (cheap for dicts and paged
+            # heaps alike: no row decodes), capped up front so sampling a
+            # file-backed table never pages in more than SAMPLE_CAP rows;
+            # concurrent writers must not resize the store mid-sample
+            # (estimates may be slightly stale, never torn)
+            for rowid in list(table.rows.keys())[:SAMPLE_CAP]:
+                row = table.rows.get(rowid)
+                if row is None:  # deleted between capture and fetch
+                    continue
                 for j, (i, _name) in enumerate(pending):
                     value = row[i]
                     if value is None:
@@ -143,12 +149,10 @@ class TableStats:
                     except TypeError:  # unhashable cell: key it by repr
                         seen[j].add(repr(value))
                 sampled += 1
-                if sampled >= SAMPLE_CAP:
-                    break
             for j, (_i, name) in enumerate(pending):
                 columns[name] = ColumnStats(
                     _extrapolate_distinct(len(seen[j]), sampled, n),
-                    nulls[j] / sampled,
+                    nulls[j] / sampled if sampled else 0.0,
                 )
         else:
             for _i, name in pending:

@@ -325,6 +325,10 @@ class Table:
                 index.remove_row(row, rowid)
             for position, value in new.items():
                 row[position] = value
+            # write-through: a paged heap hands out decoded copies, so the
+            # in-place edit above must be stored back (no-op for a dict,
+            # whose `row` is the live list)
+            self.rows[rowid] = row
             for index in touched:
                 index.add_row(row, rowid)
             self._notify(("update", self.name, rowid, old, dict(new)), None)
@@ -583,8 +587,13 @@ class Table:
     def add_column(self, coldef: ColumnDef) -> None:
         """ALTER TABLE ADD COLUMN — existing rows get NULL."""
         self.schema.add_column(coldef)
-        for row in self.rows.values():
+        rows = self.rows
+        for rowid in list(rows.keys()):
+            row = rows[rowid]
             row.append(None)
+            # write-through for paged heaps (see Table.update); for a dict
+            # this re-binds the same list object
+            rows[rowid] = row
         # chain versions hold distinct value lists (the head shares the live
         # list already widened above); pad any that are still short
         width = len(self.schema.columns)
@@ -632,7 +641,11 @@ class Table:
         # already proved uniqueness of the current state).
         for rowid, chain in self.versions.items():
             for version in chain:
-                if version.values is not self.rows.get(rowid):
+                # equality, not identity: a paged heap decodes a fresh list
+                # per read, so the chain head is never the same object as
+                # the stored row — but equal values mean equal index keys,
+                # already covered by the live-row loop above
+                if version.values != self.rows.get(rowid):
                     index.add_row(version.values, rowid, check_unique=False)
         self.indexes[name] = index
 

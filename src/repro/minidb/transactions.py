@@ -133,6 +133,18 @@ class TransactionManager:
     def in_transaction(self) -> bool:
         return bool(self.active)
 
+    @property
+    def quiescent(self) -> bool:
+        """True when no transaction is active — the checkpoint window.
+
+        With no writer in flight, ``Table.rows`` holds committed state
+        only, so flushing the heap to disk yields a transaction-consistent
+        checkpoint.  Outstanding *read* snapshots don't block: they
+        resolve old versions through in-memory chains, which never
+        persist.
+        """
+        return not self.active
+
     def is_active(self, txid: int) -> bool:
         return txid in self.active
 

@@ -47,6 +47,7 @@ SMOKE_ENV = {
     "REPRO_CONC_SECONDS": "0.3",
     "REPRO_DUR_ROWS": "2000",
     "REPRO_DUR_COMMITS": "50",
+    "REPRO_VEC_ROWS": "5000",
 }
 
 # benchmark files that must produce an artifact named after the payload
@@ -59,13 +60,16 @@ EXPECTED_ARTIFACTS = {
     "bench_prepared.py": "prepared",
     "bench_streaming.py": "streaming",
     "bench_table1.py": "table1",
+    "bench_vectorized.py": "vectorized",
 }
 
-# keep pytest-benchmark rounds minimal: smoke validates shape, not speed
+# keep pytest-benchmark rounds minimal: smoke validates shape, not speed;
+# GC stays off during timed rounds — at these tiny round counts a single
+# gen2 pause lands in one round's mean and drowns the signal
 PYTEST_ARGS = [
     "-q", "-p", "no:cacheprovider",
     "--benchmark-warmup=off", "--benchmark-min-rounds=1",
-    "--benchmark-max-time=0.25",
+    "--benchmark-max-time=0.25", "--benchmark-disable-gc",
 ]
 
 

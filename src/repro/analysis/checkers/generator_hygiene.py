@@ -32,8 +32,21 @@ LAZY_BUILTINS = {
 EAGER_CALLS = {"list", "sorted", "tuple", "set", "dict"}
 
 
+#: dispatch-registry assignments whose dict values are node handlers —
+#: the row pipeline's ``_NODE_HANDLERS`` and the batch pipeline's
+#: ``_BATCH_HANDLERS`` (merged into the former at import time)
+_REGISTRY_NAMES = {"_NODE_HANDLERS", "_BATCH_HANDLERS"}
+#: handler-naming conventions picked up even off-registry
+_HANDLER_PREFIXES = ("_exec_", "_batch_")
+
+
 def _handler_functions(package: PackageSummary) -> Iterator[FunctionInfo]:
-    """Streaming operators: ``_NODE_HANDLERS`` values and ``_exec_*``."""
+    """Streaming operators: registry values, ``_exec_*`` and ``_batch_*``.
+
+    Batch handlers stream *batches* instead of rows, but the hygiene
+    contract is identical — a handler that materializes every batch
+    before yielding the first breaks bounded memory just the same.
+    """
     seen: Set[int] = set()
     for summary in package.summaries.values():
         handler_names: Set[str] = set()
@@ -41,7 +54,7 @@ def _handler_functions(package: PackageSummary) -> Iterator[FunctionInfo]:
             if not isinstance(node, ast.Assign):
                 continue
             is_registry = any(
-                isinstance(t, ast.Name) and t.id == "_NODE_HANDLERS"
+                isinstance(t, ast.Name) and t.id in _REGISTRY_NAMES
                 for t in node.targets
             )
             if is_registry and isinstance(node.value, ast.Dict):
@@ -51,7 +64,7 @@ def _handler_functions(package: PackageSummary) -> Iterator[FunctionInfo]:
                     elif isinstance(value, ast.Attribute):
                         handler_names.add(value.attr)
         for fn in summary.functions:
-            if fn.name in handler_names or fn.name.startswith("_exec_"):
+            if fn.name in handler_names or fn.name.startswith(_HANDLER_PREFIXES):
                 if id(fn) not in seen:
                     seen.add(id(fn))
                     yield fn

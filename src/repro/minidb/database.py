@@ -75,11 +75,30 @@ _DDL_STMTS = (
 _UNSET = object()
 
 
-def _fsync_enabled(value) -> bool:
-    """Normalize an fsync policy value (bool or "commit"/"off") to a bool."""
+def _fsync_mode(value) -> str:
+    """Normalize an fsync policy value to ``"commit"``, ``"group"`` or
+    ``"off"``.  Booleans map to commit/off; the ``"group"`` string enables
+    group commit (coalesced fsyncs across concurrent committers)."""
     if isinstance(value, str):
-        return value.lower() not in ("off", "no", "false", "none", "0")
-    return bool(value)
+        lowered = value.lower()
+        if lowered == "group":
+            return "group"
+        if lowered in ("off", "no", "false", "none", "0"):
+            return "off"
+        return "commit"
+    return "commit" if value else "off"
+
+
+_VECTORIZE_MODES = ("auto", "on", "off")
+
+
+def _vectorize_mode(value) -> str:
+    mode = str(value).lower()
+    if mode not in _VECTORIZE_MODES:
+        raise DatabaseError(
+            f"vectorize must be one of {', '.join(_VECTORIZE_MODES)}"
+        )
+    return mode
 
 
 class Database:
@@ -99,10 +118,13 @@ class Database:
 
     Open-time options (also settable later via :meth:`pragma`):
     ``pool_pages`` (buffer-pool budget, default 256 pages = 1MB),
-    ``fsync`` (``True``/``"commit"`` or ``False``/``"off"``),
-    ``wal_autocheckpoint`` (records between automatic checkpoints; 0
-    disables), ``reorder_joins``, ``gc_interval`` (seconds between
-    background GC passes; None/0 keeps GC commit-driven).
+    ``fsync`` (``True``/``"commit"``, ``False``/``"off"``, or
+    ``"group"`` to coalesce concurrent commit fsyncs behind one
+    barrier), ``wal_autocheckpoint`` (records between automatic
+    checkpoints; 0 disables), ``reorder_joins``, ``vectorize``
+    (``"auto"``/``"on"``/``"off"`` — batch execution mode, see
+    ``ARCHITECTURE.md``), ``gc_interval`` (seconds between background
+    GC passes; None/0 keeps GC commit-driven).
     """
 
     def __init__(self, wal: WriteAheadLog | None = None,
@@ -115,9 +137,11 @@ class Database:
         if wal is True:
             wal = WriteAheadLog()
         pool_pages = int(options.pop("pool_pages", 256))
-        fsync = _fsync_enabled(options.pop("fsync", True))
+        fsync_mode = _fsync_mode(options.pop("fsync", True))
+        fsync = fsync_mode != "off"
         autocheckpoint = int(options.pop("wal_autocheckpoint", 1000) or 0)
         reorder_joins = bool(options.pop("reorder_joins", True))
+        vectorize = _vectorize_mode(options.pop("vectorize", "auto"))
         gc_interval = options.pop("gc_interval", None)
         if options:
             raise DatabaseError(
@@ -130,6 +154,7 @@ class Database:
         self.pager: Pager | None = None
         self._closed = False
         self._fsync = fsync
+        self._fsync_policy = fsync_mode
         self._autocheckpoint = autocheckpoint
         self._default_pool_pages = pool_pages
         self._gc_interval = float(gc_interval or 0.0)
@@ -141,6 +166,10 @@ class Database:
         # off to force syntactic join order (benchmarks, debugging)
         self.stats = StatsManager()
         self.reorder_joins = reorder_joins
+        # execution-mode knob: "auto" lets the planner pick batch
+        # (vectorized) operators for analytic shapes, "on" forces them
+        # wherever legal, "off" keeps the row-at-a-time pipeline
+        self.vectorize = vectorize
         # advances on every DDL statement; one half of the plan-cache key
         self.schema_epoch = 0
         self.plan_cache = PlanCache()
@@ -296,10 +325,12 @@ class Database:
         effective value.
 
         Config pragmas: ``pool_pages`` (buffer-pool budget),
-        ``fsync`` (``"commit"``/``"off"``), ``wal_autocheckpoint``
-        (records between automatic checkpoints, 0 disables),
-        ``reorder_joins``, ``gc_interval`` (background GC period in
-        seconds, 0 stops the thread), ``page_size`` (read-only).
+        ``fsync`` (``"commit"``/``"group"``/``"off"``),
+        ``wal_autocheckpoint`` (records between automatic checkpoints,
+        0 disables), ``reorder_joins``, ``vectorize``
+        (``"auto"``/``"on"``/``"off"``), ``gc_interval`` (background GC
+        period in seconds, 0 stops the thread), ``page_size``
+        (read-only).
 
         Action pragmas (no value): ``checkpoint``, ``vacuum`` — run the
         operation and return its count.  ``buffer_pool_stats`` returns
@@ -317,12 +348,14 @@ class Database:
                     else self._default_pool_pages)
         if name == "fsync":
             if setting:
-                self._fsync = _fsync_enabled(value)
+                self._fsync_policy = _fsync_mode(value)
+                self._fsync = self._fsync_policy != "off"
                 if self.pager is not None:
                     self.pager.fsync_enabled = self._fsync
                 if self.wal is not None:
                     self.wal.set_fsync(self._fsync)
-            return "commit" if self._fsync else "off"
+                    self.wal.set_group_commit(self._fsync_policy == "group")
+            return self._fsync_policy
         if name == "wal_autocheckpoint":
             if setting:
                 self._autocheckpoint = int(value or 0)
@@ -335,6 +368,10 @@ class Database:
             if setting:
                 self.reorder_joins = bool(value)
             return self.reorder_joins
+        if name == "vectorize":
+            if setting:
+                self.vectorize = _vectorize_mode(value)
+            return self.vectorize
         if name == "gc_interval":
             if setting:
                 self.stop_background_gc()
@@ -395,6 +432,7 @@ class Database:
         # the WAL sidecar lives next to the heap file, SQLite-style
         wal_path = path.with_name(path.name + "-wal")
         self.wal = WriteAheadLog.open_durable(wal_path, fsync=fsync)
+        self.wal.set_group_commit(self._fsync_policy == "group")
         # LSNs must stay monotonic across opens: the header's durable_lsn
         # is the recovery replay bound, so a fresh (truncated) WAL that
         # restarted at 1 would stamp new commits below it and bounded

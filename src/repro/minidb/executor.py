@@ -78,6 +78,14 @@ from repro.minidb.planner import (
 )
 from repro.minidb.results import ResultSet, StreamingResult
 from repro.minidb.storage import Table, visible_version
+from repro.minidb.vector import (
+    BATCH_SIZE,
+    Batch,
+    aggregate_batches,
+    batches_from_chunks,
+    batches_from_rows,
+    filter_batch,
+)
 
 _EMPTY_ROW: tuple = ()
 
@@ -485,11 +493,13 @@ def _run_node(node: nodes.PlanNode, params: tuple, snapshot,
 
 
 def _counted(rows, node, counters: dict):
+    # batch operators yield Batch objects; ANALYZE reports the selected
+    # *logical* rows they carry, so counts stay comparable across modes
     counters.setdefault(id(node), 0)
     times = getattr(counters, "times", None)
     if times is None:
         for row in rows:
-            counters[id(node)] += 1
+            counters[id(node)] += row.count if isinstance(row, Batch) else 1
             yield row
         return
     times.setdefault(id(node), 0.0)
@@ -503,7 +513,7 @@ def _counted(rows, node, counters: dict):
             times[node_id] += perf_counter() - started
             return
         times[node_id] += perf_counter() - started
-        counters[node_id] += 1
+        counters[node_id] += row.count if isinstance(row, Batch) else 1
         yield row
 
 
@@ -745,10 +755,12 @@ def _agg_groups_stream(node: nodes.StreamAggregate, params, snapshot, counters):
 def _agg_output(node, params, snapshot, counters, with_inter: bool = False):
     """Post-process intermediate group rows: HAVING, then projection."""
     spec = node.spec
-    inter_fn = (
-        _agg_groups_stream if isinstance(node, nodes.StreamAggregate)
-        else _agg_groups_hash
-    )
+    if isinstance(node, nodes.StreamAggregate):
+        inter_fn = _agg_groups_stream
+    elif isinstance(node, nodes.BatchAggregate):
+        inter_fn = _batch_agg_groups
+    else:
+        inter_fn = _agg_groups_hash
     for inter in inter_fn(node, params, snapshot, counters):
         if spec.having_fn is not None and not truthy(
             spec.having_fn(inter, params)
@@ -760,6 +772,95 @@ def _agg_output(node, params, snapshot, counters, with_inter: bool = False):
 
 def _exec_aggregate(node, params, snapshot, counters):
     return _agg_output(node, params, snapshot, counters)
+
+
+# -- batch (vectorized) operators --------------------------------------------
+#
+# These handlers exchange ``vector.Batch`` objects instead of rows.  The
+# planner's ``_vectorize`` pass guarantees every batch node's child (except
+# a BatchHashJoin's build side) is itself a batch node, and every batch
+# chain is capped by a row-mode consumer (``BatchToRows``, a batch
+# aggregate, or the executor's projection machinery above them).
+
+
+def _batch_scan(node: nodes.BatchScan, params, snapshot, counters):
+    table = node.table
+    if snapshot is not None:
+        # MVCC fallback: version-chain resolution stays on the row scan;
+        # transposing here keeps a cached batch plan correct inside a
+        # snapshot transaction (just without the columnar decode win).
+        rows = (
+            [rowid, *values] for rowid, values in table.snapshot_scan(snapshot)
+        )
+        yield from batches_from_rows(rows)
+        return
+    yield from batches_from_chunks(table.scan_chunks(BATCH_SIZE))
+
+
+def _batch_filter(node: nodes.BatchFilter, params, snapshot, counters):
+    kernels = node.kernels
+    for batch in _run_node(node.child, params, snapshot, counters):
+        filtered = filter_batch(batch, kernels, params)
+        if filtered is not None:
+            yield filtered
+
+
+def _batch_hash_join(node: nodes.BatchHashJoin, params, snapshot, counters):
+    buckets: dict = {}
+    right_positions = node.right_positions
+    for right in _run_node(node.right, params, snapshot, counters):
+        key_values = [right[p] for p in right_positions]
+        if any(v is None for v in key_values):
+            continue  # NULL join keys never match
+        key = tuple(normalize_key(v) for v in key_values)
+        buckets.setdefault(key, []).append(right)
+    left_positions = node.left_positions
+    get = buckets.get
+    for batch in _run_node(node.left, params, snapshot, counters):
+        cols = batch.cols
+        key_cols = [cols[p] for p in left_positions]
+        probe_hits: list = []    # probe-side index, one entry per match
+        build_rows: list = []    # matched build row, aligned with probe_hits
+        if len(key_cols) == 1:
+            key_col = key_cols[0]
+            for i in batch.indices():
+                v = key_col[i]
+                if v is None:
+                    continue
+                matches = get((normalize_key(v),))
+                if matches:
+                    for right in matches:
+                        probe_hits.append(i)
+                        build_rows.append(right)
+        else:
+            for i in batch.indices():
+                key_values = [c[i] for c in key_cols]
+                if any(v is None for v in key_values):
+                    continue
+                matches = get(tuple(normalize_key(v) for v in key_values))
+                if matches:
+                    for right in matches:
+                        probe_hits.append(i)
+                        build_rows.append(right)
+        if not probe_hits:
+            continue
+        out_cols = [[col[i] for i in probe_hits] for col in cols]
+        out_cols.extend(zip(*build_rows))
+        yield Batch(out_cols)
+
+
+def _batch_agg_groups(node: nodes.BatchAggregate, params, snapshot, counters):
+    """Vectorized twin of ``_agg_groups_hash``: intermediate group rows."""
+    yield from aggregate_batches(
+        _run_node(node.child, params, snapshot, counters),
+        node.group_positions,
+        node.agg_descs,
+    )
+
+
+def _batch_to_rows(node: nodes.BatchToRows, params, snapshot, counters):
+    for batch in _run_node(node.child, params, snapshot, counters):
+        yield from batch.rows()
 
 
 # -- ordering / projection / distinct / limit --------------------------------
@@ -935,6 +1036,16 @@ _NODE_HANDLERS = {
     nodes.Distinct: _exec_distinct,
     nodes.Limit: _exec_limit,
 }
+
+_BATCH_HANDLERS = {
+    nodes.BatchScan: _batch_scan,
+    nodes.BatchFilter: _batch_filter,
+    nodes.BatchHashJoin: _batch_hash_join,
+    nodes.BatchAggregate: _exec_aggregate,
+    nodes.BatchToRows: _batch_to_rows,
+}
+
+_NODE_HANDLERS.update(_BATCH_HANDLERS)
 
 
 # ---------------------------------------------------------------------------

@@ -467,3 +467,266 @@ def find_aggregates(expr: ast.Expr) -> list[ast.FuncCall]:
         node for node in ast.walk(expr)
         if isinstance(node, ast.FuncCall) and is_aggregate(node.name)
     ]
+
+
+# ---------------------------------------------------------------------------
+# vectorized predicate kernels (batch execution mode)
+# ---------------------------------------------------------------------------
+#
+# A kernel evaluates one WHERE conjunct against a whole column batch:
+# ``kernel(cols, indices, params) -> surviving index list``.  ``cols`` is
+# the batch's positional column list (same layout the row pipeline uses),
+# ``indices`` the incoming selection vector.  Chaining the kernels of an
+# AND's conjuncts is equivalent to row-mode ``truthy(fn(row))`` filtering
+# because a row survives ``a AND b`` exactly when every conjunct is
+# truthy for it (Kleene AND: any false -> 0, any NULL -> NULL, both
+# dropped by WHERE).  Recognized column-vs-value shapes compile to tight
+# per-column loops that inline ``sql_equal``/``sql_compare`` semantics;
+# anything else falls back to a kernel that rebuilds rows and calls the
+# ordinary compiled closure, so every predicate stays exact.
+
+_EMPTY_ROW: tuple = ()
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+_CMP_CHECKS = {
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+_FAST_TYPES = (int, float, str, bool)
+#: sql_compare rank 0 — numbers, bools included (bool is an int subclass)
+_NUM = (int, float)
+
+
+def compile_filter_kernels(expr: ast.Expr, resolver: Resolver) -> list:
+    """Compile a predicate into one selection-vector kernel per conjunct."""
+    return [_conjunct_kernel(c, resolver) for c in _split_and(expr)]
+
+
+def _split_and(expr: ast.Expr) -> list:
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]
+
+
+def _column_position(expr: ast.Expr, resolver: Resolver) -> int | None:
+    if isinstance(expr, ast.ColumnRef):
+        return resolver.resolve(expr)
+    if isinstance(expr, ast.SlotRef):
+        return expr.index
+    return None
+
+
+def _row_independent(expr: ast.Expr) -> bool:
+    return not any(
+        isinstance(node, (ast.ColumnRef, ast.SlotRef)) for node in ast.walk(expr)
+    )
+
+
+def _conjunct_kernel(expr: ast.Expr, resolver: Resolver):
+    if isinstance(expr, ast.Binary) and expr.op in _FLIP:
+        pos = _column_position(expr.left, resolver)
+        value, op = expr.right, expr.op
+        if pos is None:
+            pos = _column_position(expr.right, resolver)
+            value, op = expr.left, _FLIP[expr.op]
+        if pos is not None and _row_independent(value):
+            bound_fn = compile_value(value)
+            if op == "=":
+                return _eq_kernel(pos, bound_fn, negated=False)
+            if op == "<>":
+                return _eq_kernel(pos, bound_fn, negated=True)
+            return _cmp_kernel(pos, bound_fn, op)
+    elif isinstance(expr, ast.Between):
+        pos = _column_position(expr.expr, resolver)
+        if pos is not None and _row_independent(expr.low) and _row_independent(expr.high):
+            return _between_kernel(
+                pos, compile_value(expr.low), compile_value(expr.high), expr.negated
+            )
+    elif isinstance(expr, ast.InList):
+        pos = _column_position(expr.expr, resolver)
+        if pos is not None and all(_row_independent(item) for item in expr.items):
+            return _in_kernel(pos, [compile_value(item) for item in expr.items], expr.negated)
+    elif isinstance(expr, ast.IsNull):
+        pos = _column_position(expr.expr, resolver)
+        if pos is not None:
+            return _is_null_kernel(pos, expr.negated)
+    return _row_kernel(expr, resolver)
+
+
+def _eq_kernel(pos: int, bound_fn: RowFn, negated: bool):
+    # For non-NULL v and a bound of a standard storage type, Python's
+    # ``v == bound`` coincides with sql_equal (number/text never equal,
+    # bool-vs-number falls through to ``==`` in both).  NULL bound means
+    # every comparison is NULL -> empty selection.
+    def kernel(cols, indices, params):
+        bound = bound_fn(_EMPTY_ROW, params)
+        if bound is None:
+            return []
+        col = cols[pos]
+        if type(bound) in _FAST_TYPES:
+            if negated:
+                return [i for i in indices if (v := col[i]) is not None and v != bound]
+            return [i for i in indices if (v := col[i]) is not None and v == bound]
+        out = []
+        for i in indices:
+            result = sql_equal(col[i], bound)
+            if result is not None and bool(result) != negated:
+                out.append(i)
+        return out
+
+    return kernel
+
+
+def _cmp_kernel(pos: int, bound_fn: RowFn, op: str):
+    check = _CMP_CHECKS[op]
+    # The listcomps below inline sql_compare: numbers (bools included)
+    # compare as floats, a rank mismatch decides without looking at the
+    # values (numbers < text), and the NaN-exact forms of the inclusive
+    # ops are the *negated* strict comparisons — sql_compare's c-form
+    # yields 0 for NaN, which passes <= and >= but not < and >.
+
+    def kernel(cols, indices, params):
+        bound = bound_fn(_EMPTY_ROW, params)
+        if bound is None:
+            return []
+        col = cols[pos]
+        if isinstance(bound, (int, float)):  # rank 0, bools included
+            fb = float(bound)
+            if op == "<":
+                return [i for i in indices if (v := col[i]) is not None
+                        and isinstance(v, _NUM) and float(v) < fb]
+            if op == "<=":
+                return [i for i in indices if (v := col[i]) is not None
+                        and isinstance(v, _NUM) and not float(v) > fb]
+            if op == ">":
+                return [i for i in indices if (v := col[i]) is not None
+                        and (not isinstance(v, _NUM) or float(v) > fb)]
+            return [i for i in indices if (v := col[i]) is not None
+                    and (not isinstance(v, _NUM) or not float(v) < fb)]
+        if isinstance(bound, str):
+            if op == "<":
+                return [i for i in indices if (v := col[i]) is not None
+                        and (isinstance(v, _NUM) or str(v) < bound)]
+            if op == "<=":
+                return [i for i in indices if (v := col[i]) is not None
+                        and (isinstance(v, _NUM) or str(v) <= bound)]
+            if op == ">":
+                return [i for i in indices if (v := col[i]) is not None
+                        and not isinstance(v, _NUM) and str(v) > bound]
+            return [i for i in indices if (v := col[i]) is not None
+                    and not isinstance(v, _NUM) and str(v) >= bound]
+        out = []
+        append = out.append
+        for i in indices:
+            c = sql_compare(col[i], bound)
+            if c is not None and check(c):
+                append(i)
+        return out
+
+    return kernel
+
+
+def _between_kernel(pos: int, low_fn: RowFn, high_fn: RowFn, negated: bool):
+    def kernel(cols, indices, params):
+        low = low_fn(_EMPTY_ROW, params)
+        high = high_fn(_EMPTY_ROW, params)
+        if low is None or high is None:
+            return []  # NULL bound -> NULL result for every row
+        col = cols[pos]
+        out = []
+        append = out.append
+        if isinstance(low, (int, float)) and isinstance(high, (int, float)):
+            flo, fhi = float(low), float(high)
+            # inside == (c_lo >= 0 and c_hi <= 0); text ranks above both
+            # numeric bounds, so non-numbers are never inside
+            if negated:
+                return [i for i in indices if (v := col[i]) is not None
+                        and (not isinstance(v, _NUM)
+                             or (fv := float(v)) < flo or fv > fhi)]
+            return [i for i in indices if (v := col[i]) is not None
+                    and isinstance(v, _NUM)
+                    and not (fv := float(v)) < flo and not fv > fhi]
+        else:
+            for i in indices:
+                v = col[i]
+                if v is None:
+                    continue
+                inside = sql_compare(v, low) >= 0 and sql_compare(v, high) <= 0
+                if inside != negated:
+                    append(i)
+        return out
+
+    return kernel
+
+
+def _in_kernel(pos: int, item_fns: list, negated: bool):
+    def kernel(cols, indices, params):
+        items = [fn(_EMPTY_ROW, params) for fn in item_fns]
+        saw_null = False
+        values = []
+        fast = True
+        for item in items:
+            if item is None:
+                saw_null = True
+            else:
+                values.append(item)
+                if type(item) not in _FAST_TYPES:
+                    fast = False
+        if negated and saw_null:
+            return []  # NOT IN with a NULL item never yields true
+        col = cols[pos]
+        if fast:
+            member = set(values)
+            if negated:
+                return [i for i in indices if (v := col[i]) is not None and v not in member]
+            return [i for i in indices if (v := col[i]) is not None and v in member]
+        out = []
+        for i in indices:
+            v = col[i]
+            if v is None:
+                continue
+            matched = False
+            for item in values:
+                if sql_equal(v, item):
+                    matched = True
+                    break
+            if matched:
+                if not negated:
+                    out.append(i)
+            elif negated and not saw_null:
+                out.append(i)
+        return out
+
+    return kernel
+
+
+def _is_null_kernel(pos: int, negated: bool):
+    if negated:  # IS NOT NULL
+        def kernel(cols, indices, params):
+            col = cols[pos]
+            return [i for i in indices if col[i] is not None]
+    else:
+        def kernel(cols, indices, params):
+            col = cols[pos]
+            return [i for i in indices if col[i] is None]
+    return kernel
+
+
+def _row_kernel(expr: ast.Expr, resolver: Resolver):
+    """Exact fallback: rebuild each row and apply the compiled closure."""
+    fn = compile_expr(expr, resolver)
+
+    def kernel(cols, indices, params):
+        out = []
+        append = out.append
+        for i in indices:
+            row = [c[i] for c in cols]
+            if truthy(fn(row, params)):
+                append(i)
+        return out
+
+    return kernel

@@ -54,17 +54,18 @@ def validation_key(db, tables=(), check_stats: bool = True) -> tuple:
     are refreshed first, so a drift past the rebuild threshold bumps the
     version *before* the comparison — a cached plan never outlives the
     estimates it was costed against.  Planner knobs that change the
-    chosen tree (``reorder_joins``) ride along in the key so flipping
-    them re-plans instead of replaying the old choice.
+    chosen tree (``reorder_joins``, ``vectorize``) ride along in the key
+    so flipping them re-plans instead of replaying the old choice.
     """
     if not check_stats:
-        return (db.schema_epoch, NO_STATS, True)
+        return (db.schema_epoch, NO_STATS, True, "auto")
     stats = db.stats
     for name in tables:
         table = db.tables.get(name)
         if table is not None:
             stats.for_table(table).refresh()
-    return (db.schema_epoch, stats.version, db.reorder_joins)
+    return (db.schema_epoch, stats.version, db.reorder_joins,
+            getattr(db, "vectorize", "auto"))
 
 
 class _Entry:

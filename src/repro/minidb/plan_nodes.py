@@ -354,6 +354,116 @@ class Limit(PlanNode):
         return "Limit"
 
 
+class BatchScan(PlanNode):
+    """Sequential scan in batch mode: decodes ``BATCH_SIZE`` rows per call
+    into positional column vectors (see :mod:`repro.minidb.vector`).
+
+    Only full-table SEQ access paths vectorize; index walks and point
+    lookups stay on the row pipeline.  Under an MVCC snapshot the handler
+    falls back to batchifying the version-chain row scan, so a cached
+    batch plan stays correct inside a transaction."""
+
+    __slots__ = ("table", "plan", "estimated_rows")
+
+    def __init__(self, table, plan, estimated_rows=None):
+        self.table = table
+        self.plan = plan
+        self.estimated_rows = estimated_rows
+
+    def label(self) -> str:
+        return f"{self.plan.describe(include_residual=False)} [batch]"
+
+
+class BatchFilter(PlanNode):
+    """Filter in batch mode: per-conjunct column kernels narrow the
+    selection vector instead of calling a closure per row."""
+
+    __slots__ = ("child", "expr", "kernels", "estimated_rows")
+
+    def __init__(self, child, expr, kernels, estimated_rows=None):
+        self.child = child
+        self.expr = expr
+        self.kernels = kernels
+        self.estimated_rows = estimated_rows
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Filter({render_expr(self.expr)}) [batch]"
+
+
+class BatchHashJoin(PlanNode):
+    """INNER equi join probing with column batches.
+
+    The build side (``right``) runs in row mode and is materialized into
+    hash buckets once; probe batches gather matched left columns and
+    transpose matched right rows into combined-layout output batches.
+    Only joins without build filters or residuals vectorize."""
+
+    __slots__ = ("left", "right", "binding", "left_positions",
+                 "right_positions", "estimated_rows")
+
+    def __init__(self, left, right, binding, left_positions,
+                 right_positions, estimated_rows=None):
+        self.left = left
+        self.right = right
+        self.binding = binding
+        self.left_positions = left_positions
+        self.right_positions = right_positions
+        self.estimated_rows = estimated_rows
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"HashJoin({self.binding}, keys={len(self.left_positions)}) [batch]"
+
+
+class BatchAggregate(PlanNode):
+    """GROUP BY over batches: group-id assignment plus per-aggregate
+    tight loops (``vector.aggregate_batches``).  Emits the same
+    ``[*group_values, *aggregate_finals]`` intermediate rows as the row
+    aggregates, so HAVING/projection/ORDER BY post-processing is shared."""
+
+    __slots__ = ("child", "spec", "group_positions", "agg_descs",
+                 "estimated_rows")
+
+    def __init__(self, child, spec, group_positions, agg_descs,
+                 estimated_rows=None):
+        self.child = child
+        self.spec = spec
+        self.group_positions = group_positions
+        self.agg_descs = agg_descs
+        self.estimated_rows = estimated_rows
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def label(self) -> str:
+        text = f"HashAggregate(keys={len(self.group_positions)}) [batch]"
+        if self.spec.having_fn is not None:
+            text += " + Having"
+        return text
+
+
+class BatchToRows(PlanNode):
+    """Adapter at the batch->row boundary: re-materializes selected rows
+    so any row-mode operator can consume a vectorized subtree."""
+
+    __slots__ = ("child", "estimated_rows")
+
+    def __init__(self, child, estimated_rows=None):
+        self.child = child
+        self.estimated_rows = estimated_rows
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "BatchToRows"
+
+
 def render_tree(root: PlanNode, actual_rows: dict | None = None,
                 actual_times: dict | None = None) -> list[str]:
     """Indented text rendering of a plan tree.

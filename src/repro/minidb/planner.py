@@ -62,6 +62,7 @@ from repro.minidb import plan_nodes as nodes
 from repro.minidb.expressions import (
     Resolver,
     compile_expr,
+    compile_filter_kernels,
     find_aggregates,
     render_expr,
 )
@@ -73,6 +74,7 @@ from repro.minidb.stats import (
     estimate_join_rows,
 )
 from repro.minidb.storage import Table
+from repro.minidb.vector import BATCH_AGGREGATES
 
 SEQ = "seq"
 INDEX_EQ = "index_eq"
@@ -83,6 +85,18 @@ INDEX_PREFIX = "index_prefix"
 INDEX_NULL = "index_null"
 ROWID_EQ = "rowid_eq"
 ROWID_IN = "rowid_in"
+
+#: estimated rows below which batch mode is not worth the transpose (auto mode)
+VECTOR_MIN_ROWS = 512.0
+
+#: relative per-row costs for the index-range-vs-seq demotion gate: a
+#: B+tree range walk pointer-chases leaves and does a heap lookup per hit,
+#: roughly twice the cost of streaming the heap in storage order
+SEQ_ROW_COST = 1.0
+INDEX_RANGE_ROW_COST = 2.0
+#: tables smaller than this never demote: both paths are trivially cheap
+#: and the index walk's constant factors don't matter at this size
+DEMOTE_MIN_ROWS = 128
 
 
 @dataclass
@@ -1546,6 +1560,10 @@ def plan_select(db, stmt: ast.SelectStmt) -> SelectPlan:
     else:
         driver_plan = plan_scan(driver.table, pushed_where, binding=driver.binding,
                                 order_spec=driver_order_spec)
+    driver_plan = _maybe_demote_range(
+        driver.table, driver.stats, driver_plan, pushed_where,
+        driver_conjuncts, driver.binding, stream_group,
+    )
 
     # whether the chosen scan serves the user's ORDER BY must be decided
     # *before* merge steering: a steered plan is ordered on the join key,
@@ -1601,8 +1619,179 @@ def plan_select(db, stmt: ast.SelectStmt) -> SelectPlan:
         stmt, items, alias_map, resolver, node, current_est, has_aggregates,
         stream_group, order_served, slots,
     )
+    root = _vectorize(root, resolver, getattr(db, "vectorize", "auto"))
     tables = tuple(dict.fromkeys(slot.table.name for slot in slots))
     return SelectPlan(stmt, root, names, resolver, items, tables)
+
+
+def _maybe_demote_range(table: Table, table_stats, plan: ScanPlan,
+                        pushed_where, conjuncts, binding,
+                        stream_group: bool) -> ScanPlan:
+    """Demote a broad index range walk back to a sequential scan.
+
+    With per-column histograms pricing range predicates honestly
+    (:mod:`repro.minidb.stats`), a broad range — ``val > constant``
+    matching most of the table — is cheaper as SeqScan + Filter than as a
+    leaf-chasing B+tree walk with a heap lookup per hit.  Selective
+    ranges keep the index path, and plans whose walk order serves the
+    query's ORDER BY (or a streaming GROUP BY) are never demoted: they
+    elide a sort, which the row-cost comparison does not see.
+    """
+    if plan.kind != INDEX_RANGE or plan.order_satisfied or stream_group:
+        return plan
+    if table_stats.n_rows < DEMOTE_MIN_ROWS:
+        return plan
+    path_est, _out = _estimate_scan(table_stats, plan, conjuncts, binding)
+    if path_est * INDEX_RANGE_ROW_COST <= float(table_stats.n_rows) * SEQ_ROW_COST:
+        return plan
+    return ScanPlan(table.name, residual=pushed_where)
+
+
+# -- vectorization post-pass -------------------------------------------------
+
+
+def _vectorize(root, resolver: Resolver, vectorize_mode: str):
+    """Convert eligible subtrees of a finished plan to batch operators.
+
+    ``"off"`` leaves the row pipeline untouched; ``"on"`` forces batch
+    mode wherever it is semantically available (the parity suite runs
+    here); ``"auto"`` — the default — vectorizes analytic shapes only:
+    aggregate queries, or scan pipelines without a LIMIT/TopK
+    short-circuit, over scans expected to produce at least
+    :data:`VECTOR_MIN_ROWS` rows.  Only sequential scans batch in this
+    first cut — point lookups, index-order walks and MVCC snapshot reads
+    keep the row pipeline (a snapshot read through a cached batch plan
+    falls back at runtime inside BatchScan).
+    """
+    if vectorize_mode == "off":
+        return root
+    force = vectorize_mode == "on"
+    if not force and not _analytic_shape(root):
+        return root
+    node, is_batch = _vectorize_node(root, resolver, force)
+    if is_batch:  # defensive: _finish_select always roots a row consumer
+        node = nodes.BatchToRows(node, node.estimated_rows)
+    return node
+
+
+def _analytic_shape(root) -> bool:
+    """Aggregates always pay off in batch mode; LIMIT/TopK shapes without
+    an aggregate favor the row pipeline's short-circuit laziness."""
+    has_aggregate = False
+    has_limit = False
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (nodes.HashAggregate, nodes.StreamAggregate)):
+            has_aggregate = True
+        elif isinstance(node, (nodes.Limit, nodes.TopK)):
+            has_limit = True
+        stack.extend(node.children())
+    return has_aggregate or not has_limit
+
+
+def _row_child(child, resolver: Resolver, force: bool):
+    """Vectorize a subtree whose consumer needs rows, capping batch output."""
+    node, is_batch = _vectorize_node(child, resolver, force)
+    if is_batch:
+        return nodes.BatchToRows(node, node.estimated_rows)
+    return node
+
+
+def _vectorize_node(node, resolver: Resolver, force: bool):
+    """Rewrite one node, returning ``(node, outputs_batches)``.
+
+    The tree is freshly built and not yet cached, so row-mode nodes that
+    survive are patched in place; converted nodes are rebuilt as their
+    batch variants.
+    """
+    if isinstance(node, nodes.Scan):
+        if node.plan.kind == SEQ and (
+            force or (node.estimated_rows or 0.0) >= VECTOR_MIN_ROWS
+        ):
+            return nodes.BatchScan(node.table, node.plan,
+                                   node.estimated_rows), True
+        return node, False
+    if isinstance(node, nodes.Filter):
+        child, is_batch = _vectorize_node(node.child, resolver, force)
+        if is_batch:
+            return nodes.BatchFilter(
+                child, node.expr,
+                compile_filter_kernels(node.expr, resolver),
+                node.estimated_rows,
+            ), True
+        node.child = child
+        return node, False
+    if isinstance(node, nodes.HashJoin):
+        left, left_batch = _vectorize_node(node.left, resolver, force)
+        # the build side stays row-mode: it is materialized into hash
+        # buckets regardless, so batching it would buy nothing
+        if (left_batch and node.kind == "INNER"
+                and not node.has_build_filter and not node.has_residual):
+            return nodes.BatchHashJoin(
+                left, node.right, node.binding, node.left_positions,
+                node.right_positions, node.estimated_rows,
+            ), True
+        if left_batch:
+            left = nodes.BatchToRows(left, left.estimated_rows)
+        node.left = left
+        return node, False
+    if isinstance(node, nodes.HashAggregate):
+        child, is_batch = _vectorize_node(node.child, resolver, force)
+        if is_batch:
+            descs = _vector_agg_descs(node.spec, resolver)
+            if descs is not None:
+                return nodes.BatchAggregate(
+                    child, node.spec, descs[0], descs[1], node.estimated_rows,
+                ), False
+            child = nodes.BatchToRows(child, child.estimated_rows)
+        node.child = child
+        return node, False
+    if isinstance(node, (nodes.MergeJoin, nodes.NestedLoopJoin)):
+        node.left = _row_child(node.left, resolver, force)
+        node.right = _row_child(node.right, resolver, force)
+        return node, False
+    if isinstance(node, (nodes.StreamAggregate, nodes.Project, nodes.Sort,
+                         nodes.TopK, nodes.Distinct, nodes.Limit)):
+        node.child = _row_child(node.child, resolver, force)
+        return node, False
+    return node, False  # anything else: leave untouched
+
+
+def _vector_agg_descs(spec, resolver: Resolver):
+    """``(group_positions, agg_descs)`` for a vectorizable aggregate, or None.
+
+    Vectorizable: every group expression is a plain column reference and
+    every aggregate is non-DISTINCT SUM/COUNT/MIN/MAX/AVG over a plain
+    column (or COUNT(*)).  Anything richer keeps the row accumulators
+    behind a BatchToRows adapter.
+    """
+    group_positions = []
+    for expr in spec.group_exprs:
+        position = _vector_position(expr, resolver)
+        if position is None:
+            return None
+        group_positions.append(position)
+    agg_descs = []
+    for fnode, _arg_fn in spec.agg_specs:
+        if fnode.distinct or fnode.name not in BATCH_AGGREGATES:
+            return None
+        if fnode.is_star:
+            agg_descs.append((fnode.name, None))
+            continue
+        position = _vector_position(fnode.args[0], resolver)
+        if position is None:
+            return None
+        agg_descs.append((fnode.name, position))
+    return group_positions, agg_descs
+
+
+def _vector_position(expr: ast.Expr, resolver: Resolver) -> int | None:
+    if isinstance(expr, ast.ColumnRef):
+        return resolver.resolve(expr)
+    if isinstance(expr, ast.SlotRef):
+        return expr.index
+    return None
 
 
 def _finish_select(stmt: ast.SelectStmt, items, alias_map: dict,

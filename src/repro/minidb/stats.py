@@ -6,7 +6,11 @@ answers from lightweight, lazily maintained statistics:
 * *How many rows will this scan produce?* — per-table row counts are
   always exact (read live off the table); per-column distinct-value and
   NULL-fraction estimates feed a classic System-R-style selectivity
-  model (``1/distinct`` for equality, fixed fractions for ranges).
+  model (``1/distinct`` for equality).  Range and BETWEEN predicates
+  with literal bounds are priced off per-column equi-depth histograms
+  (min/max plus :data:`HIST_BUCKETS` equal-mass buckets, rebuilt with
+  the rest of the sample); parameterized bounds keep the flat defaults
+  so a cached plan never depends on one particular binding.
 * *How large is this join?* — ``|L| * |R| / max(d_L, d_R)`` per equi
   pair, the estimate that drives greedy join reordering and build-side
   selection.
@@ -24,8 +28,10 @@ distinct-key counter) and otherwise scan a bounded sample of rows.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left, bisect_right
 
 from repro.minidb import ast_nodes as ast
+from repro.minidb.functions import _sort_key
 from repro.minidb.hash_index import normalize_key
 from repro.minidb.storage import Table
 
@@ -35,6 +41,8 @@ REBUILD_FLOOR = 64
 REBUILD_FRACTION = 0.2
 #: rebuild scans at most this many rows; larger tables are extrapolated
 SAMPLE_CAP = 20_000
+#: equi-depth histogram resolution (buckets per column)
+HIST_BUCKETS = 32
 
 # default selectivities when a conjunct's shape gives nothing better
 EQ_DEFAULT = 0.1
@@ -43,20 +51,77 @@ BETWEEN_DEFAULT = 0.25
 LIKE_DEFAULT = 0.25
 OTHER_DEFAULT = 0.5
 
+#: inequality flipped onto the other operand (``5 < x`` is ``x > 5``)
+_FLIP_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _hist_key(value):
+    """``value`` as a totally ordered key matching SQL comparison rank
+    (numbers sort together and below text) — the same shape ORDER BY and
+    MIN/MAX use, so histogram lookups agree with runtime comparisons."""
+    return _sort_key(value)
+
 
 class ColumnStats:
-    """Distinct-value and NULL-fraction estimates for one column."""
+    """Distinct-value, NULL-fraction and distribution estimates for one
+    column.
 
-    __slots__ = ("distinct", "null_fraction")
+    ``bounds`` is an equi-depth histogram: ``b+1`` sorted boundary keys
+    delimiting ``b`` buckets of (approximately) equal row mass, built
+    from the non-NULL values of the rebuild sample.  ``bounds[0]`` /
+    ``bounds[-1]`` double as the column min/max.  ``None`` when the
+    column had no non-NULL sample (empty table, all-NULL column, or
+    stats built before histograms existed)."""
 
-    def __init__(self, distinct: float, null_fraction: float):
+    __slots__ = ("distinct", "null_fraction", "bounds")
+
+    def __init__(self, distinct: float, null_fraction: float, bounds=None):
         self.distinct = max(1.0, float(distinct))
         self.null_fraction = min(1.0, max(0.0, float(null_fraction)))
+        self.bounds = bounds
+
+    @property
+    def min_key(self):
+        """Smallest sampled non-NULL value (as a sort key), or None."""
+        return self.bounds[0] if self.bounds else None
+
+    @property
+    def max_key(self):
+        """Largest sampled non-NULL value (as a sort key), or None."""
+        return self.bounds[-1] if self.bounds else None
+
+    def fraction_below(self, key, inclusive: bool) -> float:
+        """Fraction of *non-NULL* values ``< key`` (or ``<= key``).
+
+        Bucket-resolution estimate: the containing bucket contributes a
+        linearly interpolated share for numeric boundaries and half a
+        bucket otherwise.  Repeated boundaries (heavy hitters) make the
+        inclusive/exclusive distinction matter: ``bisect_right`` counts
+        the heavy value's whole run, ``bisect_left`` none of it.
+        Callers must check :attr:`bounds` is non-empty first.
+        """
+        bounds = self.bounds
+        if len(bounds) < 2:  # degenerate sample: every value identical
+            only = bounds[0]
+            hit = key >= only if inclusive else key > only
+            return 1.0 if hit else 0.0
+        cut = (bisect_right(bounds, key) if inclusive
+               else bisect_left(bounds, key))
+        if cut <= 0:
+            return 0.0
+        if cut >= len(bounds):
+            return 1.0
+        lo, hi = bounds[cut - 1], bounds[cut]
+        within = 0.5
+        if lo[0] == 0 and hi[0] == 0 and key[0] == 0 and hi[1] > lo[1]:
+            within = max(0.0, min(1.0, (key[1] - lo[1]) / (hi[1] - lo[1])))
+        return min(1.0, (cut - 1 + within) / (len(bounds) - 1))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ColumnStats(distinct={self.distinct:.0f}, "
-            f"null_fraction={self.null_fraction:.3f})"
+            f"null_fraction={self.null_fraction:.3f}, "
+            f"buckets={len(self.bounds) - 1 if self.bounds else 0})"
         )
 
 
@@ -123,41 +188,50 @@ class TableStats:
         columns: dict[str, ColumnStats] = {}
         exact = self._from_indexes(n)
         names = table.schema.column_names
-        pending = [
-            (i, name) for i, name in enumerate(names) if name not in exact
-        ]
-        if pending and n:
+        if names and n:
             sampled = 0
-            seen: list[set] = [set() for _ in pending]
-            nulls = [0] * len(pending)
+            seen: list[set] = [set() for _ in names]
+            nulls = [0] * len(names)
+            sample: list[list] = [[] for _ in names]
             # one atomic copy of the *rowids* (cheap for dicts and paged
             # heaps alike: no row decodes), capped up front so sampling a
             # file-backed table never pages in more than SAMPLE_CAP rows;
             # concurrent writers must not resize the store mid-sample
-            # (estimates may be slightly stale, never torn)
+            # (estimates may be slightly stale, never torn).  Every column
+            # is sampled for its histogram; distinct/NULL counting is
+            # skipped where an index already gave exact numbers.
             for rowid in list(table.rows.keys())[:SAMPLE_CAP]:
                 row = table.rows.get(rowid)
                 if row is None:  # deleted between capture and fetch
                     continue
-                for j, (i, _name) in enumerate(pending):
+                for i, name in enumerate(names):
                     value = row[i]
                     if value is None:
-                        nulls[j] += 1
+                        nulls[i] += 1
+                        continue
+                    sample[i].append(_hist_key(value))
+                    if name in exact:
                         continue
                     try:
-                        seen[j].add(normalize_key(value))
+                        seen[i].add(normalize_key(value))
                     except TypeError:  # unhashable cell: key it by repr
-                        seen[j].add(repr(value))
+                        seen[i].add(repr(value))
                 sampled += 1
-            for j, (_i, name) in enumerate(pending):
-                columns[name] = ColumnStats(
-                    _extrapolate_distinct(len(seen[j]), sampled, n),
-                    nulls[j] / sampled if sampled else 0.0,
-                )
+            for i, name in enumerate(names):
+                hist = _equi_depth(sample[i])
+                base = exact.get(name)
+                if base is not None:
+                    base.bounds = hist
+                    columns[name] = base
+                else:
+                    columns[name] = ColumnStats(
+                        _extrapolate_distinct(len(seen[i]), sampled, n),
+                        nulls[i] / sampled if sampled else 0.0,
+                        hist,
+                    )
         else:
-            for _i, name in pending:
-                columns[name] = ColumnStats(1.0, 0.0)
-        columns.update(exact)
+            for name in names:
+                columns[name] = exact.get(name) or ColumnStats(1.0, 0.0)
         self._columns = columns
         self._built_version = table.version
         self._built_rows = n
@@ -183,6 +257,18 @@ class TableStats:
                     max(1, index.n_keys), n_null / n_rows
                 )
         return out
+
+
+def _equi_depth(keys: list, buckets: int = HIST_BUCKETS):
+    """``b+1`` equi-depth boundary keys for ``keys`` (sorted in place),
+    or None when the sample is empty.  ``b`` shrinks to the sample size
+    for tiny samples so boundaries stay distinct positions."""
+    if not keys:
+        return None
+    keys.sort()
+    n = len(keys)
+    b = min(buckets, n)
+    return tuple(keys[(i * (n - 1)) // b] for i in range(b + 1))
 
 
 def _extrapolate_distinct(d_sample: float, sampled: int, n_rows: int) -> float:
@@ -285,13 +371,17 @@ def conjunct_selectivity(stats: TableStats, conjunct: ast.Expr,
                 return 1.0 / stats.distinct(column)
             return EQ_DEFAULT
         if op in ("<", "<=", ">", ">="):
-            return RANGE_DEFAULT
+            sel = _range_selectivity(stats, conjunct, binding)
+            return RANGE_DEFAULT if sel is None else sel
         if op == "<>":
             if column is not None:
                 return 1.0 - 1.0 / stats.distinct(column)
             return 1.0 - EQ_DEFAULT
         return OTHER_DEFAULT
     if isinstance(conjunct, ast.Between):
+        sel = _between_selectivity(stats, conjunct, binding)
+        if sel is not None:
+            return sel
         return 1.0 - BETWEEN_DEFAULT if conjunct.negated else BETWEEN_DEFAULT
     if isinstance(conjunct, ast.InList):
         column = _stats_column(conjunct.expr, table, binding)
@@ -309,6 +399,79 @@ def conjunct_selectivity(stats: TableStats, conjunct: ast.Expr,
     if isinstance(conjunct, ast.Unary) and conjunct.op == "NOT":
         return 1.0 - conjunct_selectivity(stats, conjunct.operand, binding)
     return OTHER_DEFAULT
+
+
+def _column_histogram(stats: TableStats, column: str):
+    """The column's :class:`ColumnStats` when it carries a histogram."""
+    col_stats = stats.column(column)
+    if col_stats is None or not col_stats.bounds:
+        return None
+    return col_stats
+
+
+def _range_selectivity(stats: TableStats, conjunct: ast.Binary,
+                       binding: str | None) -> float | None:
+    """Histogram estimate for ``column <op> literal`` (either side), or
+    None to fall back to the flat default.
+
+    Only :class:`ast.Literal` bounds are priced — a parameter slot's
+    value is unknown at plan time, and pricing one binding would bake it
+    into a cached plan every other binding then reuses.
+    """
+    table = stats.table
+    op = conjunct.op
+    column = _stats_column(conjunct.left, table, binding)
+    bound_expr = conjunct.right
+    if column is None:
+        column = _stats_column(conjunct.right, table, binding)
+        if column is None:
+            return None
+        bound_expr = conjunct.left
+        op = _FLIP_OP[op]
+    if not isinstance(bound_expr, ast.Literal):
+        return None
+    if bound_expr.value is None:
+        return 0.0  # comparison with NULL is never true
+    col_stats = _column_histogram(stats, column)
+    if col_stats is None:
+        return None
+    key = _hist_key(bound_expr.value)
+    if op == "<":
+        frac = col_stats.fraction_below(key, inclusive=False)
+    elif op == "<=":
+        frac = col_stats.fraction_below(key, inclusive=True)
+    elif op == ">":
+        frac = 1.0 - col_stats.fraction_below(key, inclusive=True)
+    else:  # ">="
+        frac = 1.0 - col_stats.fraction_below(key, inclusive=False)
+    # the histogram covers non-NULL values only; NULLs fail the predicate
+    return frac * (1.0 - col_stats.null_fraction)
+
+
+def _between_selectivity(stats: TableStats, conjunct: ast.Between,
+                         binding: str | None) -> float | None:
+    """Histogram estimate for ``column [NOT] BETWEEN lit AND lit``."""
+    column = _stats_column(conjunct.expr, stats.table, binding)
+    if column is None:
+        return None
+    if not (isinstance(conjunct.low, ast.Literal)
+            and isinstance(conjunct.high, ast.Literal)):
+        return None
+    low, high = conjunct.low.value, conjunct.high.value
+    if low is None or high is None:
+        # a NULL bound makes BETWEEN (and NOT BETWEEN) never true
+        return 0.0
+    col_stats = _column_histogram(stats, column)
+    if col_stats is None:
+        return None
+    inside = max(
+        0.0,
+        col_stats.fraction_below(_hist_key(high), inclusive=True)
+        - col_stats.fraction_below(_hist_key(low), inclusive=False),
+    )
+    non_null = 1.0 - col_stats.null_fraction
+    # NOT BETWEEN is still false for NULL rows: complement within non-NULLs
+    return non_null * (1.0 - inside if conjunct.negated else inside)
 
 
 def estimate_filtered_rows(stats: TableStats, conjuncts,

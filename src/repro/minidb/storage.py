@@ -38,6 +38,7 @@ later detects.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Callable, Iterator
 
 from repro.errors import CatalogError, IntegrityError, SerializationError
@@ -445,6 +446,28 @@ class Table:
         """Yield ``(rowid, values)`` in insertion order (current state)."""
         for rowid, row in self.rows.items():
             yield rowid, row
+
+    def scan_chunks(self, size: int) -> Iterator[tuple]:
+        """Yield ``(rowids, value_rows)`` chunks of ``size`` in insertion order.
+
+        The batched decode behind vectorized scans: a paged heap groups
+        consecutive same-page records so each page is fetched from the
+        buffer pool once per run (``PagedHeap.iter_chunks``); the
+        in-memory dict heap slices its ordinary item iteration.  Current
+        state only — MVCC snapshot reads use :meth:`snapshot_scan`.
+        """
+        heap = self.rows
+        chunker = getattr(heap, "iter_chunks", None)
+        if chunker is not None:
+            yield from chunker(size)
+            return
+        items = iter(heap.items())
+        while True:
+            block = list(islice(items, size))
+            if not block:
+                return
+            rowids, value_rows = zip(*block)  # C-speed unzip
+            yield rowids, value_rows
 
     def snapshot_scan(self, snapshot) -> Iterator[tuple]:
         """Yield ``(rowid, values)`` as ``snapshot`` sees them.

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
 from repro.errors import CatalogError, DatabaseError
@@ -68,6 +69,20 @@ class WriteAheadLog:
         self._handle = None  # durable append handle (open_durable)
         self._fsync = True
         self._unsynced = False
+        #: fsync syscalls issued so far — commits / fsyncs is the group
+        #: commit coalescing ratio (1.0 without contention)
+        self.fsync_count = 0
+        # group commit (``pragma("fsync", "group")``): concurrent
+        # committers elect one leader whose single flush+fsync covers
+        # every record appended before it started; the rest wait on the
+        # condition until the durable watermark reaches their target LSN
+        self._group = False
+        self._cond = threading.Condition()
+        self._flushing = False
+        self._synced_lsn = 0
+        # serializes appends against a leader's flush so a record line is
+        # never torn across the text wrapper's buffer mid-drain
+        self._io_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.records)
@@ -106,7 +121,8 @@ class WriteAheadLog:
         self.next_lsn += 1
         self.records.append(record)
         if self._handle is not None:
-            self._handle.write(json.dumps(record, default=str) + "\n")
+            with self._io_lock:
+                self._handle.write(json.dumps(record, default=str) + "\n")
             self._unsynced = True
 
     def log_event(self, event: tuple) -> None:
@@ -134,18 +150,69 @@ class WriteAheadLog:
         """Switch the fsync policy (``PRAGMA fsync``)."""
         self._fsync = bool(enabled)
 
+    def set_group_commit(self, enabled: bool) -> None:
+        """Switch group commit on or off (``pragma("fsync", "group")``).
+
+        With group commit, concurrent :meth:`sync` callers coalesce: one
+        becomes the flush leader, the rest block until the durable
+        watermark covers the last LSN they logged.  Committers that
+        arrive while a flush is in flight are covered by the *next*
+        leader's single fsync instead of issuing their own.
+        """
+        with self._cond:
+            self._group = bool(enabled)
+            if self._group and not self._unsynced:
+                # everything logged so far is already on stable storage
+                # (or there is nothing yet) — start the watermark there
+                # so the first group sync has no phantom backlog
+                self._synced_lsn = self.next_lsn - 1
+            self._cond.notify_all()
+
     def sync(self) -> None:
         """Make every logged record durable (commit boundary).
 
         Flushes the durable append handle and — unless the fsync policy
-        is off — fsyncs it.  No-op for buffered logs.
+        is off — fsyncs it.  No-op for buffered logs.  Under group
+        commit this blocks until a leader's fsync covers this caller's
+        records (possibly our own flush, possibly a concurrent one).
         """
-        if self._handle is None or not self._unsynced:
+        if self._handle is None:
             return
-        self._handle.flush()
-        if self._fsync:
-            os.fsync(self._handle.fileno())
-        self._unsynced = False
+        if not self._group:
+            if not self._unsynced:
+                return
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+                self.fsync_count += 1
+            self._unsynced = False
+            return
+        with self._cond:
+            # everything we could have logged is below this LSN; once the
+            # watermark passes it, some leader's barrier covered us
+            target = self.next_lsn - 1
+            while True:
+                if self._synced_lsn >= target:
+                    return
+                if not self._flushing:
+                    break
+                self._cond.wait()
+            self._flushing = True
+            covered = self.next_lsn - 1
+        try:
+            with self._io_lock:
+                self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+                self.fsync_count += 1
+        finally:
+            with self._cond:
+                self._flushing = False
+                if covered > self._synced_lsn:
+                    self._synced_lsn = covered
+                if self.next_lsn - 1 <= covered:
+                    self._unsynced = False
+                self._cond.notify_all()
 
     def size_bytes(self) -> int:
         """Approximate serialized size of the pending log."""
@@ -190,12 +257,17 @@ class WriteAheadLog:
         self.records.clear()
         self.checkpointed_lsn = self.next_lsn - 1
         if self._handle is not None:
-            self._handle.seek(0)
-            self._handle.truncate()
-            self._handle.flush()
+            with self._io_lock:
+                self._handle.seek(0)
+                self._handle.truncate()
+                self._handle.flush()
             if self._fsync:
                 os.fsync(self._handle.fileno())
             self._unsynced = False
+            with self._cond:
+                # the heap now holds everything; the empty log is durable
+                self._synced_lsn = self.next_lsn - 1
+                self._cond.notify_all()
         self._checkpoints += 1
         return flushed
 

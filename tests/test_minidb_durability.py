@@ -388,3 +388,64 @@ class TestBufferPoolResidency:
         # following checkpoint), never by another table's worth of data
         assert db.pager.page_count <= grown + 1
         db.close()
+
+
+class TestGroupCommit:
+    def test_pragma_round_trip(self, tmp_path):
+        db = connect(tmp_path / "g.db", fsync="group")
+        assert db.pragma("fsync") == "group"
+        db.pragma("fsync", True)
+        assert db.pragma("fsync") == "commit"
+        db.pragma("fsync", "group")
+        assert db.pragma("fsync") == "group"
+        db.pragma("fsync", "off")
+        assert db.pragma("fsync") == "off"
+        db.close()
+
+    def test_concurrent_commits_all_durable(self, tmp_path):
+        """N writers under group commit: every committed row survives a
+        clean reopen (the leader's fsync covers follower records)."""
+        import threading
+
+        path = tmp_path / "group.db"
+        db = connect(path, fsync="group", wal_autocheckpoint=0)
+        db.execute("CREATE TABLE t (i INT)")
+        writers, per_writer = 4, 25
+        gate = threading.Barrier(writers)
+
+        def worker(base):
+            conn = db.connect()
+            gate.wait()
+            for i in range(per_writer):
+                conn.execute("BEGIN")
+                conn.execute("INSERT INTO t VALUES (?)", (base + i,))
+                conn.commit()
+            conn.close()
+
+        threads = [threading.Thread(target=worker, args=(k * 1000,))
+                   for k in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = sorted(k * 1000 + i
+                          for k in range(writers) for i in range(per_writer))
+        assert sorted(db.execute("SELECT i FROM t").scalars()) == expected
+        db.close()
+        with connect(path) as reopened:
+            assert sorted(reopened.execute("SELECT i FROM t").scalars()) == expected
+
+    def test_commit_then_crash_preserves_synced_tail(self, tmp_path):
+        """A committed transaction under group fsync survives a crash —
+        the commit barrier does not return before its records are synced."""
+        path = tmp_path / "crashy.db"
+        db = connect(path, fsync="group", wal_autocheckpoint=0)
+        db.execute("CREATE TABLE t (i INT)")
+        conn = db.connect()
+        for i in range(10):
+            conn.execute("BEGIN")
+            conn.execute("INSERT INTO t VALUES (?)", (i,))
+            conn.commit()
+        crash(db)
+        with connect(path) as reopened:
+            assert reopened.execute("SELECT COUNT(*) FROM t").scalar() == 10

@@ -1,0 +1,223 @@
+"""A9 — network TPS: concurrent socket clients against one server.
+
+The deployed shape of the backend is one process owning the database and
+many TCP clients holding sessions.  This benchmark answers two
+questions the in-process numbers cannot:
+
+* ``roundtrip`` — the serial wire tax: one client, one op in flight —
+  ping, prepared point read, prepared write.  These per-op latencies
+  are the tracked ``*_seconds`` paths the regression gate guards (the
+  frame/dispatch overhead must not creep), measured without thread
+  scheduling noise.
+* ``concurrent`` — ≥8 socket clients hammering prepared reads, prepared
+  writes, and ``run_transaction`` bank transfers simultaneously.
+  Reported as TPS (not gated: thread scheduling is noisy).  The
+  transfer workload moves money between random accounts under genuine
+  write-write conflict; the final ``SUM(balance)`` must equal the
+  initial — MVCC correctness under concurrent network load, not just
+  throughput.
+
+Numbers land in ``benchmarks/artifacts/tps.json``.
+"""
+
+import os
+import random
+import threading
+import time
+
+from repro.bench import print_generic, write_json_artifact
+from repro.minidb import Database
+from repro.minidb.net import MiniDBServer
+from repro.minidb.net import client as net_client
+
+N_ACCOUNTS = int(os.environ.get("REPRO_TPS_ROWS", "2000"))
+N_CLIENTS = int(os.environ.get("REPRO_TPS_CLIENTS", "8"))
+DURATION = float(os.environ.get("REPRO_TPS_SECONDS", "0.6"))
+INITIAL_BALANCE = 1000
+ROUNDTRIP_REPEAT = 200
+
+
+def _populate(db: Database) -> None:
+    db.execute("CREATE TABLE accounts (id INTEGER, balance INTEGER)")
+    db.insert_rows(
+        "accounts", [(i, INITIAL_BALANCE) for i in range(N_ACCOUNTS)]
+    )
+    db.execute("CREATE INDEX idx_id ON accounts(id)")
+    db.analyze()
+
+
+def _time_per_call(fn, repeat: int = ROUNDTRIP_REPEAT) -> float:
+    fn()  # warm plan caches and the connection
+    started = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return (time.perf_counter() - started) / repeat
+
+
+def _measure_roundtrip(host: str, port: int) -> dict:
+    """Serial per-op wire latency: one client, one request in flight."""
+    conn = net_client.connect(host, port)
+    try:
+        ping = _time_per_call(conn.ping)
+        read_stmt = conn.prepare(
+            "SELECT balance FROM accounts WHERE id = ?")
+        point = _time_per_call(lambda: read_stmt.execute((7,)).scalar())
+        write_stmt = conn.prepare(
+            "UPDATE accounts SET balance = balance WHERE id = ?")
+        write = _time_per_call(lambda: write_stmt.execute((7,)))
+        return {
+            "ping_seconds": ping,
+            "prepared_read_seconds": point,
+            "prepared_write_seconds": write,
+        }
+    finally:
+        conn.close()
+
+
+def _client_loop(host, port, slot, kind, stop, counts, retries, errors,
+                 barrier):
+    """One socket client's workload until ``stop`` is set."""
+    rng = random.Random(0xBEEF + slot)
+    # writers take the upper half of the id space, transfers the lower:
+    # autocommit UPDATEs have no retry loop, so they must never race a
+    # transfer transaction for the same row (reads go anywhere — MVCC
+    # readers never conflict)
+    transfer_pool = max(2, N_ACCOUNTS // 2)
+    conn = net_client.connect(host, port)
+    try:
+        read_stmt = conn.prepare("SELECT balance FROM accounts WHERE id = ?")
+        write_stmt = conn.prepare(
+            "UPDATE accounts SET balance = balance + ? WHERE id = ?")
+        barrier.wait(timeout=30.0)
+        n = 0
+        while not stop.is_set():
+            if kind == "read":
+                balance = read_stmt.execute(
+                    (rng.randrange(N_ACCOUNTS),)).scalar()
+                assert balance is not None
+            elif kind == "write":
+                account = transfer_pool + rng.randrange(
+                    max(1, N_ACCOUNTS - transfer_pool))
+                write_stmt.execute((0, account % N_ACCOUNTS))
+            else:  # transfer: genuine write-write conflict + retry
+                src = rng.randrange(transfer_pool)
+                dst = (src + rng.randrange(1, transfer_pool)) % transfer_pool
+                before = [0]
+
+                def txn(c):
+                    before[0] += 1
+                    balance = read_stmt.execute((src,)).scalar()
+                    c.execute(
+                        "UPDATE accounts SET balance = ? WHERE id = ?",
+                        (balance - 1, src))
+                    balance = read_stmt.execute((dst,)).scalar()
+                    c.execute(
+                        "UPDATE accounts SET balance = ? WHERE id = ?",
+                        (balance + 1, dst))
+
+                conn.run_transaction(txn)
+                retries[slot] += before[0] - 1
+            n += 1
+        counts[slot] = n
+    except Exception as exc:  # pragma: no cover - surfaced below
+        errors.append(exc)
+    finally:
+        conn.close()
+
+
+def _measure_concurrent(db: Database, host: str, port: int) -> dict:
+    """N_CLIENTS socket clients: prepared reads, writes, transfers."""
+    assert N_CLIENTS >= 8, "the acceptance bar is >= 8 concurrent clients"
+    # a mixed fleet: half readers, a quarter writers, a quarter transfers
+    kinds = ["read"] * (N_CLIENTS // 2) + ["write"] * (N_CLIENTS // 4)
+    kinds += ["transfer"] * (N_CLIENTS - len(kinds))
+    stop = threading.Event()
+    counts = [0] * N_CLIENTS
+    retries = [0] * N_CLIENTS
+    errors: list = []
+    barrier = threading.Barrier(N_CLIENTS + 1)
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(host, port, slot, kind, stop, counts, retries, errors,
+                  barrier),
+            name=f"tps-client-{slot}",
+        )
+        for slot, kind in enumerate(kinds)
+    ]
+    db.start_background_gc(interval=0.05)
+    try:
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=30.0)
+        started = time.perf_counter()
+        time.sleep(DURATION)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        elapsed = time.perf_counter() - started
+    finally:
+        db.stop_background_gc()
+    if errors:
+        raise errors[0]
+    db.vacuum()
+    by_kind = {"read": 0, "write": 0, "transfer": 0}
+    for kind, count in zip(kinds, counts):
+        by_kind[kind] += count
+    return {
+        "n_clients": N_CLIENTS,
+        "duration_target": DURATION,
+        "reads_per_sec": by_kind["read"] / elapsed,
+        "writes_per_sec": by_kind["write"] / elapsed,
+        "transfers_per_sec": by_kind["transfer"] / elapsed,
+        "total_ops": sum(counts),
+        "committed_transfers": by_kind["transfer"],
+        "serialization_retries": sum(retries),
+    }
+
+
+def test_tps_benchmark():
+    db = Database()
+    _populate(db)
+    with MiniDBServer(db, port=0, max_connections=N_CLIENTS + 4) as server:
+        host, port = server.address
+        roundtrip = _measure_roundtrip(host, port)
+        concurrent = _measure_concurrent(db, host, port)
+        served = server.stats["requests_served"]
+
+    # the transfer invariant: racing clients moved money, never made it
+    total = db.execute("SELECT SUM(balance) FROM accounts").scalar()
+    assert total == N_ACCOUNTS * INITIAL_BALANCE, (
+        f"money not conserved: {total} != {N_ACCOUNTS * INITIAL_BALANCE}")
+    # every client fleet made progress
+    assert concurrent["total_ops"] > 0
+    assert concurrent["committed_transfers"] > 0
+
+    payload = {
+        "n_accounts": N_ACCOUNTS,
+        "requests_served": served,
+        "roundtrip": roundtrip,
+        "concurrent": concurrent,
+    }
+    print_generic(
+        f"A9 — network TPS ({N_CLIENTS} clients, {N_ACCOUNTS} accounts)",
+        ["Metric", "Value"],
+        [
+            ["ping", f"{roundtrip['ping_seconds'] * 1e6:.1f} us"],
+            ["prepared read",
+             f"{roundtrip['prepared_read_seconds'] * 1e6:.1f} us"],
+            ["prepared write",
+             f"{roundtrip['prepared_write_seconds'] * 1e6:.1f} us"],
+            ["concurrent reads",
+             f"{concurrent['reads_per_sec']:.0f} ops/s"],
+            ["concurrent writes",
+             f"{concurrent['writes_per_sec']:.0f} ops/s"],
+            ["concurrent transfers",
+             f"{concurrent['transfers_per_sec']:.0f} txns/s"],
+            ["serialization retries",
+             str(concurrent["serialization_retries"])],
+        ],
+    )
+    path = write_json_artifact("tps", payload)
+    print(f"artifact: {path}")
+    db.close()

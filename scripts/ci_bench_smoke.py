@@ -48,6 +48,8 @@ SMOKE_ENV = {
     "REPRO_DUR_ROWS": "2000",
     "REPRO_DUR_COMMITS": "50",
     "REPRO_VEC_ROWS": "5000",
+    "REPRO_TPS_ROWS": "500",
+    "REPRO_TPS_SECONDS": "0.3",
 }
 
 # benchmark files that must produce an artifact named after the payload
@@ -60,6 +62,7 @@ EXPECTED_ARTIFACTS = {
     "bench_prepared.py": "prepared",
     "bench_streaming.py": "streaming",
     "bench_table1.py": "table1",
+    "bench_tps.py": "tps",
     "bench_vectorized.py": "vectorized",
 }
 

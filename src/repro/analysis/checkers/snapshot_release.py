@@ -12,6 +12,15 @@ row versions accumulate forever.  Two obligations:
 2. A function that *receives* the obligation — binds or takes a
    parameter named ``release`` — must call it inside a ``finally:``,
    forward it onward as an argument, or return it to its own caller.
+
+3. A function that opens a streaming cursor (calls ``.stream(...)`` —
+   each one holds a registered snapshot until exhausted or closed) must
+   visibly move the obligation somewhere: return the cursor, store it
+   into object state (attribute/subscript — a tracked-cursor table),
+   hand it to another call (``track_stream``), consume it in place
+   (chained call, ``with`` block), or ``.close()`` it in a
+   finally/except cleanup.  A cursor bound to a local and merely read
+   leaks its snapshot on the first exception.
 """
 
 from __future__ import annotations
@@ -26,6 +35,9 @@ from repro.analysis.summaries import FunctionInfo, PackageSummary, call_name
 
 REGISTER_CALLS = {"read_snapshot", "retain"}
 RELEASE_NAME = "release"
+STREAM_CALL = "stream"
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
 
 def _is_release_call(node: ast.Call) -> bool:
@@ -77,6 +89,13 @@ class SnapshotReleaseChecker(Checker):
                     fn, fn.node,
                     "binds a 'release' callback but neither calls it in "
                     "a finally block, forwards it, nor returns it")
+            # streaming cursors: each .stream() call holds a snapshot
+            for site in self._stream_leaks(fn, summary):
+                yield self.finding(
+                    fn, site,
+                    "opens a streaming cursor but neither returns it, "
+                    "stores it, hands it off, nor closes it in a cleanup "
+                    "block; an abandoned cursor pins the GC horizon")
 
     def _releases_in_finally(self, fn: FunctionInfo, summary) -> bool:
         return any(
@@ -147,4 +166,93 @@ class SnapshotReleaseChecker(Checker):
                     nested_summary = summary
                     if nested_summary.in_finally(sub):
                         return True
+        return False
+
+    # -- streaming-cursor obligations -----------------------------------------
+
+    def _stream_leaks(self, fn: FunctionInfo, summary) -> list[ast.Call]:
+        """``.stream(...)`` call sites whose cursor visibly goes nowhere."""
+        sites = {
+            id(c): c for c in fn.calls
+            if isinstance(c.func, ast.Attribute) and c.func.attr == STREAM_CALL
+        }
+        if not sites:
+            return []
+        discharged: set[int] = set()    # site ids handled directly
+        bound: dict[str, list[int]] = {}  # local name -> site ids it holds
+        names_ok: set[str] = set()      # locals whose obligation moved on
+        # pass 1: which locals hold a cursor (own_nodes has no ordering
+        # guarantee, so bindings must be known before the discharge scan)
+        for node in fn.own_nodes():
+            if isinstance(node, ast.Assign) and id(node.value) in sites:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound.setdefault(target.id, []).append(id(node.value))
+        # pass 2: where each cursor (or the local holding it) ends up
+        for node in fn.own_nodes():
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if id(sub) in sites:
+                        discharged.add(id(sub))
+                    elif isinstance(sub, ast.Name) and sub.id in bound:
+                        names_ok.add(sub.id)
+            elif isinstance(node, ast.Assign):
+                into_state = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets)
+                if id(node.value) in sites:
+                    if into_state:
+                        discharged.add(id(node.value))
+                elif into_state:
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id in bound:
+                            names_ok.add(sub.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if id(expr) in sites:
+                        discharged.add(id(expr))
+                    elif isinstance(expr, ast.Name) and expr.id in bound:
+                        names_ok.add(expr.id)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                # chained consumption: conn.stream(...).materialize()
+                if (isinstance(func, ast.Attribute)
+                        and id(func.value) in sites):
+                    discharged.add(id(func.value))
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    if id(arg) in sites:
+                        discharged.add(id(arg))  # handed to track_stream etc.
+                    elif isinstance(arg, ast.Name) and arg.id in bound:
+                        names_ok.add(arg.id)
+                # name.close() on a cleanup path (finally / except)
+                if (isinstance(func, ast.Attribute) and func.attr == "close"
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in bound
+                        and self._in_cleanup(node, summary)):
+                    names_ok.add(func.value.id)
+        leaks = []
+        for site_id, site in sites.items():
+            if site_id in discharged:
+                continue
+            if any(site_id in ids and name in names_ok
+                   for name, ids in bound.items()):
+                continue
+            leaks.append(site)
+        return leaks
+
+    @staticmethod
+    def _in_cleanup(node: ast.AST, summary) -> bool:
+        """Finally block or except handler — the teardown paths."""
+        if summary.in_finally(node):
+            return True
+        cur = node
+        parent = summary.parent.get(cur)
+        while parent is not None:
+            if isinstance(parent, _SCOPES):
+                return False
+            if isinstance(parent, ast.ExceptHandler):
+                return True
+            cur = parent
+            parent = summary.parent.get(cur)
         return False

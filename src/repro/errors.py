@@ -92,6 +92,29 @@ class IntegrityError(DatabaseError):
 
 
 # ---------------------------------------------------------------------------
+# repro.minidb.net — the socket server and client
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(DatabaseError):
+    """Base class for the wire layer (connection loss, bad frames, ...)."""
+
+
+class ProtocolError(NetworkError):
+    """A malformed, oversized, or out-of-sequence wire frame."""
+
+
+class AuthenticationError(NetworkError):
+    """The handshake's credentials were rejected (or missing)."""
+
+
+class AdmissionError(NetworkError):
+    """The server refused the request to protect itself: connection
+    limit reached, per-connection resource cap exceeded, idle timeout,
+    or a drain in progress.  Reconnecting later may succeed."""
+
+
+# ---------------------------------------------------------------------------
 # repro.core and above
 # ---------------------------------------------------------------------------
 

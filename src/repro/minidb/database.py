@@ -42,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import weakref
 from collections import OrderedDict
 from pathlib import Path
 
@@ -161,6 +162,10 @@ class Database:
         self.txn = TransactionManager()
         self.txn.gc_hook = self._gc_locked
         self.default_session = Session(self)
+        # live connections, weakly held: close() must be able to tear
+        # them down (releasing their cursors' snapshots) even when a
+        # caller leaked one, without keeping dead ones alive
+        self._connections: weakref.WeakSet = weakref.WeakSet()
         # cost-based planning knobs: per-table statistics (lazily rebuilt;
         # see repro.minidb.stats) and the join-reordering switch — flip it
         # off to force syntactic join order (benchmarks, debugging)
@@ -193,7 +198,9 @@ class Database:
         """Open an isolated session: own transactions, own cursors,
         snapshot-isolation reads (see ``ARCHITECTURE.md``)."""
         self._require_open()
-        return Connection(self)
+        connection = Connection(self)
+        self._connections.add(connection)
+        return connection
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Parse ``sql`` once and return its prepared statement.
@@ -235,9 +242,11 @@ class Database:
         scan instead of paying for the full result.  The cursor reads a
         snapshot taken when it was opened: interleaved DML — this
         session's or a concurrent connection's — does not change what it
-        yields.
+        yields.  Cursors still open at :meth:`close` are closed with the
+        database (their snapshots released).
         """
-        return self.prepare(sql).stream(params)
+        result = self.prepare(sql).stream(params)
+        return self.default_session.track_stream(result)
 
     def executemany(self, sql: str, param_rows) -> int:
         """Run one parameterized statement for each params tuple.
@@ -400,7 +409,11 @@ class Database:
         """Flush, checkpoint (when quiescent) and release the database.
 
         Safe to call twice.  Any open default-session transaction is
-        rolled back first.  For file-backed databases a clean close means
+        rolled back first, still-open connections are closed (rolling
+        back their transactions and releasing any streaming cursors'
+        snapshots, so a leaked connection cannot pin the GC horizon or
+        block the final checkpoint).  For file-backed databases a clean
+        close means
         the next open replays an empty WAL tail; if another connection
         still holds a transaction open, the checkpoint is skipped — the
         durable WAL already guarantees every *committed* transaction
@@ -409,7 +422,10 @@ class Database:
         if self._closed:
             return
         self.stop_background_gc()
+        for connection in list(self._connections):
+            connection.close()
         self.default_session.close()
+        self.maybe_gc()
         if self.pager is not None:
             self._checkpoint_durable()
             self.wal.close()

@@ -1,0 +1,49 @@
+"""``repro.minidb.net`` — the socket front door to a minidb database.
+
+The engine's ``db.connect()`` sessions, served to real concurrent
+clients over TCP: a length-prefixed JSON frame protocol with PBKDF2
+auth, server-assigned prepared-statement ids, paged streaming cursors,
+and admission control (connection limit, per-connection statement and
+cursor caps, idle timeout, graceful drain).  See
+``src/repro/minidb/ARCHITECTURE.md`` §"Network server & wire protocol".
+
+Server::
+
+    from repro.minidb import connect
+    from repro.minidb.net import CredentialStore, MiniDBServer
+
+    db = connect("data.db")
+    auth = CredentialStore("users.json")
+    with MiniDBServer(db, port=7791, auth=auth) as server:
+        ...
+
+Client::
+
+    from repro.minidb.net import client
+    conn = client.connect("127.0.0.1", 7791, "ada", "s3cret")
+    conn.execute("INSERT INTO t VALUES (?)", (1,))
+    stmt = conn.prepare("SELECT * FROM t WHERE x = ?")
+    rows = stmt.execute((1,)).rows
+"""
+
+from repro.minidb.net.auth import CredentialStore
+from repro.minidb.net.client import NetworkConnection, RemoteStatement, RemoteStream
+from repro.minidb.net.client import connect as connect  # noqa: PLC0414 - re-export
+from repro.minidb.net.framing import MAX_FRAME, FrameReader, recv_frame, send_frame
+from repro.minidb.net.server import FrameServer, MiniDBServer
+from repro.minidb.net.wire import PROTOCOL_VERSION
+
+__all__ = [
+    "CredentialStore",
+    "FrameReader",
+    "FrameServer",
+    "MAX_FRAME",
+    "MiniDBServer",
+    "NetworkConnection",
+    "PROTOCOL_VERSION",
+    "RemoteStatement",
+    "RemoteStream",
+    "connect",
+    "recv_frame",
+    "send_frame",
+]

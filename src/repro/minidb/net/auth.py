@@ -1,0 +1,137 @@
+"""PBKDF2 password auth for the network server.
+
+Credentials live in a JSON file (or purely in memory) mapping user names
+to ``{salt, iterations, hash}`` — PBKDF2-HMAC-SHA256 with a per-user
+random salt, so equal passwords never share a digest and a stolen file
+supports only per-user brute force at the stored work factor.
+
+Verification is constant-time in the comparison (``hmac.compare_digest``)
+and deliberately *uniform-cost for unknown users*: a login for a user
+that does not exist still runs one full PBKDF2 derivation against a
+dummy salt before failing, so response timing does not reveal which user
+names exist.  Both failure modes return the same generic message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+from pathlib import Path
+
+from repro.errors import AuthenticationError, DatabaseError
+
+#: PBKDF2-HMAC-SHA256 work factor for newly stored credentials
+DEFAULT_ITERATIONS = 120_000
+_SALT_BYTES = 16
+_GENERIC_REJECT = "invalid user name or password"
+
+
+def _derive(password: str, salt: bytes, iterations: int) -> bytes:
+    return hashlib.pbkdf2_hmac(
+        "sha256", password.encode("utf-8"), salt, iterations)
+
+
+class CredentialStore:
+    """User name -> PBKDF2 credential records, optionally file-backed.
+
+    ``CredentialStore(path)`` loads (or will create) a JSON credential
+    file; ``CredentialStore()`` keeps records in memory only (tests,
+    throwaway servers).  :meth:`add_user` hashes and persists;
+    :meth:`verify` never returns a reason more specific than
+    "invalid user name or password".
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None,
+                 iterations: int = DEFAULT_ITERATIONS):
+        self.path = Path(path) if path is not None else None
+        self.iterations = int(iterations)
+        if self.iterations < 1:
+            raise DatabaseError("iterations must be positive")
+        self._users: dict[str, dict] = {}
+        # burn the same PBKDF2 cost for unknown users as for real ones
+        self._dummy_salt = os.urandom(_SALT_BYTES)
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    @classmethod
+    def from_passwords(cls, passwords: dict[str, str],
+                       path: str | os.PathLike | None = None,
+                       iterations: int = DEFAULT_ITERATIONS
+                       ) -> "CredentialStore":
+        """A store pre-loaded from ``{user: password}`` (file-backed when
+        ``path`` is given, in-memory otherwise)."""
+        store = cls(path=path, iterations=iterations)
+        for user, password in passwords.items():
+            store.add_user(user, password)
+        return store
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __contains__(self, user: str) -> bool:
+        return user in self._users
+
+    def add_user(self, user: str, password: str) -> None:
+        """Hash and store (and persist, when file-backed) one credential."""
+        if not user:
+            raise DatabaseError("user name must be non-empty")
+        salt = os.urandom(_SALT_BYTES)
+        self._users[user] = {
+            "salt": salt.hex(),
+            "iterations": self.iterations,
+            "hash": _derive(password, salt, self.iterations).hex(),
+        }
+        self._save()
+
+    def remove_user(self, user: str) -> None:
+        self._users.pop(user, None)
+        self._save()
+
+    def verify(self, user, password) -> bool:
+        """Constant-time credential check; True only on an exact match."""
+        record = self._users.get(user) if isinstance(user, str) else None
+        if record is None:
+            # uniform cost: unknown user burns one derivation anyway
+            _derive(str(password), self._dummy_salt, self.iterations)
+            return False
+        derived = _derive(
+            str(password), bytes.fromhex(record["salt"]),
+            int(record["iterations"]),
+        )
+        return hmac.compare_digest(derived, bytes.fromhex(record["hash"]))
+
+    def authenticate(self, user, password) -> str:
+        """The verified user name; raises :class:`AuthenticationError`
+        with a deliberately generic message on any failure."""
+        if not self.verify(user, password):
+            raise AuthenticationError(_GENERIC_REJECT)
+        return user
+
+    # -- persistence ---------------------------------------------------------
+
+    def _save(self) -> None:
+        if self.path is None:
+            return
+        blob = json.dumps({"users": self._users}, indent=2, sort_keys=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(blob + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)  # atomic: never a half-written store
+        try:
+            os.chmod(self.path, 0o600)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+            users = document["users"]
+            for user, record in users.items():
+                bytes.fromhex(record["salt"])
+                bytes.fromhex(record["hash"])
+                int(record["iterations"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise DatabaseError(
+                f"credential file {self.path} is unreadable: {exc}") from None
+        self._users = users

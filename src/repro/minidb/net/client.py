@@ -1,0 +1,409 @@
+"""The blocking client: the in-process PEP 249 surface, over a socket.
+
+``connect(host, port, user, password)`` opens a TCP connection, runs the
+hello/auth handshake, and returns a :class:`NetworkConnection` exposing
+the same surface as :class:`repro.minidb.session.Connection` —
+``execute`` / ``executemany`` / ``stream`` / ``prepare`` / ``cursor`` /
+``begin`` / ``commit`` / ``rollback`` / ``run_transaction`` / context
+manager — so code (and the test battery) can be parametrized over the
+in-process and network transports without branching.
+
+Results come back as the ordinary
+:class:`~repro.minidb.results.ResultSet`; server errors are re-raised as
+the exception class their wire code names, so ``except
+SerializationError`` (and the retry loop built on it) works unchanged.
+A connection is one socket with strictly sequential request/response
+exchanges — like its in-process counterpart it is not thread-safe; use
+one connection per thread.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+
+from repro.errors import (
+    DatabaseError,
+    NetworkError,
+    SerializationError,
+    TransactionError,
+)
+from repro.minidb.net import wire
+from repro.minidb.net.framing import recv_frame, send_frame
+from repro.minidb.prepared import Cursor
+from repro.minidb.results import ResultSet
+
+#: client-side frame ceiling — generous, result pages can be wide
+CLIENT_MAX_FRAME = 64 * 1024 * 1024
+
+#: indirection so tests can observe/neutralize retry sleeps
+_sleep = time.sleep
+
+
+def connect(host: str, port: int, user: str | None = None,
+            password: str | None = None,
+            timeout: float | None = None) -> "NetworkConnection":
+    """Open and authenticate one connection to a minidb server."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise NetworkError(f"cannot reach {host}:{port}: {exc}") from None
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    connection = NetworkConnection(sock)
+    try:
+        connection._handshake(user, password)
+    except BaseException:
+        sock.close()
+        raise
+    return connection
+
+
+class NetworkConnection:
+    """One authenticated session on a remote minidb server."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._closed = False
+        self._in_transaction = False
+        self.server_info: dict = {}
+
+    # -- the wire ----------------------------------------------------------------
+
+    def _handshake(self, user, password) -> None:
+        reply = self._exchange({
+            "op": "hello", "protocol": wire.PROTOCOL_VERSION,
+            "user": user, "password": password,
+        })
+        self.server_info = reply
+
+    def _exchange(self, frame: dict) -> dict:
+        """One request/response round trip; raises the decoded server
+        error (closing the connection when the server will too)."""
+        self._check_open()
+        send_frame(self._sock, frame)
+        reply = recv_frame(self._sock, CLIENT_MAX_FRAME)
+        if reply is None:
+            self._abandon()
+            raise NetworkError("server closed the connection")
+        if reply.get("ok"):
+            return reply
+        payload = reply.get("error")
+        error = wire.decode_error(payload)
+        if isinstance(payload, dict) and payload.get("fatal"):
+            # the server closes its end after a fatal error (framing
+            # violation, failed handshake, idle/drain teardown) — our
+            # socket is dead too
+            self._abandon()
+        raise error
+
+    def _abandon(self) -> None:
+        """Mark the connection unusable without a goodbye exchange."""
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseError("connection is closed")
+
+    # -- statement execution -------------------------------------------------
+
+    def execute(self, sql: str, params: tuple | list = ()) -> ResultSet:
+        """Run one statement in this connection's server-side session."""
+        reply = self._exchange(
+            {"op": "execute", "sql": sql, "params": list(params)})
+        self._track_transaction(sql)
+        return _result_set(reply["result"])
+
+    def executemany(self, sql: str, param_rows) -> int:
+        reply = self._exchange({
+            "op": "executemany", "sql": sql,
+            "param_rows": [list(row) for row in param_rows],
+        })
+        return reply["rowcount"]
+
+    def stream(self, sql: str, params: tuple | list = (),
+               fetch_rows: int | None = None) -> "RemoteStream":
+        """Run a SELECT as a paged server-side cursor.
+
+        The server holds the MVCC snapshot; pages arrive as the client
+        iterates.  Close (or exhaust) the stream to release the
+        server-side cursor — abandoning it leaves the release to
+        connection teardown.
+        """
+        frame = {"op": "open_cursor", "sql": sql, "params": list(params)}
+        if fetch_rows is not None:
+            frame["max_rows"] = int(fetch_rows)
+        return RemoteStream(self, self._exchange(frame), fetch_rows)
+
+    def prepare(self, sql: str) -> "RemoteStatement":
+        """Prepare ``sql`` server-side; returns its remote handle."""
+        reply = self._exchange({"op": "prepare", "sql": sql})
+        return RemoteStatement(
+            self, sql, reply["stmt"], reply["n_params"], reply["is_select"])
+
+    def cursor(self) -> Cursor:
+        """A PEP 249 cursor over this connection."""
+        self._check_open()
+        return Cursor(self)
+
+    # -- transaction control ----------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+    def begin(self) -> None:
+        """Open an explicit transaction (same as ``execute("BEGIN")``)."""
+        self._in_transaction = self._exchange(
+            {"op": "begin"})["in_transaction"]
+
+    def commit(self) -> None:
+        """Commit the open transaction; a no-op without one (PEP 249)."""
+        self._in_transaction = self._exchange(
+            {"op": "commit"})["in_transaction"]
+
+    def rollback(self) -> None:
+        """Roll back the open transaction; a no-op without one (PEP 249)."""
+        self._in_transaction = self._exchange(
+            {"op": "rollback"})["in_transaction"]
+
+    def _track_transaction(self, sql: str) -> None:
+        head = sql.lstrip()[:8].upper()
+        if head.startswith("BEGIN"):
+            self._in_transaction = True
+        elif head.startswith(("COMMIT", "ROLLBACK")):
+            self._in_transaction = False
+
+    def run_transaction(self, fn, retries: int = 8, backoff: float = 0.005,
+                        max_backoff: float = 0.25, jitter: bool = True):
+        """Run ``fn(conn)`` in a transaction, retrying serialization
+        losers — the network twin of
+        :meth:`repro.minidb.session.Connection.run_transaction`.  The
+        retryable wire error code decodes back to
+        :class:`SerializationError`, so the loop is identical."""
+        self._check_open()
+        if self._in_transaction:
+            raise TransactionError(
+                "run_transaction requires no open transaction: it must "
+                "own BEGIN/COMMIT to be able to retry")
+        attempt = 0
+        while True:
+            self.begin()
+            try:
+                result = fn(self)
+                self.commit()
+            except SerializationError:
+                if self._in_transaction:
+                    self.rollback()
+                if attempt >= retries:
+                    raise
+                delay = min(max_backoff, backoff * (2 ** attempt))
+                if jitter:
+                    delay *= 0.5 + random.random() * 0.5
+                if delay > 0:
+                    _sleep(delay)
+                attempt += 1
+                continue
+            except BaseException:
+                if self._in_transaction:
+                    self.rollback()
+                raise
+            return result
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def ping(self) -> bool:
+        """Round-trip liveness probe; also resyncs ``in_transaction``."""
+        self._in_transaction = self._exchange(
+            {"op": "ping"})["in_transaction"]
+        return True
+
+    def close(self) -> None:
+        """Say goodbye (best-effort) and drop the socket.  The server
+        rolls back any open transaction and closes the session's
+        cursors."""
+        if self._closed:
+            return
+        try:
+            send_frame(self._sock, {"op": "bye"})
+            recv_frame(self._sock, CLIENT_MAX_FRAME)
+        except (NetworkError, DatabaseError):
+            pass
+        finally:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "NetworkConnection":
+        return self
+
+    def __exit__(self, exc_type, *_exc) -> None:
+        # PEP 249 idiom: commit on clean exit, roll back on error
+        if not self._closed:
+            try:
+                if exc_type is None:
+                    self.commit()
+                else:
+                    self.rollback()
+            finally:
+                self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else (
+            "in transaction" if self._in_transaction else "idle")
+        return f"NetworkConnection({state})"
+
+
+class RemoteStatement:
+    """A server-side prepared statement, addressed by its wire id.
+
+    The id lives in the connection's LRU-capped statement table; using a
+    handle evicted by that cap (or after :meth:`close`) raises a
+    DatabaseError naming the cause.  Mirrors
+    :class:`~repro.minidb.prepared.PreparedStatement`'s execution surface.
+    """
+
+    __slots__ = ("connection", "sql", "statement_id", "n_params", "is_select")
+
+    def __init__(self, connection: NetworkConnection, sql: str,
+                 statement_id: int, n_params: int, is_select: bool):
+        self.connection = connection
+        self.sql = sql
+        self.statement_id = statement_id
+        self.n_params = n_params
+        self.is_select = is_select
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteStatement({self.sql!r}, stmt={self.statement_id})"
+
+    def execute(self, params: tuple | list = (), session=None) -> ResultSet:
+        """Run under one binding (``session`` is accepted for interface
+        parity and ignored — the server session is implicit)."""
+        reply = self.connection._exchange({
+            "op": "execute_stmt", "stmt": self.statement_id,
+            "params": list(params),
+        })
+        self.connection._track_transaction(self.sql)
+        return _result_set(reply["result"])
+
+    def executemany(self, param_rows, session=None) -> int:
+        reply = self.connection._exchange({
+            "op": "executemany_stmt", "stmt": self.statement_id,
+            "param_rows": [list(row) for row in param_rows],
+        })
+        return reply["rowcount"]
+
+    def stream(self, params: tuple | list = (), session=None,
+               fetch_rows: int | None = None) -> "RemoteStream":
+        frame = {"op": "open_cursor", "stmt": self.statement_id,
+                 "params": list(params)}
+        if fetch_rows is not None:
+            frame["max_rows"] = int(fetch_rows)
+        return RemoteStream(
+            self.connection, self.connection._exchange(frame), fetch_rows)
+
+    def close(self) -> None:
+        """Free the server-side id (idempotent)."""
+        if not self.connection.closed:
+            self.connection._exchange(
+                {"op": "close_stmt", "stmt": self.statement_id})
+
+
+class RemoteStream:
+    """Paged rows off a server-side cursor — the remote
+    :class:`~repro.minidb.results.StreamingResult`.
+
+    The first page rides in the open reply; further pages are fetched on
+    demand.  ``close()`` releases the server-side cursor (and with it
+    the MVCC snapshot) without draining; exhausting the stream does the
+    same automatically.
+    """
+
+    __slots__ = ("connection", "columns", "_cursor_id", "_page", "_pos",
+                 "_done", "_fetch_rows")
+
+    def __init__(self, connection: NetworkConnection, opened: dict,
+                 fetch_rows: int | None):
+        self.connection = connection
+        self.columns = list(opened["columns"])
+        self._cursor_id = opened["cursor"]
+        self._page = wire.decode_rows(opened["rows"])
+        self._pos = 0
+        self._done = bool(opened["done"])
+        self._fetch_rows = fetch_rows
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> tuple:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    def fetchone(self) -> tuple | None:
+        """The next row, or None once exhausted."""
+        while self._pos >= len(self._page):
+            if self._done:
+                return None
+            self._fetch_page()
+        row = self._page[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchmany(self, n: int) -> list[tuple]:
+        """Up to ``n`` further rows (fewer at the end of the stream)."""
+        out: list[tuple] = []
+        while len(out) < n:
+            row = self.fetchone()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def materialize(self) -> ResultSet:
+        """Drain the remaining rows into a :class:`ResultSet`."""
+        rows: list[tuple] = []
+        while True:
+            row = self.fetchone()
+            if row is None:
+                break
+            rows.append(row)
+        return ResultSet(self.columns, rows)
+
+    def _fetch_page(self) -> None:
+        frame = {"op": "fetch", "cursor": self._cursor_id}
+        if self._fetch_rows is not None:
+            frame["max_rows"] = int(self._fetch_rows)
+        reply = self.connection._exchange(frame)
+        self._page = wire.decode_rows(reply["rows"])
+        self._pos = 0
+        self._done = bool(reply["done"])
+
+    def close(self) -> None:
+        """Release the server-side cursor now (idempotent)."""
+        if not self._done:
+            self._done = True
+            self._page = []
+            self._pos = 0
+            if not self.connection.closed:
+                self.connection._exchange(
+                    {"op": "close_cursor", "cursor": self._cursor_id})
+
+    def __enter__(self) -> "RemoteStream":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _result_set(payload: dict) -> ResultSet:
+    return ResultSet(
+        payload["columns"], wire.decode_rows(payload["rows"]),
+        rowcount=payload["rowcount"], lastrowid=payload["lastrowid"],
+    )

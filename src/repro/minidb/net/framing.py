@@ -1,0 +1,167 @@
+"""Length-prefixed JSON frames over a stream socket.
+
+Every message on the wire — handshake, request, response — is one
+*frame*: a 4-byte big-endian unsigned length followed by that many bytes
+of UTF-8 JSON encoding a single object.  The prefix makes message
+boundaries explicit (TCP is a byte stream), lets the receiver reject an
+oversized frame *before* buffering it, and keeps the payload format
+trivially inspectable.
+
+Two receive surfaces share the decoding logic:
+
+* :func:`send_frame` / :class:`FrameReader` — the server side.  The
+  reader owns a persistent buffer so short reads and socket timeouts
+  never tear a frame: a poll timeout mid-frame simply resumes filling
+  the same buffer on the next call.  ``read()`` takes an optional idle
+  deadline (seconds since the last byte arrived) and a ``should_stop``
+  predicate polled between socket waits, which is how graceful drain
+  interrupts a blocked connection.
+* :func:`recv_frame` — the blocking client side (no polling).
+
+Both ends enforce ``max_frame``; a violation raises
+:class:`~repro.errors.ProtocolError` and the connection must be closed —
+after a framing error the stream position is undefined.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+
+from repro.errors import AdmissionError, NetworkError, ProtocolError
+
+#: frames above this are rejected before buffering (server default; the
+#: client accepts larger responses since result pages can be wide)
+MAX_FRAME = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+#: seconds between should_stop/idle checks while a read is blocked
+POLL_INTERVAL = 0.25
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame: length prefix + JSON body."""
+    body = json.dumps(payload, separators=(",", ":"), default=str)
+    data = body.encode("utf-8")
+    return _LEN.pack(len(data)) + data
+
+
+def decode_body(data: bytes) -> dict:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return payload
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Serialize and write one frame (blocking until fully sent)."""
+    try:
+        sock.sendall(encode_frame(payload))
+    except OSError as exc:
+        raise NetworkError(f"connection lost while sending: {exc}") from None
+
+
+def recv_frame(sock: socket.socket, max_frame: int = MAX_FRAME) -> dict | None:
+    """Read one frame, blocking; None on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LEN.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte limit")
+    body = _recv_exact(sock, length, allow_eof=False)
+    return decode_body(body)
+
+
+def _recv_exact(sock: socket.socket, n: int, allow_eof: bool) -> bytes | None:
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            chunk = sock.recv(n - len(buf))
+        except OSError as exc:
+            raise NetworkError(f"connection lost: {exc}") from None
+        if not chunk:
+            if allow_eof and not buf:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+class FrameReader:
+    """Buffered frame reads for one server-side connection.
+
+    The socket runs with a short poll timeout so a blocked read can
+    observe ``should_stop`` (drain) and the idle clock; partial bytes
+    accumulate in ``self._buf`` across polls, so interrupted reads never
+    corrupt frame alignment.
+    """
+
+    __slots__ = ("sock", "max_frame", "_buf")
+
+    def __init__(self, sock: socket.socket, max_frame: int = MAX_FRAME):
+        self.sock = sock
+        self.max_frame = max_frame
+        self._buf = bytearray()
+        sock.settimeout(POLL_INTERVAL)
+
+    def read(self, idle_timeout: float | None = None,
+             should_stop=None) -> dict | None:
+        """The next frame; None on clean EOF at a frame boundary.
+
+        Raises :class:`AdmissionError` when no byte has arrived for
+        ``idle_timeout`` seconds, and :class:`ProtocolError` on EOF
+        mid-frame, an oversized length prefix, or a non-JSON body.
+        ``should_stop()`` returning True aborts the wait with
+        :class:`AdmissionError` (the drain path).
+        """
+        header = self._fill(_LEN.size, idle_timeout, should_stop)
+        if header is None:
+            return None
+        (length,) = _LEN.unpack(header)
+        if length > self.max_frame:
+            raise ProtocolError(
+                f"frame of {length} bytes exceeds the "
+                f"{self.max_frame}-byte limit")
+        body = self._fill(_LEN.size + length, idle_timeout, should_stop)
+        if body is None:  # EOF after a complete header
+            raise ProtocolError("connection closed mid-frame")
+        frame = decode_body(bytes(body[_LEN.size:]))
+        del self._buf[:_LEN.size + length]
+        return frame
+
+    def _fill(self, n: int, idle_timeout, should_stop):
+        """Grow the buffer to ``n`` bytes; returns a view of them.
+
+        None means clean EOF with an empty buffer (peer closed between
+        frames).  EOF with partial bytes is the caller's ProtocolError.
+        """
+        last_byte = time.monotonic()
+        while len(self._buf) < n:
+            if should_stop is not None and should_stop():
+                raise AdmissionError("server is shutting down")
+            try:
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                if (idle_timeout is not None
+                        and time.monotonic() - last_byte > idle_timeout):
+                    raise AdmissionError(
+                        f"connection idle for more than "
+                        f"{idle_timeout:g}s") from None
+                continue
+            except OSError as exc:
+                raise NetworkError(f"connection lost: {exc}") from None
+            if not chunk:
+                if not self._buf:
+                    return None
+                raise ProtocolError("connection closed mid-frame")
+            self._buf.extend(chunk)
+            last_byte = time.monotonic()
+        return self._buf[:n]

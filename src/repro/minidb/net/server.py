@@ -1,0 +1,561 @@
+"""The socket server: admission, handshake, and per-session dispatch.
+
+Two layers:
+
+* :class:`FrameServer` — transport policy, protocol-agnostic.  Listens,
+  enforces the connection limit *before* spending a thread, runs the
+  hello/auth handshake, polls the idle clock, and drains gracefully on
+  :meth:`stop` (stop accepting, let in-flight requests finish, then
+  force-close stragglers — every teardown path runs the subclass's
+  ``on_disconnect``).
+* :class:`MiniDBServer` — one authenticated connection owns one
+  ``db.connect()`` MVCC session.  Statements execute in that session
+  (BEGIN/COMMIT/ROLLBACK and autocommit behave exactly as in-process),
+  prepared statements get server-assigned ids in an LRU-capped
+  per-connection table, and large results stream as paged fetches off
+  server-side cursors that are closed — snapshots released — on any
+  disconnect, graceful or not.
+
+Why thread-per-connection and not asyncio: every engine call is
+blocking, CPU-bound Python serialized by the database's single write
+lock, so an event loop would have to push each statement onto a thread
+pool anyway — same thread count, plus a hop.  Threads also map one-to-one
+onto the engine's existing contract ("a connection is not thread-safe;
+use one per thread"), and readers genuinely overlap under the GIL only
+while blocked in socket I/O — exactly the state a per-connection thread
+spends its idle time in.  See ARCHITECTURE.md §"Network server & wire
+protocol".
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import OrderedDict
+
+from repro.errors import (
+    AdmissionError,
+    AuthenticationError,
+    DatabaseError,
+    NetworkError,
+    ProtocolError,
+)
+from repro.minidb.net import wire
+from repro.minidb.net.framing import (
+    MAX_FRAME,
+    POLL_INTERVAL,
+    FrameReader,
+    send_frame,
+)
+
+#: default rows per cursor page (an open_cursor/fetch response)
+FETCH_ROWS = 256
+
+
+class _Client:
+    """One accepted connection: socket, reader, and subclass state."""
+
+    __slots__ = ("sock", "reader", "address", "user", "state", "thread")
+
+    def __init__(self, sock: socket.socket, address, max_frame: int):
+        self.sock = sock
+        self.reader = FrameReader(sock, max_frame)
+        self.address = address
+        self.user: str | None = None
+        self.state = None
+        self.thread: threading.Thread | None = None
+
+
+class FrameServer:
+    """Threaded length-prefixed-JSON server with auth and admission.
+
+    Subclasses implement :meth:`on_connect`, :meth:`dispatch`, and
+    :meth:`on_disconnect`.  ``auth`` is a
+    :class:`~repro.minidb.net.auth.CredentialStore` (or None for an open
+    server — tests and trusted-loopback tools only).
+    """
+
+    server_name = "minidb"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 auth=None, max_connections: int = 64,
+                 idle_timeout: float | None = None,
+                 max_frame: int = MAX_FRAME):
+        self.host = host
+        self.port = port
+        self.auth = auth
+        self.max_connections = int(max_connections)
+        self.idle_timeout = idle_timeout
+        self.max_frame = int(max_frame)
+        self.stats = {
+            "connections_accepted": 0,
+            "connections_rejected": 0,
+            "requests_served": 0,
+            "auth_failures": 0,
+        }
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._clients: set[_Client] = set()
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound — resolves ``port=0`` ephemerals."""
+        if self._listener is None:
+            raise NetworkError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def client_count(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, and serve on background threads; returns the
+        bound address."""
+        if self._listener is not None:
+            raise NetworkError("server is already started")
+        self._stopping.clear()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(self.max_connections)
+        listener.settimeout(POLL_INTERVAL)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{self.server_name}-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Graceful drain: stop accepting, let in-flight requests finish
+        (each teardown closes cursors and releases snapshots), then
+        force-close whatever is left.  Safe to call twice."""
+        if self._listener is None:
+            return
+        self._stopping.set()
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        if self._accept_thread is not None:
+            self._accept_thread.join(
+                timeout=max(0.1, deadline - time.monotonic()))
+            self._accept_thread = None
+        with self._lock:
+            clients = list(self._clients)
+        for client in clients:  # blocked readers notice _stopping and exit
+            if client.thread is not None:
+                client.thread.join(
+                    timeout=max(0.05, deadline - time.monotonic()))
+        with self._lock:
+            stragglers = list(self._clients)
+        for client in stragglers:  # in-flight past the deadline: cut the socket
+            try:
+                client.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        for client in stragglers:
+            if client.thread is not None:
+                client.thread.join(timeout=1.0)
+        self._listener.close()
+        self._listener = None
+
+    def __enter__(self) -> "FrameServer":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    def on_connect(self, client: _Client) -> None:
+        """Allocate per-connection state after a successful handshake."""
+
+    def dispatch(self, client: _Client, frame: dict) -> dict:
+        """Handle one request frame; returns the response payload."""
+        raise NotImplementedError
+
+    def on_disconnect(self, client: _Client) -> None:
+        """Release per-connection state (runs on every teardown path)."""
+
+    def hello_payload(self, client: _Client) -> dict:
+        return {
+            "server": self.server_name,
+            "protocol": wire.PROTOCOL_VERSION,
+            "user": client.user,
+        }
+
+    # -- accept / serve ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, address = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if self._stopping.is_set():
+                sock.close()
+                break
+            with self._lock:
+                full = len(self._clients) >= self.max_connections
+                if not full:
+                    client = _Client(sock, address, self.max_frame)
+                    self._clients.add(client)
+            if full:
+                self.stats["connections_rejected"] += 1
+                self._reject(sock, AdmissionError(
+                    f"server is at its {self.max_connections}-connection "
+                    f"limit; retry later"))
+                continue
+            self.stats["connections_accepted"] += 1
+            thread = threading.Thread(
+                target=self._serve_client, args=(client,),
+                name=f"{self.server_name}-client-{address[1]}", daemon=True,
+            )
+            client.thread = thread
+            thread.start()
+
+    @staticmethod
+    def _reject(sock: socket.socket, exc: Exception) -> None:
+        try:
+            send_frame(sock, {"ok": False,
+                              "error": wire.encode_error(exc, fatal=True)})
+        except NetworkError:
+            pass
+        finally:
+            sock.close()
+
+    def _serve_client(self, client: _Client) -> None:
+        try:
+            client.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if not self._handshake(client):
+                return
+            self.on_connect(client)
+            self._request_loop(client)
+        except NetworkError:
+            pass  # peer vanished mid-write; teardown below still runs
+        finally:
+            try:
+                self.on_disconnect(client)
+            finally:
+                client.sock.close()
+                with self._lock:
+                    self._clients.discard(client)
+
+    def _handshake(self, client: _Client) -> bool:
+        """Authenticate or refuse; True when the session may proceed."""
+        try:
+            frame = client.reader.read(
+                idle_timeout=self.idle_timeout,
+                should_stop=self._stopping.is_set,
+            )
+        except (ProtocolError, AdmissionError) as exc:
+            self._send_error(client, exc, fatal=True)
+            return False
+        if frame is None:
+            return False
+        try:
+            if frame.get("op") != "hello":
+                raise AuthenticationError(
+                    "not authenticated: the first frame must be a "
+                    "'hello' handshake")
+            if frame.get("protocol") != wire.PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"protocol {frame.get('protocol')!r} not supported "
+                    f"(server speaks {wire.PROTOCOL_VERSION})")
+            user = frame.get("user")
+            if self.auth is not None:
+                client.user = self.auth.authenticate(
+                    user, frame.get("password"))
+            else:
+                client.user = user if isinstance(user, str) else "anonymous"
+        except (AuthenticationError, ProtocolError) as exc:
+            if isinstance(exc, AuthenticationError):
+                self.stats["auth_failures"] += 1
+            self._send_error(client, exc, fatal=True)
+            return False
+        send_frame(client.sock, {"ok": True, **self.hello_payload(client)})
+        return True
+
+    def _request_loop(self, client: _Client) -> None:
+        while True:
+            try:
+                frame = client.reader.read(
+                    idle_timeout=self.idle_timeout,
+                    should_stop=self._stopping.is_set,
+                )
+            except (ProtocolError, AdmissionError) as exc:
+                # the stream is misaligned (torn/oversized frame) or the
+                # connection is being retired (idle, drain): tell the
+                # client best-effort, then close
+                self._send_error(client, exc, fatal=True)
+                return
+            if frame is None:
+                return  # clean EOF
+            if frame.get("op") == "bye":
+                send_frame(client.sock, {"ok": True})
+                return
+            try:
+                payload = self.dispatch(client, frame)
+            except Exception as exc:  # error frame; the session survives
+                self._send_error(client, exc)
+                continue
+            self.stats["requests_served"] += 1
+            send_frame(client.sock, {"ok": True, **payload})
+
+    def _send_error(self, client: _Client, exc: Exception,
+                    fatal: bool = False) -> None:
+        try:
+            send_frame(client.sock,
+                       {"ok": False,
+                        "error": wire.encode_error(exc, fatal=fatal)})
+        except NetworkError:
+            pass
+
+
+class _SessionState:
+    """Server-side resources of one authenticated connection."""
+
+    __slots__ = ("conn", "statements", "cursors",
+                 "next_statement_id", "next_cursor_id")
+
+    def __init__(self, conn):
+        self.conn = conn
+        #: id -> PreparedStatement, LRU order (capped by the server)
+        self.statements: OrderedDict[int, object] = OrderedDict()
+        #: id -> StreamingResult holding a registered snapshot
+        self.cursors: dict[int, object] = {}
+        self.next_statement_id = 1
+        self.next_cursor_id = 1
+
+
+class MiniDBServer(FrameServer):
+    """The SQL server: one MVCC session per authenticated connection.
+
+    Ops: ``execute``/``executemany`` (SQL text), ``prepare`` /
+    ``execute_stmt`` / ``executemany_stmt`` / ``close_stmt``
+    (server-assigned statement ids), ``open_cursor`` / ``fetch`` /
+    ``close_cursor`` (paged streaming off a server-side snapshot
+    cursor), ``begin`` / ``commit`` / ``rollback``, ``ping``, ``bye``.
+    """
+
+    def __init__(self, db, host: str = "127.0.0.1", port: int = 0,
+                 auth=None, max_connections: int = 64,
+                 max_statements: int = 64, max_cursors: int = 32,
+                 idle_timeout: float | None = None,
+                 max_frame: int = MAX_FRAME, fetch_rows: int = FETCH_ROWS):
+        super().__init__(host=host, port=port, auth=auth,
+                         max_connections=max_connections,
+                         idle_timeout=idle_timeout, max_frame=max_frame)
+        self.db = db
+        self.max_statements = int(max_statements)
+        self.max_cursors = int(max_cursors)
+        self.fetch_rows = int(fetch_rows)
+        self.stats["statements_evicted"] = 0
+
+    # -- connection lifecycle ----------------------------------------------------
+
+    def on_connect(self, client: _Client) -> None:
+        client.state = _SessionState(self.db.connect())
+
+    def on_disconnect(self, client: _Client) -> None:
+        """Close cursors (releasing their snapshots), free every
+        statement id, and roll back + close the session.  Runs on clean
+        ``bye``, idle timeout, drain, and abrupt socket death alike — a
+        dropped client must never pin the GC horizon."""
+        state = client.state
+        if state is None:
+            return
+        client.state = None
+        for cursor in list(state.cursors.values()):
+            cursor.close()
+        state.cursors.clear()
+        state.statements.clear()
+        state.conn.close()
+
+    def dispatch(self, client: _Client, frame: dict) -> dict:
+        op = frame.get("op")
+        handler = self._OPS.get(op)
+        if handler is None:
+            raise ProtocolError(f"unknown op {op!r}")
+        return handler(self, client.state, frame)
+
+    # -- direct SQL ---------------------------------------------------------------
+
+    def _op_execute(self, state: _SessionState, frame: dict) -> dict:
+        result = state.conn.execute(_sql(frame), _params(frame))
+        return {"result": wire.encode_result(result)}
+
+    def _op_executemany(self, state: _SessionState, frame: dict) -> dict:
+        rows = frame.get("param_rows")
+        if not isinstance(rows, list):
+            raise ProtocolError("executemany requires a 'param_rows' list")
+        total = state.conn.executemany(_sql(frame), [_row(r) for r in rows])
+        return {"rowcount": total}
+
+    # -- prepared statements ------------------------------------------------------
+
+    def _op_prepare(self, state: _SessionState, frame: dict) -> dict:
+        statement = state.conn.prepare(_sql(frame))
+        statement_id = state.next_statement_id
+        state.next_statement_id += 1
+        state.statements[statement_id] = statement
+        # LRU cap: a misbehaving client cannot grow the table unboundedly;
+        # the underlying PreparedStatement stays in the shared db cache,
+        # only this connection's id binding is dropped
+        while len(state.statements) > self.max_statements:
+            state.statements.popitem(last=False)
+            self.stats["statements_evicted"] += 1
+        return {
+            "stmt": statement_id,
+            "n_params": statement.n_params,
+            "is_select": statement.is_select,
+        }
+
+    def _statement(self, state: _SessionState, frame: dict):
+        statement_id = frame.get("stmt")
+        statement = state.statements.get(statement_id)
+        if statement is None:
+            raise DatabaseError(
+                f"unknown statement id {statement_id!r} (closed, evicted "
+                f"by the {self.max_statements}-statement cap, or never "
+                f"prepared on this connection)")
+        state.statements.move_to_end(statement_id)  # LRU touch
+        return statement
+
+    def _op_execute_stmt(self, state: _SessionState, frame: dict) -> dict:
+        statement = self._statement(state, frame)
+        result = statement.execute(_params(frame), session=state.conn._session)
+        return {"result": wire.encode_result(result)}
+
+    def _op_executemany_stmt(self, state: _SessionState, frame: dict) -> dict:
+        statement = self._statement(state, frame)
+        rows = frame.get("param_rows")
+        if not isinstance(rows, list):
+            raise ProtocolError(
+                "executemany_stmt requires a 'param_rows' list")
+        total = statement.executemany(
+            [_row(r) for r in rows], session=state.conn._session)
+        return {"rowcount": total}
+
+    def _op_close_stmt(self, state: _SessionState, frame: dict) -> dict:
+        state.statements.pop(frame.get("stmt"), None)  # idempotent
+        return {}
+
+    # -- streaming cursors --------------------------------------------------------
+
+    def _op_open_cursor(self, state: _SessionState, frame: dict) -> dict:
+        page = self._page_size(frame)
+        if frame.get("stmt") is not None:
+            statement = self._statement(state, frame)
+            stream = statement.stream(
+                _params(frame), session=state.conn._session)
+        else:
+            stream = state.conn.stream(_sql(frame), _params(frame))
+        try:
+            rows = stream.fetchmany(page)
+            done = len(rows) < page
+            cursor_id = 0
+            if done:
+                stream.close()
+            else:
+                if len(state.cursors) >= self.max_cursors:
+                    raise AdmissionError(
+                        f"connection is at its {self.max_cursors}-cursor "
+                        f"limit; close or drain a cursor first")
+                cursor_id = state.next_cursor_id
+                state.next_cursor_id += 1
+                state.cursors[cursor_id] = stream
+        except BaseException:
+            stream.close()  # never leak the registered snapshot
+            raise
+        return {
+            "cursor": cursor_id,  # 0: fully delivered, nothing to fetch
+            "columns": stream.columns,
+            "rows": [list(row) for row in rows],
+            "done": done,
+        }
+
+    def _op_fetch(self, state: _SessionState, frame: dict) -> dict:
+        cursor_id = frame.get("cursor")
+        stream = state.cursors.get(cursor_id)
+        if stream is None:
+            raise DatabaseError(f"unknown cursor id {cursor_id!r}")
+        page = self._page_size(frame)
+        rows = stream.fetchmany(page)
+        done = len(rows) < page
+        if done:
+            del state.cursors[cursor_id]
+            stream.close()
+        return {"rows": [list(row) for row in rows], "done": done}
+
+    def _op_close_cursor(self, state: _SessionState, frame: dict) -> dict:
+        stream = state.cursors.pop(frame.get("cursor"), None)
+        if stream is not None:
+            stream.close()
+        return {}
+
+    def _page_size(self, frame: dict) -> int:
+        page = frame.get("max_rows", self.fetch_rows)
+        if not isinstance(page, int) or page < 1:
+            raise ProtocolError("max_rows must be a positive integer")
+        return min(page, 100_000)
+
+    # -- transactions -------------------------------------------------------------
+
+    def _op_begin(self, state: _SessionState, frame: dict) -> dict:
+        state.conn.begin()
+        return {"in_transaction": True}
+
+    def _op_commit(self, state: _SessionState, frame: dict) -> dict:
+        state.conn.commit()
+        return {"in_transaction": False}
+
+    def _op_rollback(self, state: _SessionState, frame: dict) -> dict:
+        state.conn.rollback()
+        return {"in_transaction": False}
+
+    def _op_ping(self, state: _SessionState, frame: dict) -> dict:
+        return {"in_transaction": state.conn.in_transaction}
+
+    _OPS = {
+        "execute": _op_execute,
+        "executemany": _op_executemany,
+        "prepare": _op_prepare,
+        "execute_stmt": _op_execute_stmt,
+        "executemany_stmt": _op_executemany_stmt,
+        "close_stmt": _op_close_stmt,
+        "open_cursor": _op_open_cursor,
+        "fetch": _op_fetch,
+        "close_cursor": _op_close_cursor,
+        "begin": _op_begin,
+        "commit": _op_commit,
+        "rollback": _op_rollback,
+        "ping": _op_ping,
+    }
+
+
+def _sql(frame: dict) -> str:
+    sql = frame.get("sql")
+    if not isinstance(sql, str):
+        raise ProtocolError("request requires an 'sql' string")
+    return sql
+
+
+def _params(frame: dict) -> tuple:
+    return _row(frame.get("params", []))
+
+
+def _row(params) -> tuple:
+    if not isinstance(params, (list, tuple)):
+        raise ProtocolError("'params' must be an array")
+    return tuple(params)

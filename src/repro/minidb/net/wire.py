@@ -1,0 +1,106 @@
+"""Wire-level error codes and result serialization.
+
+The server never sends Python exceptions — it sends an error payload::
+
+    {"ok": false,
+     "error": {"code": "serialization", "message": "...", "retryable": true}}
+
+``code`` is a stable string both ends agree on; the client rebuilds the
+matching exception class from it, so ``except SerializationError`` works
+identically against an in-process connection and a network one.  The
+``retryable`` flag is the contract the transaction-retry loop keys on:
+it is True exactly for serialization conflicts, where rolling back and
+re-running the transaction is the documented recovery.  ``fatal`` tells
+the client whether the server closes its end after this error (framing
+violations, failed handshakes, idle/drain teardown) — the exception
+*class* cannot carry that, because e.g. AdmissionError is fatal when the
+connection limit refuses a socket but survivable when a statement merely
+hits the cursor cap.
+
+Unknown codes (a newer server) decode as :class:`NetworkError` — fail
+closed, never retry blind.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    AdmissionError,
+    AuthenticationError,
+    CatalogError,
+    DatabaseError,
+    ExecutionError,
+    IntegrityError,
+    NetworkError,
+    PlanningError,
+    ProtocolError,
+    SerializationError,
+    SQLSyntaxError,
+    TransactionError,
+)
+
+#: the protocol revision both ends must agree on at handshake
+PROTOCOL_VERSION = 1
+
+# most-derived classes first: encode_error picks the first isinstance hit
+_CODES: list[tuple[str, type]] = [
+    ("serialization", SerializationError),
+    ("transaction", TransactionError),
+    ("syntax", SQLSyntaxError),
+    ("catalog", CatalogError),
+    ("planning", PlanningError),
+    ("execution", ExecutionError),
+    ("integrity", IntegrityError),
+    ("auth", AuthenticationError),
+    ("admission", AdmissionError),
+    ("protocol", ProtocolError),
+    ("network", NetworkError),
+    ("database", DatabaseError),
+]
+
+_BY_CODE = {code: cls for code, cls in _CODES}
+
+#: codes where retrying the whole transaction is the documented recovery
+RETRYABLE_CODES = frozenset({"serialization"})
+
+
+def encode_error(exc: BaseException, fatal: bool = False) -> dict:
+    """The error payload for one exception (``database`` as fallback).
+
+    ``fatal`` marks errors after which the server closes the connection.
+    """
+    code = "database"
+    for candidate, cls in _CODES:
+        if isinstance(exc, cls):
+            code = candidate
+            break
+    return {
+        "code": code,
+        "message": str(exc) or type(exc).__name__,
+        "retryable": code in RETRYABLE_CODES,
+        "fatal": bool(fatal),
+    }
+
+
+def decode_error(payload: dict) -> DatabaseError:
+    """Rebuild the exception an error payload describes (not raised)."""
+    if not isinstance(payload, dict):
+        return NetworkError("malformed error payload")
+    code = payload.get("code")
+    message = str(payload.get("message", "") or code or "unknown server error")
+    cls = _BY_CODE.get(code, NetworkError)
+    return cls(message)
+
+
+def encode_result(result) -> dict:
+    """A materialized :class:`~repro.minidb.results.ResultSet` as JSON."""
+    return {
+        "columns": result.columns,
+        "rows": [list(row) for row in result.rows],
+        "rowcount": result.rowcount,
+        "lastrowid": result.lastrowid,
+    }
+
+
+def decode_rows(rows) -> list[tuple]:
+    """JSON row arrays back to the engine's tuple rows."""
+    return [tuple(row) for row in rows]

@@ -209,7 +209,9 @@ class Cursor:
 
     def _prepared(self, sql) -> PreparedStatement:
         self._check_open()
-        if isinstance(sql, PreparedStatement):
+        if not isinstance(sql, str):
+            # already a statement object — a PreparedStatement, or a
+            # network client's RemoteStatement (same execute surface)
             return sql
         return self.connection.prepare(sql)
 

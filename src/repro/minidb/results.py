@@ -81,7 +81,9 @@ class StreamingResult:
     collection can reclaim superseded row versions.
     """
 
-    __slots__ = ("columns", "_rows")
+    # __weakref__ so sessions can track their open cursors without
+    # keeping abandoned ones alive (see Session.track_stream)
+    __slots__ = ("columns", "_rows", "__weakref__")
 
     def __init__(self, columns: list[str], rows: Iterator[tuple]):
         self.columns = list(columns)

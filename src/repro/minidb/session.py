@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import random
 import time
+import weakref
 
 from repro.errors import DatabaseError, SerializationError, TransactionError
 from repro.minidb.prepared import Cursor
@@ -41,11 +42,17 @@ _sleep = time.sleep
 class Session:
     """Transaction state for one caller of a :class:`Database`."""
 
-    __slots__ = ("db", "txn")
+    __slots__ = ("db", "txn", "_streams")
 
     def __init__(self, db):
         self.db = db
         self.txn = None
+        # open streaming cursors, weakly held: each retains a registered
+        # snapshot until exhausted/closed, and session teardown must be
+        # able to release the stragglers (a dropped network client must
+        # never pin the GC horizon).  Weak references keep abandoned,
+        # garbage-collected cursors from accumulating here.
+        self._streams: weakref.WeakSet = weakref.WeakSet()
 
     @property
     def in_transaction(self) -> bool:
@@ -108,8 +115,18 @@ class Session:
             return self.db.txn.begin(implicit=True), True
         return None, False
 
+    def track_stream(self, result):
+        """Register an open streaming cursor for teardown-time release."""
+        self._streams.add(result)
+        return result
+
     def close(self) -> None:
-        """Abort any open transaction (connection teardown)."""
+        """Abort any open transaction and close any still-open streaming
+        cursors, releasing their registered snapshots (connection
+        teardown)."""
+        for stream in list(self._streams):
+            stream.close()
+        self._streams.clear()
         if self.txn is not None:
             txn, self.txn = self.txn, None
             self.db.txn.rollback(txn, self.db)
@@ -148,9 +165,12 @@ class Connection:
 
         The cursor streams a consistent view: concurrent (or even this
         connection's own) committed DML does not change what it yields.
+        Cursors still open when the connection closes are closed with it
+        (their snapshots released).
         """
         self._check_open()
-        return self.db.prepare(sql).stream(params, session=self._session)
+        result = self.db.prepare(sql).stream(params, session=self._session)
+        return self._session.track_stream(result)
 
     def cursor(self) -> Cursor:
         """A PEP 249 cursor bound to this connection's session."""

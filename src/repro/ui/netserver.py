@@ -1,0 +1,100 @@
+"""Buckaroo's protocol server over the real socket transport.
+
+:class:`~repro.ui.server.BuckarooServer` simulates the deployed
+client/server split in-process: JSON request strings in, JSON response
+strings out.  This module deploys that split for real, carrying those
+same strings over :mod:`repro.minidb.net`'s length-prefixed frame
+protocol — same handshake, auth, admission control and graceful drain as
+the SQL server, because both are :class:`~repro.minidb.net.server.
+FrameServer` subclasses.
+
+The app is shared by every connection (it is the single source of truth
+for the dataset) and is not thread-safe, so dispatch serializes requests
+under one lock; UI requests are short, so contention is the occasional
+wait, not a throughput cliff.
+
+Server::
+
+    from repro.ui.netserver import BuckarooNetServer
+
+    with BuckarooNetServer(BuckarooServer(app), port=7792) as srv:
+        ...
+
+Client::
+
+    from repro.ui import netserver
+    with netserver.connect("127.0.0.1", 7792) as ui:
+        response = ui.request(protocol.encode_request("summary"))
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ProtocolError
+from repro.minidb.net import client as net_client
+from repro.minidb.net.server import FrameServer
+
+
+class BuckarooNetServer(FrameServer):
+    """One :class:`BuckarooServer` behind the frame protocol.
+
+    Speaks a single op, ``ui``, whose ``request`` field is exactly the
+    JSON string :meth:`BuckarooServer.handle_request` takes; the reply's
+    ``response`` field is exactly the string it returns.  Protocol-level
+    errors (malformed ops) come back as error frames; application-level
+    errors stay inside the response string, as in-process.
+    """
+
+    server_name = "buckaroo"
+
+    def __init__(self, server, **kwargs):
+        super().__init__(**kwargs)
+        self.server = server
+        self._app_lock = threading.Lock()
+
+    def dispatch(self, client, frame: dict) -> dict:
+        if frame.get("op") != "ui":
+            raise ProtocolError(
+                f"unknown op {frame.get('op')!r} (this server speaks 'ui')")
+        request = frame.get("request")
+        if not isinstance(request, str):
+            raise ProtocolError("op 'ui' requires a 'request' string")
+        with self._app_lock:  # the app is shared and not thread-safe
+            response = self.server.handle_request(request)
+        return {"response": response}
+
+
+class BuckarooNetClient:
+    """Blocking UI client: one request string out, one response back."""
+
+    def __init__(self, connection: net_client.NetworkConnection):
+        self._connection = connection
+
+    def request(self, text: str) -> str:
+        """Send one :mod:`repro.ui.protocol` request string; returns the
+        server's JSON response string."""
+        return self._connection._exchange(
+            {"op": "ui", "request": text})["response"]
+
+    @property
+    def closed(self) -> bool:
+        return self._connection.closed
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "BuckarooNetClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def connect(host: str, port: int, user: str | None = None,
+            password: str | None = None,
+            timeout: float | None = None) -> BuckarooNetClient:
+    """Open and authenticate one UI connection (same handshake as the
+    SQL client — the hello frame is transport-level, not op-level)."""
+    return BuckarooNetClient(
+        net_client.connect(host, port, user, password, timeout=timeout))

@@ -8,3 +8,12 @@ def leaky_read(manager, table):
     rows = list(table.snapshot_scan(snapshot))
     manager.release(snapshot)
     return rows
+
+
+def leaky_cursor(conn):
+    # the streaming cursor holds a registered snapshot; nothing returns,
+    # stores, hands off, or close()s it on a cleanup path — must fire
+    cursor = conn.stream("SELECT * FROM t")
+    first = cursor.fetchone()
+    cursor.close()  # never reached if fetchone raises
+    return first

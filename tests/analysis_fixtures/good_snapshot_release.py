@@ -24,3 +24,39 @@ def wrap(rows, release):
         return list(rows)
     finally:
         release()
+
+
+def returns_cursor(conn):
+    # ownership transfer: the caller receives the open cursor
+    return conn.stream("SELECT * FROM t")
+
+
+def tracks_cursor(conn, session):
+    # hand-off: the session's tracking table owns the teardown
+    cursor = conn.stream("SELECT * FROM t")
+    return session.track_stream(cursor)
+
+
+def stores_cursor(conn, registry, key):
+    # object state: a cursor table discharged by the owner's close path
+    cursor = conn.stream("SELECT * FROM t")
+    registry[key] = cursor
+    return cursor.fetchone()
+
+
+def closes_cursor_in_finally(conn):
+    cursor = conn.stream("SELECT * FROM t")
+    try:
+        return list(cursor)
+    finally:
+        cursor.close()
+
+
+def consumes_cursor_inline(conn):
+    # chained full consumption: exhaustion releases the snapshot
+    return conn.stream("SELECT * FROM t").materialize()
+
+
+def scoped_cursor(conn):
+    with conn.stream("SELECT * FROM t") as cursor:
+        return cursor.fetchone()

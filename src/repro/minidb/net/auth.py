@@ -116,22 +116,31 @@ class CredentialStore:
             return
         blob = json.dumps({"users": self._users}, indent=2, sort_keys=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(blob + "\n", encoding="utf-8")
-        os.replace(tmp, self.path)  # atomic: never a half-written store
+        # owner-only from the first byte: password hashes must never be
+        # world-readable, not even transiently via the tmp file or a
+        # window between os.replace and a later chmod
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
         try:
-            os.chmod(self.path, 0o600)
+            if hasattr(os, "fchmod"):
+                os.fchmod(fd, 0o600)  # a leftover tmp keeps its old mode
         except OSError:  # pragma: no cover - platform-dependent
             pass
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(blob + "\n")
+        os.replace(tmp, self.path)  # atomic: never a half-written store
 
     def _load(self) -> None:
         try:
             document = json.loads(self.path.read_text(encoding="utf-8"))
             users = document["users"]
+            if not isinstance(users, dict):
+                raise TypeError("'users' must be a JSON object")
             for user, record in users.items():
                 bytes.fromhex(record["salt"])
                 bytes.fromhex(record["hash"])
                 int(record["iterations"])
-        except (OSError, ValueError, KeyError, TypeError) as exc:
+        except (OSError, ValueError, KeyError, TypeError,
+                AttributeError) as exc:
             raise DatabaseError(
                 f"credential file {self.path} is unreadable: {exc}") from None
         self._users = users

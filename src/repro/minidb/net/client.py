@@ -26,6 +26,7 @@ import time
 from repro.errors import (
     DatabaseError,
     NetworkError,
+    ProtocolError,
     SerializationError,
     TransactionError,
 )
@@ -56,6 +57,12 @@ def connect(host: str, port: int, user: str | None = None,
     except BaseException:
         sock.close()
         raise
+    # ``timeout`` governs connection establishment and the handshake
+    # only.  Left in place it would become the per-operation timeout of
+    # every recv, and a reply slower than it (long query, large page)
+    # would tear the exchange while leaving the socket open — the next
+    # request would then read the late reply as its own response.
+    sock.settimeout(None)
     return connection
 
 
@@ -81,8 +88,15 @@ class NetworkConnection:
         """One request/response round trip; raises the decoded server
         error (closing the connection when the server will too)."""
         self._check_open()
-        send_frame(self._sock, frame)
-        reply = recv_frame(self._sock, CLIENT_MAX_FRAME)
+        try:
+            send_frame(self._sock, frame)
+            reply = recv_frame(self._sock, CLIENT_MAX_FRAME)
+        except (NetworkError, ProtocolError):
+            # after a torn exchange (send or receive failed partway) the
+            # stream position is undefined; reusing the socket could pair
+            # a request with a stale reply
+            self._abandon()
+            raise
         if reply is None:
             self._abandon()
             raise NetworkError("server closed the connection")

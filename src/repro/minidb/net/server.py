@@ -100,6 +100,12 @@ class FrameServer:
         self._clients: set[_Client] = set()
         self._lock = threading.Lock()
 
+    def _bump(self, counter: str) -> None:
+        """Increment a stats counter; dict-entry ``+=`` is not atomic
+        and these are touched from every client thread."""
+        with self._lock:
+            self.stats[counter] += 1
+
     # -- lifecycle ---------------------------------------------------------------
 
     @property
@@ -210,12 +216,12 @@ class FrameServer:
                     client = _Client(sock, address, self.max_frame)
                     self._clients.add(client)
             if full:
-                self.stats["connections_rejected"] += 1
+                self._bump("connections_rejected")
                 self._reject(sock, AdmissionError(
                     f"server is at its {self.max_connections}-connection "
                     f"limit; retry later"))
                 continue
-            self.stats["connections_accepted"] += 1
+            self._bump("connections_accepted")
             thread = threading.Thread(
                 target=self._serve_client, args=(client,),
                 name=f"{self.server_name}-client-{address[1]}", daemon=True,
@@ -280,7 +286,7 @@ class FrameServer:
                 client.user = user if isinstance(user, str) else "anonymous"
         except (AuthenticationError, ProtocolError) as exc:
             if isinstance(exc, AuthenticationError):
-                self.stats["auth_failures"] += 1
+                self._bump("auth_failures")
             self._send_error(client, exc, fatal=True)
             return False
         send_frame(client.sock, {"ok": True, **self.hello_payload(client)})
@@ -309,7 +315,7 @@ class FrameServer:
             except Exception as exc:  # error frame; the session survives
                 self._send_error(client, exc)
                 continue
-            self.stats["requests_served"] += 1
+            self._bump("requests_served")
             send_frame(client.sock, {"ok": True, **payload})
 
     def _send_error(self, client: _Client, exc: Exception,
@@ -414,7 +420,7 @@ class MiniDBServer(FrameServer):
         # only this connection's id binding is dropped
         while len(state.statements) > self.max_statements:
             state.statements.popitem(last=False)
-            self.stats["statements_evicted"] += 1
+            self._bump("statements_evicted")
         return {
             "stmt": statement_id,
             "n_params": statement.n_params,
@@ -491,7 +497,15 @@ class MiniDBServer(FrameServer):
         if stream is None:
             raise DatabaseError(f"unknown cursor id {cursor_id!r}")
         page = self._page_size(frame)
-        rows = stream.fetchmany(page)
+        try:
+            rows = stream.fetchmany(page)
+        except BaseException:
+            # a failed fetch leaves the cursor unusable — drop it now so
+            # it neither pins its snapshot until teardown nor counts
+            # against the cursor cap
+            state.cursors.pop(cursor_id, None)
+            stream.close()
+            raise
         done = len(rows) < page
         if done:
             del state.cursors[cursor_id]

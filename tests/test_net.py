@@ -493,6 +493,95 @@ class TestTeardownRegression:
         db.close()
 
 
+# -- review regressions: torn exchanges, failed fetches, credential file -----
+
+
+class _ExplodingStream:
+    """Stand-in for a server-side cursor whose scan fails mid-fetch."""
+
+    def __init__(self):
+        self.columns = ["i"]
+        self.closed = False
+
+    def fetchmany(self, n):
+        raise DatabaseError("scan failed mid-stream")
+
+    def close(self):
+        self.closed = True
+
+
+class TestReviewRegressions:
+    def test_connect_timeout_does_not_become_operation_timeout(self, db):
+        """The dial timeout must govern establishment only — left on the
+        socket it would turn any slow reply into a torn, desynchronized
+        exchange."""
+        with serve(db) as server:
+            conn = dial(server, timeout=0.5)
+            try:
+                assert conn._sock.gettimeout() is None
+                assert conn.execute("SELECT 1").scalar() == 1
+            finally:
+                conn.close()
+
+    def test_torn_exchange_abandons_connection(self, db):
+        """A transport failure mid-exchange leaves the stream position
+        undefined; the connection must refuse reuse rather than risk
+        pairing the next request with a stale reply."""
+        with serve(db) as server:
+            conn = dial(server)
+            conn._sock.shutdown(socket.SHUT_RDWR)
+            with pytest.raises((NetworkError, ProtocolError)):
+                conn.execute("SELECT 1")
+            assert conn.closed
+            with pytest.raises(DatabaseError, match="closed"):
+                conn.execute("SELECT 1")
+
+    def test_failed_fetch_unregisters_cursor(self, db):
+        """A fetch that raises mid-scan must drop the cursor and release
+        its snapshot instead of pinning both until teardown."""
+        with serve(db, max_cursors=1, fetch_rows=2) as server:
+            with dial(server) as conn:
+                stream = conn.stream("SELECT * FROM t")
+                assert stream.fetchone() is not None
+                wait_until(lambda: server.client_count == 1)
+                state = next(iter(server._clients)).state
+                (cursor_id,) = state.cursors
+                broken = _ExplodingStream()
+                state.cursors[cursor_id] = broken
+                with pytest.raises(DatabaseError, match="mid-stream"):
+                    conn._exchange({"op": "fetch", "cursor": cursor_id})
+                assert broken.closed
+                assert not state.cursors
+                # the cap slot is free again: a new cursor fits
+                replacement = conn.stream("SELECT * FROM t")
+                assert replacement.fetchone() is not None
+                replacement.close()
+
+    def test_credential_file_never_world_readable(self, tmp_path):
+        """The store (and its tmp file) must be owner-only from the
+        first byte — no post-replace chmod window."""
+        path = tmp_path / "users.json"
+        store = CredentialStore(path, iterations=1000)
+        store.add_user("ada", "pw")
+        assert path.stat().st_mode & 0o777 == 0o600
+        assert not (tmp_path / "users.json.tmp").exists()
+        # a leftover tmp with loose permissions gets tightened, not kept
+        loose = tmp_path / "users.json.tmp"
+        loose.write_text("{}")
+        loose.chmod(0o644)
+        store.add_user("grace", "pw2")
+        assert path.stat().st_mode & 0o777 == 0o600
+        assert CredentialStore(path, iterations=1000).verify("grace", "pw2")
+
+    def test_malformed_users_section_is_database_error(self, tmp_path):
+        """A credential file whose 'users' is not an object must surface
+        as DatabaseError, not a raw AttributeError."""
+        path = tmp_path / "users.json"
+        path.write_text(json.dumps({"users": ["not", "a", "mapping"]}))
+        with pytest.raises(DatabaseError, match="unreadable"):
+            CredentialStore(path)
+
+
 # -- the UI protocol over the real transport ----------------------------------
 
 

@@ -48,6 +48,7 @@ SMOKE_ENV = {
     "REPRO_DUR_ROWS": "2000",
     "REPRO_DUR_COMMITS": "50",
     "REPRO_VEC_ROWS": "5000",
+    "REPRO_PAR_ROWS": "5000",
     "REPRO_TPS_ROWS": "500",
     "REPRO_TPS_SECONDS": "0.3",
 }
@@ -58,6 +59,7 @@ EXPECTED_ARTIFACTS = {
     "bench_concurrency.py": "concurrency",
     "bench_durability.py": "durability",
     "bench_indexes.py": "indexes",
+    "bench_parallel.py": "parallel",
     "bench_pipeline.py": "pipeline",
     "bench_prepared.py": "prepared",
     "bench_streaming.py": "streaming",

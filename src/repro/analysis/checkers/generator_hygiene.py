@@ -33,9 +33,10 @@ EAGER_CALLS = {"list", "sorted", "tuple", "set", "dict"}
 
 
 #: dispatch-registry assignments whose dict values are node handlers —
-#: the row pipeline's ``_NODE_HANDLERS`` and the batch pipeline's
-#: ``_BATCH_HANDLERS`` (merged into the former at import time)
-_REGISTRY_NAMES = {"_NODE_HANDLERS", "_BATCH_HANDLERS"}
+#: the row pipeline's ``_NODE_HANDLERS``, the batch pipeline's
+#: ``_BATCH_HANDLERS``, and the partition executor's
+#: ``_PARALLEL_HANDLERS`` (both merged into the former at import time)
+_REGISTRY_NAMES = {"_NODE_HANDLERS", "_BATCH_HANDLERS", "_PARALLEL_HANDLERS"}
 #: handler-naming conventions picked up even off-registry
 _HANDLER_PREFIXES = ("_exec_", "_batch_")
 

@@ -53,6 +53,7 @@ from repro.minidb.catalog import ColumnDef, IndexDef, TableSchema
 from repro.minidb.invariants import holds_write_lock, wal_exempt
 from repro.minidb.pager import PAGE_CATALOG, PAGE_SIZE, PagedHeap, Pager
 from repro.minidb.parser import parse
+from repro.minidb.partition import PartitionSpec, PartitionedHeap
 from repro.minidb.plan_cache import PlanCache
 from repro.minidb.prepared import Cursor, PreparedStatement
 from repro.minidb.results import ResultSet, StreamingResult
@@ -102,6 +103,29 @@ def _vectorize_mode(value) -> str:
     return mode
 
 
+_MAX_PARALLEL_WORKERS = 32
+
+
+def _parallel_workers(value) -> int:
+    """Normalize the ``parallel`` knob to a worker count (0 disables)."""
+    if isinstance(value, str):
+        lowered = value.lower()
+        if lowered in ("off", "no", "false", "none", ""):
+            return 0
+        try:
+            value = int(lowered)
+        except ValueError:
+            raise DatabaseError(
+                "parallel takes a worker count or 'off'"
+            ) from None
+    count = int(value or 0)
+    if count < 0 or count > _MAX_PARALLEL_WORKERS:
+        raise DatabaseError(
+            f"parallel worker count must be in [0, {_MAX_PARALLEL_WORKERS}]"
+        )
+    return count
+
+
 class Database:
     """An in-process relational database with SQL, MVCC, indexes and a WAL.
 
@@ -143,6 +167,7 @@ class Database:
         autocheckpoint = int(options.pop("wal_autocheckpoint", 1000) or 0)
         reorder_joins = bool(options.pop("reorder_joins", True))
         vectorize = _vectorize_mode(options.pop("vectorize", "auto"))
+        parallel = _parallel_workers(options.pop("parallel", 0))
         gc_interval = options.pop("gc_interval", None)
         if options:
             raise DatabaseError(
@@ -175,6 +200,9 @@ class Database:
         # (vectorized) operators for analytic shapes, "on" forces them
         # wherever legal, "off" keeps the row-at-a-time pipeline
         self.vectorize = vectorize
+        # parallel-execution knob: worker count for fanning partitioned
+        # scans/aggregations across processes; 0 keeps everything serial
+        self.parallel = parallel
         # advances on every DDL statement; one half of the plan-cache key
         self.schema_epoch = 0
         self.plan_cache = PlanCache()
@@ -381,6 +409,10 @@ class Database:
             if setting:
                 self.vectorize = _vectorize_mode(value)
             return self.vectorize
+        if name == "parallel":
+            if setting:
+                self.parallel = _parallel_workers(value)
+            return self.parallel
         if name == "gc_interval":
             if setting:
                 self.stop_background_gc()
@@ -485,8 +517,20 @@ class Database:
                     schema = TableSchema.from_dict(entry["schema"])
                     table = Table(schema)
                     self._attach(table)
-                    heap = PagedHeap(pager, entry["first_page"])
-                    reachable.update(heap.load())
+                    if schema.partition is not None:
+                        buckets = []
+                        for first_page in entry["first_pages"]:
+                            bucket = PagedHeap(pager, first_page)
+                            reachable.update(bucket.load())
+                            buckets.append(bucket)
+                        heap = PartitionedHeap(
+                            schema.partition,
+                            schema.position(schema.partition.column),
+                            buckets,
+                        )
+                    else:
+                        heap = PagedHeap(pager, entry["first_page"])
+                        reachable.update(heap.load())
                     table.rows = heap
                     table.next_rowid = max(
                         int(entry.get("next_rowid", 1)), heap.max_rowid() + 1
@@ -515,11 +559,15 @@ class Database:
         tables = []
         for name in sorted(self.tables):
             table = self.tables[name]
-            tables.append({
+            entry = {
                 "schema": table.schema.to_dict(),
-                "first_page": table.rows.first_page,
                 "next_rowid": table.next_rowid,
-            })
+            }
+            if isinstance(table.rows, PartitionedHeap):
+                entry["first_pages"] = table.rows.first_pages
+            else:
+                entry["first_page"] = table.rows.first_page
+            tables.append(entry)
         return {
             "tables": tables,
             "indexes": [self.index_catalog[name].to_dict()
@@ -742,15 +790,30 @@ class Database:
             if statement.if_not_exists:
                 return ResultSet([], [], rowcount=0)
             raise CatalogError(f"table {statement.name!r} already exists")
+        spec = None
+        if statement.partition_by is not None:
+            kind, column, arg = statement.partition_by
+            if kind == "hash":
+                spec = PartitionSpec(kind, column, count=arg)
+            else:
+                spec = PartitionSpec(kind, column, bounds=arg)
         schema = TableSchema(
             statement.name,
             [ColumnDef.make(c.name, c.type_name) for c in statement.columns],
+            partition=spec,
         )
         table = Table(schema)
         self._attach(table)
         if self.pager is not None:
             # file-backed: rows live on slotted pages, not the dict
-            table.rows = PagedHeap(self.pager)
+            if spec is not None:
+                table.rows = PartitionedHeap(
+                    spec, schema.position(spec.column),
+                    [PagedHeap(self.pager)
+                     for _ in range(spec.n_partitions)],
+                )
+            else:
+                table.rows = PagedHeap(self.pager)
         self.tables[statement.name] = table
         self.schema_epoch += 1
         if self.wal is not None and not self.txn.replaying:
@@ -787,7 +850,7 @@ class Database:
             raise CatalogError(f"no table {statement.name!r}")
         dropped = self.tables[statement.name]
         del self.tables[statement.name]
-        if isinstance(dropped.rows, PagedHeap):
+        if isinstance(dropped.rows, (PagedHeap, PartitionedHeap)):
             dropped.rows.release()  # pages recycle after the next checkpoint
         self.stats.forget(statement.name)
         for index_name in [

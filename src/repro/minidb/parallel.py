@@ -1,0 +1,369 @@
+"""Parallel execution of partitioned scans: fan out, compute, recombine.
+
+A partitioned table (:mod:`repro.minidb.partition`) already splits its
+heap into disjoint buckets; this module turns each bucket into one
+worker task.  The planner's ``_parallelize`` post-pass rewrites eligible
+subtrees into::
+
+    FinalAggregate            merge partial states, finalize, HAVING
+      Gather(workers=N)       fork pool, one task per partition
+        PartialAggregate      per-partition mergeable aggregate states
+          Filter [batch]      vector kernels, worker-side
+            ParallelScan      one partition's chunks
+
+(aggregates), or ``Gather`` directly yielding rows (scan/filter) or
+merged sorted runs (scan/filter + ORDER BY, k-way merged through
+:class:`repro.minidb.partition.MergingIterator`).
+
+Process model — fork inheritance, not pickling
+----------------------------------------------
+
+Workers are forked *per Gather execution*, after the job object is
+published in a module global.  On Linux ``fork`` gives every child a
+copy-on-write snapshot of the parent's memory, so workers reach the
+table heap, the compiled filter kernels, projection closures and the
+MVCC snapshot **through inheritance** — none of it needs to be
+picklable, and no table data crosses a pipe on the way out.  Only the
+partition index travels to a worker and only its result (partial
+aggregate states, filtered rows, or sorted runs — all plain Python
+values) is pickled back.  Pool setup costs a few forks per query, which
+the planner's row threshold keeps amortized.
+
+Correctness under MVCC mirrors the serial executor exactly:
+
+* quiescent reads iterate bucket chunks directly (the fork froze the
+  child's memory, so workers see an even *stabler* image than the
+  serial scan);
+* snapshot reads capture per-partition rowid sets in the parent before
+  forking (same atomic-copy discipline as ``Table.snapshot_scan``) and
+  resolve visibility worker-side with the inherited version chains —
+  rows before versions, unchanged;
+* version-only rowids (deleted but still visible) are resolved in the
+  parent and appended after all partitions, matching the serial scan's
+  ``extras`` tail, so row order is bit-identical.
+
+Durable tables read pages through the buffer pool, whose file handle a
+forked child would share (seek/read races on the inherited offset), so
+paged buckets are materialized parent-side before the fork; workers
+still parallelize filtering and aggregation.
+
+Every failure mode — fork unavailable, pool setup error, a worker
+dying — falls back to running the identical per-partition code inline,
+so a parallel plan can never answer differently from its serial twin.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+from repro.minidb import plan_nodes as nodes
+from repro.minidb.functions import _sort_key
+from repro.minidb.partition import MergingIterator
+from repro.minidb.storage import visible_version
+from repro.minidb.vector import (
+    BATCH_SIZE,
+    _final,
+    accumulate_batches,
+    batches_from_chunks,
+    batches_from_rows,
+    filter_batch,
+    state_layout,
+)
+
+#: the job a freshly forked pool inherits; published under ``_FORK_LOCK``
+#: for the instant the pool is being created, then reset in the parent
+_ACTIVE_JOB = None
+_FORK_LOCK = threading.Lock()
+
+
+def _invoke(part: int):
+    """Pool task entry point: runs in the child against the forked job."""
+    return _ACTIVE_JOB.run_partition(part)
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class PartitionJob:
+    """One Gather execution: parent-side capture plus the worker task.
+
+    Built from the Gather node's subtree (``PartialAggregate`` /
+    ``Filter [batch]`` / ``ParallelScan``), so the pieces a worker runs
+    are exactly the operators EXPLAIN shows.  ``prepare()`` runs in the
+    parent before the pool forks; ``run_partition(part)`` runs in a
+    worker (or inline, for the serial fallback) and returns
+    ``(payload, produced_rows)``.
+    """
+
+    def __init__(self, gather: "nodes.Gather", params: tuple, snapshot):
+        child = gather.child
+        partial = child if isinstance(child, nodes.PartialAggregate) else None
+        inner = partial.child if partial is not None else child
+        filt = inner if isinstance(inner, nodes.BatchFilter) else None
+        scan = filt.child if filt is not None else inner
+        self.table = scan.table
+        self.heap = self.table.rows
+        self.n_partitions = self.heap.n_partitions
+        self.kernels = filt.kernels if filt is not None else None
+        self.params = params
+        self.snapshot = snapshot
+        self.mode = gather.mode
+        self.group_positions = partial.group_positions if partial else None
+        self.agg_descs = partial.agg_descs if partial else None
+        self.project_fns = gather.project_fns
+        self.sort_specs = gather.sort_specs
+        # parent-side captures: what they hold depends on capture_kind —
+        # "none" (workers read memory buckets directly), "rowids"
+        # (snapshot sets per partition, values resolved worker-side),
+        # "chunks"/"rows" (paged buckets materialized parent-side)
+        self.capture_kind = "none"
+        self.captured: list | None = None
+        self.extra_rows: list | None = None
+
+    # -- parent side ---------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Capture whatever must be read in the parent, pre-fork."""
+        heap = self.heap
+        paged = any(not isinstance(bucket, dict) for bucket in heap.buckets)
+        if self.snapshot is None:
+            if paged:
+                self.capture_kind = "chunks"
+                self.captured = [
+                    list(heap.partition_chunks(part, BATCH_SIZE))
+                    for part in range(self.n_partitions)
+                ]
+            return
+        # snapshot read: capture the rowid sets first (one atomic copy
+        # per bucket), then the version-only extras — the same
+        # capture-then-extras order Table.snapshot_scan uses
+        rowid_sets = [
+            heap.partition_rowids(part) for part in range(self.n_partitions)
+        ]
+        versions = self.table.versions
+        self.extra_rows = []
+        if versions:
+            in_start: set = set()
+            for rowids in rowid_sets:
+                in_start.update(rowids)
+            snapshot = self.snapshot
+            vget = versions.get
+            for rowid in tuple(versions):
+                if rowid in in_start:
+                    continue
+                chain = vget(rowid)
+                if chain is None:
+                    continue
+                version = visible_version(chain, snapshot)
+                if version is not None:
+                    self.extra_rows.append([rowid, *version.values])
+        if paged:
+            self.capture_kind = "rows"
+            self.captured = [
+                list(self._visible_rows(rowids)) for rowids in rowid_sets
+            ]
+        else:
+            self.capture_kind = "rowids"
+            self.captured = rowid_sets
+
+    def run_extras(self):
+        """The serial tail: version-only rows, processed parent-side."""
+        if not self.extra_rows:
+            return None
+        return self._run_rows(self.extra_rows)
+
+    # -- worker side (also the inline fallback) ------------------------------
+
+    def run_partition(self, part: int):
+        """One partition's scan→filter→{aggregate,collect,sort} task."""
+        if self.capture_kind == "rows":
+            return self._run_rows(self.captured[part])
+        if self.capture_kind == "rowids":
+            rows = self._visible_rows(self.captured[part])
+            return self._run_batches(batches_from_rows(rows))
+        if self.capture_kind == "chunks":
+            chunks = self.captured[part]
+        else:
+            chunks = self.heap.partition_chunks(part, BATCH_SIZE)
+        return self._run_batches(batches_from_chunks(chunks))
+
+    def _visible_rows(self, rowids):
+        """Rows-before-versions snapshot resolution of one rowid set."""
+        heap = self.heap
+        vget = self.table.versions.get
+        snapshot = self.snapshot
+        for rowid in rowids:
+            values = heap.get(rowid)
+            chain = vget(rowid)
+            if chain is None:
+                if values is not None:
+                    yield [rowid, *values]
+                continue
+            version = visible_version(chain, snapshot)
+            if version is not None:
+                yield [rowid, *version.values]
+
+    def _run_rows(self, rows):
+        return self._run_batches(batches_from_rows(rows))
+
+    def _run_batches(self, batches):
+        kernels = self.kernels
+        params = self.params
+        if kernels is not None:
+            batches = (
+                narrowed for batch in batches
+                if (narrowed := filter_batch(batch, kernels, params))
+                is not None
+            )
+        if self.mode == "partial":
+            produced = 0
+
+            def counted():
+                nonlocal produced
+                for batch in batches:
+                    produced += batch.count
+                    yield batch
+
+            groups = accumulate_batches(counted(), self.group_positions,
+                                        self.agg_descs)
+            return groups, produced
+        if self.mode == "rows":
+            out = [row for batch in batches for row in batch.rows()]
+            return out, len(out)
+        # sorted: project, key and sort this partition's run locally —
+        # the parent only k-way merges.  Python's sort is stable and the
+        # merge breaks ties by partition index, so equal keys come out
+        # in stream order exactly as one global stable sort would emit.
+        from repro.minidb.executor import _order_key
+        project_fns = self.project_fns
+        specs = self.sort_specs
+        out = []
+        for batch in batches:
+            for row in batch.rows():
+                out_row = tuple(fn(row, params) for fn in project_fns)
+                out.append((_order_key(specs, row, out_row, params), out_row))
+        out.sort(key=lambda pair: pair[0])
+        return out, len(out)
+
+
+def _map_partitions(job: PartitionJob, n_workers: int) -> list:
+    """Run every partition task, through a forked pool when possible.
+
+    ``n_workers <= 1`` (or an unavailable/failed fork) degrades to the
+    inline loop — the exact same per-partition code, same results; a
+    query error surfacing through the pool also re-raises here, from
+    the serial run, with its original traceback.
+    """
+    if n_workers > 1 and job.n_partitions > 1 and fork_available():
+        try:
+            return _pool_map(job, min(n_workers, job.n_partitions))
+        except Exception:
+            pass
+    return [job.run_partition(part) for part in range(job.n_partitions)]
+
+
+def _pool_map(job: PartitionJob, pool_size: int) -> list:
+    global _ACTIVE_JOB
+    ctx = multiprocessing.get_context("fork")
+    with _FORK_LOCK:
+        # the job must be published while the pool forks so every child
+        # inherits it; reset immediately after — children keep their copy
+        _ACTIVE_JOB = job
+        try:
+            pool = ctx.Pool(pool_size)
+        finally:
+            _ACTIVE_JOB = None
+    try:
+        return pool.map(_invoke, range(job.n_partitions))
+    finally:
+        pool.terminate()
+        pool.join()
+
+
+def run_gather(node: "nodes.Gather", params: tuple, snapshot, counters):
+    """Execute a Gather node; the executor's handler body.
+
+    Results recombine in partition order (extras last), which is the
+    serial scan order — so concatenated rows, first-seen group order and
+    merge ties all match the serial plan bit for bit.
+    """
+    job = PartitionJob(node, params, snapshot)
+    job.prepare()
+    results = _map_partitions(job, node.n_workers)
+    extra = job.run_extras()
+    if extra is not None:
+        results.append(extra)
+    partitions = getattr(counters, "partitions", None)
+    if partitions is not None:
+        partitions[id(node)] = [produced for _payload, produced in results]
+    if node.mode == "partial":
+        for payload, _produced in results:
+            yield payload
+    elif node.mode == "rows":
+        for payload, _produced in results:
+            yield from payload
+    else:  # sorted: k-way merge of per-partition sorted runs
+        runs = [iter(payload) for payload, _produced in results if payload]
+        for _key, out_row in MergingIterator(runs):
+            yield out_row
+
+
+def merge_states(parts, agg_descs) -> dict:
+    """Recombine per-partition aggregate states in arrival order.
+
+    Arrival order is partition order, so first-seen group order — and
+    first-seen-wins MIN/MAX ties — match the serial fold over the
+    concatenated stream.  Every state merge is the associative
+    counterpart of its accumulator: counts and totals add, int-ness
+    survives only if every side kept it, champions compare via
+    ``_sort_key`` with strict inequality.
+    """
+    offsets, _template = state_layout(agg_descs)
+    merged: dict = {}
+    for groups in parts:
+        for key, entry in groups.items():
+            current = merged.get(key)
+            if current is None:
+                merged[key] = list(entry)
+                continue
+            for (name, _pos), offset in zip(agg_descs, offsets):
+                _merge_entry(name, current, entry, offset)
+    return merged
+
+
+def _merge_entry(name, current, incoming, o) -> None:
+    if name == "COUNT":
+        current[o] += incoming[o]
+    elif name == "SUM":
+        if incoming[o + 1]:  # merge only a state that saw values
+            current[o] += incoming[o]
+            current[o + 1] = True
+            if not incoming[o + 2]:
+                current[o + 2] = False
+    elif name == "AVG":
+        current[o] += incoming[o]
+        current[o + 1] += incoming[o + 1]
+    else:  # MIN / MAX: keep the earlier champion on ties
+        value = incoming[o]
+        if value is None:
+            return
+        best = current[o]
+        if best is None:
+            current[o] = value
+        elif name == "MIN":
+            if _sort_key(value) < _sort_key(best):
+                current[o] = value
+        elif _sort_key(value) > _sort_key(best):
+            current[o] = value
+
+
+def finalized_rows(merged: dict, agg_descs):
+    """Finalize merged states into ``[*group_values, *finals]`` rows."""
+    offsets, _template = state_layout(agg_descs)
+    for entry in merged.values():
+        out = list(entry[0])
+        for (name, _pos), offset in zip(agg_descs, offsets):
+            out.append(_final(name, entry, offset))
+        yield out

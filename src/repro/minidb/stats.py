@@ -6,11 +6,16 @@ answers from lightweight, lazily maintained statistics:
 * *How many rows will this scan produce?* — per-table row counts are
   always exact (read live off the table); per-column distinct-value and
   NULL-fraction estimates feed a classic System-R-style selectivity
-  model (``1/distinct`` for equality).  Range and BETWEEN predicates
-  with literal bounds are priced off per-column equi-depth histograms
-  (min/max plus :data:`HIST_BUCKETS` equal-mass buckets, rebuilt with
-  the rest of the sample); parameterized bounds keep the flat defaults
-  so a cached plan never depends on one particular binding.
+  model (``1/distinct`` for equality).  Skewed equality keys are priced
+  better than that: each column keeps a most-common-values (MCV) list —
+  up to :data:`MCV_SLOTS` heavy hitters with their sampled row
+  fractions — so ``col = literal`` returns the hitter's true fraction
+  on a hit and the residual mass spread over the remaining distincts on
+  a miss.  Range and BETWEEN predicates with literal bounds are priced
+  off per-column equi-depth histograms (min/max plus
+  :data:`HIST_BUCKETS` equal-mass buckets, rebuilt with the rest of the
+  sample); parameterized comparands keep the flat defaults so a cached
+  plan never depends on one particular binding.
 * *How large is this join?* — ``|L| * |R| / max(d_L, d_R)`` per equi
   pair, the estimate that drives greedy join reordering and build-side
   selection.
@@ -29,6 +34,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left, bisect_right
+from collections import Counter
 
 from repro.minidb import ast_nodes as ast
 from repro.minidb.functions import _sort_key
@@ -43,6 +49,11 @@ REBUILD_FRACTION = 0.2
 SAMPLE_CAP = 20_000
 #: equi-depth histogram resolution (buckets per column)
 HIST_BUCKETS = 32
+#: most-common-value slots kept per column
+MCV_SLOTS = 8
+#: a value joins the MCV list only when its sampled frequency exceeds the
+#: column's average frequency by this factor (uniform columns keep none)
+MCV_MIN_RATIO = 1.25
 
 # default selectivities when a conjunct's shape gives nothing better
 EQ_DEFAULT = 0.1
@@ -71,14 +82,22 @@ class ColumnStats:
     from the non-NULL values of the rebuild sample.  ``bounds[0]`` /
     ``bounds[-1]`` double as the column min/max.  ``None`` when the
     column had no non-NULL sample (empty table, all-NULL column, or
-    stats built before histograms existed)."""
+    stats built before histograms existed).
 
-    __slots__ = ("distinct", "null_fraction", "bounds")
+    ``mcv`` maps the normalized keys of the column's most common values
+    to their sampled *row* fractions (NULL rows included in the
+    denominator, so a hit is directly a row selectivity).  ``None`` when
+    no value stood out above the uniform baseline — skew-free columns
+    carry no list and equality pricing falls back to ``1/distinct``."""
 
-    def __init__(self, distinct: float, null_fraction: float, bounds=None):
+    __slots__ = ("distinct", "null_fraction", "bounds", "mcv")
+
+    def __init__(self, distinct: float, null_fraction: float, bounds=None,
+                 mcv=None):
         self.distinct = max(1.0, float(distinct))
         self.null_fraction = min(1.0, max(0.0, float(null_fraction)))
         self.bounds = bounds
+        self.mcv = mcv
 
     @property
     def min_key(self):
@@ -121,7 +140,8 @@ class ColumnStats:
         return (
             f"ColumnStats(distinct={self.distinct:.0f}, "
             f"null_fraction={self.null_fraction:.3f}, "
-            f"buckets={len(self.bounds) - 1 if self.bounds else 0})"
+            f"buckets={len(self.bounds) - 1 if self.bounds else 0}, "
+            f"mcv={len(self.mcv) if self.mcv else 0})"
         )
 
 
@@ -190,7 +210,7 @@ class TableStats:
         names = table.schema.column_names
         if names and n:
             sampled = 0
-            seen: list[set] = [set() for _ in names]
+            tallies: list[Counter] = [Counter() for _ in names]
             nulls = [0] * len(names)
             sample: list[list] = [[] for _ in names]
             # one atomic copy of the *rowids* (cheap for dicts and paged
@@ -198,8 +218,8 @@ class TableStats:
             # file-backed table never pages in more than SAMPLE_CAP rows;
             # concurrent writers must not resize the store mid-sample
             # (estimates may be slightly stale, never torn).  Every column
-            # is sampled for its histogram; distinct/NULL counting is
-            # skipped where an index already gave exact numbers.
+            # is tallied — histograms and MCV lists come off the tally even
+            # where an index already gave exact distinct/NULL numbers.
             for rowid in list(table.rows.keys())[:SAMPLE_CAP]:
                 row = table.rows.get(rowid)
                 if row is None:  # deleted between capture and fetch
@@ -210,24 +230,25 @@ class TableStats:
                         nulls[i] += 1
                         continue
                     sample[i].append(_hist_key(value))
-                    if name in exact:
-                        continue
                     try:
-                        seen[i].add(normalize_key(value))
+                        tallies[i][normalize_key(value)] += 1
                     except TypeError:  # unhashable cell: key it by repr
-                        seen[i].add(repr(value))
+                        tallies[i][repr(value)] += 1
                 sampled += 1
             for i, name in enumerate(names):
                 hist = _equi_depth(sample[i])
+                mcv = _common_values(tallies[i], sampled)
                 base = exact.get(name)
                 if base is not None:
                     base.bounds = hist
+                    base.mcv = mcv
                     columns[name] = base
                 else:
                     columns[name] = ColumnStats(
-                        _extrapolate_distinct(len(seen[i]), sampled, n),
+                        _extrapolate_distinct(len(tallies[i]), sampled, n),
                         nulls[i] / sampled if sampled else 0.0,
                         hist,
+                        mcv,
                     )
         else:
             for name in names:
@@ -269,6 +290,29 @@ def _equi_depth(keys: list, buckets: int = HIST_BUCKETS):
     n = len(keys)
     b = min(buckets, n)
     return tuple(keys[(i * (n - 1)) // b] for i in range(b + 1))
+
+
+def _common_values(tally: Counter, sampled: int):
+    """MCV list for one column: ``{normalized_key: row_fraction}`` for up
+    to :data:`MCV_SLOTS` values, or None when nothing is skewed.
+
+    A value qualifies only when it was seen more than once *and* its
+    frequency beats the column's average (non-NULL count over distinct
+    count) by :data:`MCV_MIN_RATIO` — on a uniform column every value
+    sits at the average, so no list is kept and equality pricing stays
+    at ``1/distinct``.  Fractions are over all sampled rows (NULLs
+    included), making a hit directly usable as a row selectivity.
+    """
+    if not tally or sampled <= 0:
+        return None
+    non_null = sum(tally.values())
+    threshold = MCV_MIN_RATIO * non_null / len(tally)
+    mcv = {
+        key: count / sampled
+        for key, count in tally.most_common(MCV_SLOTS)
+        if count > 1 and count > threshold
+    }
+    return mcv or None
 
 
 def _extrapolate_distinct(d_sample: float, sampled: int, n_rows: int) -> float:
@@ -367,6 +411,9 @@ def conjunct_selectivity(stats: TableStats, conjunct: ast.Expr,
             or _stats_column(conjunct.right, table, binding)
         )
         if op == "=":
+            sel = _equality_selectivity(stats, conjunct, binding)
+            if sel is not None:
+                return sel
             if column is not None:
                 return 1.0 / stats.distinct(column)
             return EQ_DEFAULT
@@ -374,6 +421,9 @@ def conjunct_selectivity(stats: TableStats, conjunct: ast.Expr,
             sel = _range_selectivity(stats, conjunct, binding)
             return RANGE_DEFAULT if sel is None else sel
         if op == "<>":
+            sel = _equality_selectivity(stats, conjunct, binding)
+            if sel is not None:
+                return 1.0 - sel
             if column is not None:
                 return 1.0 - 1.0 / stats.distinct(column)
             return 1.0 - EQ_DEFAULT
@@ -407,6 +457,47 @@ def _column_histogram(stats: TableStats, column: str):
     if col_stats is None or not col_stats.bounds:
         return None
     return col_stats
+
+
+def _equality_selectivity(stats: TableStats, conjunct: ast.Binary,
+                          binding: str | None) -> float | None:
+    """MCV estimate for ``column = literal`` (either side), or None to
+    fall back to the uniform ``1/distinct`` model.
+
+    Like :func:`_range_selectivity`, only :class:`ast.Literal`
+    comparands are priced — a parameter slot could hold the heavy hitter
+    on one binding and a rare value on the next, and a cached plan must
+    not bake either in.  A hit returns the hitter's sampled row
+    fraction; a miss spreads the row mass left after NULLs and the MCV
+    values over the remaining distincts.
+    """
+    table = stats.table
+    column = _stats_column(conjunct.left, table, binding)
+    comparand = conjunct.right
+    if column is None:
+        column = _stats_column(conjunct.right, table, binding)
+        if column is None:
+            return None
+        comparand = conjunct.left
+    if not isinstance(comparand, ast.Literal):
+        return None
+    if comparand.value is None:
+        return 0.0  # ``= NULL`` is never true
+    col_stats = stats.column(column)
+    if col_stats is None or not col_stats.mcv:
+        return None
+    try:
+        key = normalize_key(comparand.value)
+    except TypeError:
+        key = repr(comparand.value)
+    hit = col_stats.mcv.get(key)
+    if hit is not None:
+        return min(1.0, hit)
+    rest = max(
+        0.0,
+        1.0 - col_stats.null_fraction - sum(col_stats.mcv.values()),
+    )
+    return rest / max(1.0, col_stats.distinct - len(col_stats.mcv))
 
 
 def _range_selectivity(stats: TableStats, conjunct: ast.Binary,

@@ -129,15 +129,14 @@ BATCH_AGGREGATES = frozenset(_AGG_WIDTH)
 """Aggregate functions with a vectorized tight-loop implementation."""
 
 
-def aggregate_batches(batches, group_positions, agg_descs) -> Iterator[list]:
-    """Hash-aggregate a batch stream; yields ``[*group_values, *finals]``.
+def state_layout(agg_descs) -> tuple[list, list]:
+    """``(offsets, template)`` — the state-entry layout for ``agg_descs``.
 
-    ``group_positions`` are row positions of the GROUP BY columns;
-    ``agg_descs`` is a list of ``(name, position_or_None)`` pairs where
-    ``None`` means ``COUNT(*)``.  Output rows appear in first-seen group
-    order and carry the first-seen raw group values — the same contract
-    as the row executor's ``_agg_groups_hash``, so HAVING/projection/sort
-    post-processing is shared unchanged.
+    Slot 0 of every entry is reserved for the first-seen raw group
+    values; each aggregate then occupies ``_AGG_WIDTH[name]`` slots
+    starting at its offset.  The template is the fresh (zero-input)
+    state, which is also what SQL's one-row-over-empty-input global
+    aggregate finalizes to.
     """
     offsets = []
     template: list = [None]  # slot 0 reserved for the group-values list
@@ -151,28 +150,71 @@ def aggregate_batches(batches, group_positions, agg_descs) -> Iterator[list]:
             template.append(0)
         else:  # MIN / MAX
             template.append(None)
+    return offsets, template
 
+
+def accumulate_batches(batches, group_positions, agg_descs) -> dict:
+    """Fold a batch stream into per-group state entries (not finalized).
+
+    Returns ``{key: entry}`` in first-seen group order; a global
+    aggregate folds into the single key ``()``.  This is the mergeable
+    half of :func:`aggregate_batches` — every state combines
+    associatively, so the parallel executor runs it once per partition
+    and recombines the entries in partition order before finalizing
+    (:mod:`repro.minidb.parallel`).
+
+    Accumulation is a grouped columnar fold: each batch's selection is
+    partitioned into per-group index lists once, then every aggregate
+    folds one group's extracted values at a time — the value sequence
+    each state sees is identical to the row-at-a-time order (a state is
+    only ever touched by its own group's rows, in stream order), but
+    the per-group probe lets ``sum``/``min``/``max`` collapse to one
+    builtin call instead of a per-row state update.
+    """
+    offsets, template = state_layout(agg_descs)
     if not group_positions:
-        # global aggregate: one shared state, so per-row group lookup and
-        # state indexing vanish and whole-column fast paths apply.  SQL
-        # still yields one row over zero input (COUNT 0, the rest NULL) —
-        # exactly a fresh accumulator, which is where the entry starts.
-        entry = _aggregate_ungrouped(batches, agg_descs, offsets, template)
-        out = list(entry[0])
-        for (name, _pos), offset in zip(agg_descs, offsets):
-            out.append(_final(name, entry, offset))
-        yield out
-        return
-
+        # global aggregate: one shared state, so group partitioning
+        # vanishes and whole-column fast paths apply
+        return {(): _aggregate_ungrouped(batches, agg_descs, offsets,
+                                         template)}
     groups: dict = {}
     for batch in batches:
         cols = batch.cols
         indices = batch.indices()
-        states = _assign_groups(cols, indices, group_positions, groups, template)
+        buckets = _group_indices(cols, indices, group_positions, groups,
+                                 template)
+        extracted: dict = {}
         for (name, pos), offset in zip(agg_descs, offsets):
-            col = cols[pos] if pos is not None else None
-            _step_column(name, col, indices, states, offset)
+            if pos is None:  # COUNT(*) counts rows
+                for key, idxs in buckets.items():
+                    groups[key][offset] += len(idxs)
+                continue
+            per_group = extracted.get(pos)
+            if per_group is None:
+                col = cols[pos]
+                per_group = {
+                    key: [v for i in idxs if (v := col[i]) is not None]
+                    for key, idxs in buckets.items()
+                }
+                extracted[pos] = per_group
+            for key, vals in per_group.items():
+                if vals:
+                    _fold_values(name, vals, groups[key], offset)
+    return groups
 
+
+def aggregate_batches(batches, group_positions, agg_descs) -> Iterator[list]:
+    """Hash-aggregate a batch stream; yields ``[*group_values, *finals]``.
+
+    ``group_positions`` are row positions of the GROUP BY columns;
+    ``agg_descs`` is a list of ``(name, position_or_None)`` pairs where
+    ``None`` means ``COUNT(*)``.  Output rows appear in first-seen group
+    order and carry the first-seen raw group values — the same contract
+    as the row executor's ``_agg_groups_hash``, so HAVING/projection/sort
+    post-processing is shared unchanged.
+    """
+    offsets, _template = state_layout(agg_descs)
+    groups = accumulate_batches(batches, group_positions, agg_descs)
     for entry in groups.values():
         out = list(entry[0])
         for (name, _pos), offset in zip(agg_descs, offsets):
@@ -222,61 +264,74 @@ def _aggregate_ungrouped(batches, agg_descs, offsets, template) -> list:
                 col = cols[pos]
                 vals = [v for i in indices if (v := col[i]) is not None]
                 extracted[pos] = vals
-            if not vals:
-                continue
-            if name == "COUNT":
-                entry[o] += len(vals)
-                continue
-            kinds = set(map(type, vals))
-            if name == "SUM":
-                if kinds <= _NUM_KINDS:
-                    entry[o] = sum(vals, entry[o])
-                    entry[o + 1] = True
-                    if not kinds <= _INT_ONLY:
-                        entry[o + 2] = False
-                else:
-                    _sum_values(vals, entry, o)
-            elif name == "AVG":
-                if kinds <= _NUM_KINDS:
-                    entry[o] = sum(vals, entry[o])
-                    entry[o + 1] += len(vals)
-                else:
-                    _avg_values(vals, entry, o)
-            else:  # MIN / MAX
-                # ``min``/``max`` run the same strictly-less/greater
-                # first-seen-wins scan the exact ``_sort_key`` loop does,
-                # provided direct comparison agrees with the float-
-                # converted one: always for same-kind floats or text, and
-                # for ints only inside float's exact range (beyond it,
-                # float-equal ints tie and first-seen diverges from the
-                # exact integer order ``min``/``max`` would use).
-                champion = None
-                if kinds <= _STR_ONLY:
-                    champion = min(vals) if name == "MIN" else max(vals)
-                elif kinds <= _NUM_KINDS:
-                    low, high = min(vals), max(vals)
-                    if -_EXACT_FLOAT_INT <= low and high <= _EXACT_FLOAT_INT:
-                        champion = low if name == "MIN" else high
-                if champion is not None:
-                    best = entry[o]
-                    if best is None:
-                        entry[o] = champion
-                    elif name == "MIN":
-                        if _sort_key(champion) < _sort_key(best):
-                            entry[o] = champion
-                    elif _sort_key(champion) > _sort_key(best):
-                        entry[o] = champion
-                elif name == "MIN":
-                    for v in vals:
-                        best = entry[o]
-                        if best is None or _sort_key(v) < _sort_key(best):
-                            entry[o] = v
-                else:
-                    for v in vals:
-                        best = entry[o]
-                        if best is None or _sort_key(v) > _sort_key(best):
-                            entry[o] = v
+            if vals:
+                _fold_values(name, vals, entry, o)
     return entry
+
+
+def _fold_values(name, vals, entry, o) -> None:
+    """Fold one already-NULL-stripped value run into a state entry.
+
+    A type probe (``set(map(type, ...))`` — one C pass) certifies when
+    the exact accumulator loop can collapse to a builtin: ``sum(vals,
+    total)`` performs the *same sequence* of float additions the row
+    accumulator does, and ``min``/``max`` perform the same strictly-
+    less/greater first-seen-wins scan ``_sort_key`` ordering implies for
+    same-rank values.  Mixed-kind runs fall back to the exact per-value
+    loop.  The probe is exact (``bool`` is not ``int`` under ``type``),
+    so bools and numeric text always take the fallback, which skips or
+    parses them exactly as the row accumulators do.
+    """
+    if name == "COUNT":
+        entry[o] += len(vals)
+        return
+    kinds = set(map(type, vals))
+    if name == "SUM":
+        if kinds <= _NUM_KINDS:
+            entry[o] = sum(vals, entry[o])
+            entry[o + 1] = True
+            if not kinds <= _INT_ONLY:
+                entry[o + 2] = False
+        else:
+            _sum_values(vals, entry, o)
+    elif name == "AVG":
+        if kinds <= _NUM_KINDS:
+            entry[o] = sum(vals, entry[o])
+            entry[o + 1] += len(vals)
+        else:
+            _avg_values(vals, entry, o)
+    else:  # MIN / MAX
+        # direct comparison agrees with the float-converted ``_sort_key``
+        # one for same-kind floats or text always, and for ints only
+        # inside float's exact range (beyond it, float-equal ints tie
+        # and first-seen diverges from the exact integer order
+        # ``min``/``max`` would use)
+        champion = None
+        if kinds <= _STR_ONLY:
+            champion = min(vals) if name == "MIN" else max(vals)
+        elif kinds <= _NUM_KINDS:
+            low, high = min(vals), max(vals)
+            if -_EXACT_FLOAT_INT <= low and high <= _EXACT_FLOAT_INT:
+                champion = low if name == "MIN" else high
+        if champion is not None:
+            best = entry[o]
+            if best is None:
+                entry[o] = champion
+            elif name == "MIN":
+                if _sort_key(champion) < _sort_key(best):
+                    entry[o] = champion
+            elif _sort_key(champion) > _sort_key(best):
+                entry[o] = champion
+        elif name == "MIN":
+            for v in vals:
+                best = entry[o]
+                if best is None or _sort_key(v) < _sort_key(best):
+                    entry[o] = v
+        else:
+            for v in vals:
+                best = entry[o]
+                if best is None or _sort_key(v) > _sort_key(best):
+                    entry[o] = v
 
 
 def _sum_values(vals, entry, o):
@@ -320,111 +375,46 @@ def _avg_values(vals, entry, o):
     entry[o], entry[o + 1] = total, n
 
 
-def _assign_groups(cols, indices, group_positions, groups, template):
-    """Map each selected index to its (created-on-demand) group state."""
-    get = groups.get
-    if not group_positions:
-        entry = get(())
-        if entry is None:
-            entry = list(template)
-            entry[0] = []
-            groups[()] = entry
-        return [entry] * len(indices)
-    states = []
-    append = states.append
+def _group_indices(cols, indices, group_positions, groups, template):
+    """Partition a batch's selection into per-group index runs.
+
+    Returns ``{key: [index, ...]}`` in first-seen order within the
+    batch, creating missing entries in ``groups`` on demand with the
+    first-seen raw group values in slot 0.  Index runs preserve stream
+    order, so folding a run replays exactly the steps the row-at-a-time
+    loop would have applied to that group's state.
+    """
+    buckets: dict = {}
+    get = buckets.get
     if len(group_positions) == 1:
         col = cols[group_positions[0]]
         for i in indices:
             v = col[i]
             key = (normalize_key(v) if v is not None else None,)
-            entry = get(key)
-            if entry is None:
+            idxs = get(key)
+            if idxs is not None:
+                idxs.append(i)
+                continue
+            buckets[key] = [i]
+            if key not in groups:
                 entry = list(template)
                 entry[0] = [v]
                 groups[key] = entry
-            append(entry)
-        return states
+        return buckets
     gcols = [cols[p] for p in group_positions]
     for i in indices:
         values = [c[i] for c in gcols]
         key = tuple(normalize_key(v) if v is not None else None for v in values)
-        entry = get(key)
-        if entry is None:
+        idxs = get(key)
+        if idxs is not None:
+            idxs.append(i)
+            continue
+        buckets[key] = [i]
+        if key not in groups:
             entry = list(template)
             entry[0] = values
             groups[key] = entry
-        append(entry)
-    return states
-
-
-def _step_column(name, col, indices, states, o):
-    """One aggregate's accumulation loop over a batch column.
-
-    Each branch mirrors the corresponding ``functions`` accumulator's
-    ``step`` exactly: SUM/AVG skip NULL and bool but accept numeric text
-    (``_as_number``), SUM loses int-ness on any non-int input, MIN/MAX
-    compare via ``_sort_key`` with strict inequality (first seen wins
-    ties), COUNT(x) counts non-NULL while COUNT(*) counts rows.
-    """
-    if name == "COUNT":
-        if col is None:  # COUNT(*)
-            for st in states:
-                st[o] += 1
-        else:
-            for i, st in zip(indices, states):
-                if col[i] is not None:
-                    st[o] += 1
-    elif name == "SUM":
-        o1, o2 = o + 1, o + 2
-        for i, st in zip(indices, states):
-            v = col[i]
-            if v is None or isinstance(v, bool):
-                continue
-            if isinstance(v, (int, float)):
-                st[o] += v
-                st[o1] = True
-                if not isinstance(v, int):
-                    st[o2] = False
-            else:
-                try:
-                    number = float(v)
-                except (TypeError, ValueError):
-                    continue
-                st[o] += number
-                st[o1] = True
-                st[o2] = False
-    elif name == "AVG":
-        o1 = o + 1
-        for i, st in zip(indices, states):
-            v = col[i]
-            if v is None or isinstance(v, bool):
-                continue
-            if isinstance(v, (int, float)):
-                st[o] += v
-                st[o1] += 1
-            else:
-                try:
-                    number = float(v)
-                except (TypeError, ValueError):
-                    continue
-                st[o] += number
-                st[o1] += 1
-    elif name == "MIN":
-        for i, st in zip(indices, states):
-            v = col[i]
-            if v is None:
-                continue
-            best = st[o]
-            if best is None or _sort_key(v) < _sort_key(best):
-                st[o] = v
-    else:  # MAX
-        for i, st in zip(indices, states):
-            v = col[i]
-            if v is None:
-                continue
-            best = st[o]
-            if best is None or _sort_key(v) > _sort_key(best):
-                st[o] = v
+    return buckets
 
 
 def _final(name, entry, o):

@@ -152,3 +152,73 @@ class TestBTreeDistinctCounter:
         db.execute("UPDATE t SET v = 9 WHERE v = 1")
         assert index.n_keys == 4  # key 1 removed, key 9 added
         index._tree.check_invariants()
+
+
+class TestMostCommonValues:
+    """MCV lists: skewed equality keys priced at their true fraction."""
+
+    @pytest.fixture
+    def skewed(self) -> Database:
+        db = Database()
+        db.execute("CREATE TABLE s (id INTEGER, tag TEXT)")
+        # 90% of rows carry 'hot'; the rest are singletons
+        db.insert_rows(
+            "s",
+            [(i, "hot" if i % 10 else f"rare{i}") for i in range(2000)],
+        )
+        db.execute("CREATE INDEX idx_tag ON s (tag)")
+        db.analyze()
+        return db
+
+    def test_mcv_list_captures_heavy_hitter(self, skewed):
+        col = _stats(skewed, "s").column("tag")
+        assert col.mcv is not None
+        assert col.mcv["hot"] == pytest.approx(0.9, abs=0.02)
+
+    def test_uniform_column_keeps_no_mcv(self, db):
+        # every cat value sits at the average frequency: nothing qualifies
+        db.analyze()
+        assert _stats(db).column("cat").mcv is None
+
+    def test_equality_selectivity_uses_mcv(self, skewed):
+        stats = _stats(skewed, "s")
+        hot = ast.Binary("=", ast.ColumnRef(None, "tag"), ast.Literal("hot"))
+        rare = ast.Binary("=", ast.ColumnRef(None, "tag"), ast.Literal("rare70"))
+        assert conjunct_selectivity(stats, hot) == pytest.approx(0.9, abs=0.02)
+        # miss: residual mass spread over the remaining distincts
+        assert conjunct_selectivity(stats, rare) < 0.01
+
+    def test_inequality_complements_mcv(self, skewed):
+        stats = _stats(skewed, "s")
+        ne = ast.Binary("<>", ast.ColumnRef(None, "tag"), ast.Literal("hot"))
+        assert conjunct_selectivity(stats, ne) == pytest.approx(0.1, abs=0.02)
+
+    def test_parameter_comparand_keeps_uniform_model(self, skewed):
+        # a param slot could bind the hitter or a rare value: cached plans
+        # must not bake one binding's selectivity in
+        stats = _stats(skewed, "s")
+        param = ast.Binary("=", ast.ColumnRef(None, "tag"), ast.Param(0))
+        assert conjunct_selectivity(stats, param) == pytest.approx(
+            1.0 / stats.distinct("tag"), rel=0.01
+        )
+
+    def test_plan_flips_between_index_and_seq_scan(self, skewed):
+        hot_plan = "\n".join(
+            r[0] for r in skewed.execute(
+                "EXPLAIN SELECT COUNT(*) FROM s WHERE tag = 'hot'"
+            ).rows
+        )
+        rare_plan = "\n".join(
+            r[0] for r in skewed.execute(
+                "EXPLAIN SELECT COUNT(*) FROM s WHERE tag = 'rare70'"
+            ).rows
+        )
+        assert "SeqScan" in hot_plan and "IndexEqScan" not in hot_plan
+        assert "IndexEqScan" in rare_plan
+        # and both plans still return correct results
+        assert skewed.execute(
+            "SELECT COUNT(*) FROM s WHERE tag = 'hot'"
+        ).rows == [(1800,)]
+        assert skewed.execute(
+            "SELECT COUNT(*) FROM s WHERE tag = 'rare70'"
+        ).rows == [(1,)]
